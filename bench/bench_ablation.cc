@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md §5 calls out (these are
+ * repo-specific studies, not a paper figure):
+ *
+ *  A. attention kernel: eager vs Megatron fused-softmax vs flash —
+ *     launches, quadratic activation bytes, simulated throughput;
+ *  B. deferred vs immediate aggregation (Fig. 3(c)): the deferred
+ *     all-reduce after the row-parallel linear vs an all-gather right
+ *     after the column-parallel one — communication volume and time;
+ *  C. GPipe vs 1F1B pipeline schedules: activation memory vs bubble;
+ *  D. structure-preserving vs whole-graph fusion scope (§5.1): how many
+ *     pointwise launches each strategy removes.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/schedule.h"
+#include "models/registry.h"
+
+using namespace slapo;
+
+namespace {
+
+nn::Profile
+profileBert(const baselines::ScheduleRecipe& recipe, int tp, int micro_batch)
+{
+    auto sch = baselines::applyRecipe(models::buildModel("bert", 0), recipe);
+    sim::TrainingSimulator simulator(sim::ClusterSpec::p3_16xlarge(), 2.0);
+    return simulator.profileModel(*sch->module(),
+                                  {{micro_batch, 512}}, tp);
+}
+
+} // namespace
+
+int
+main()
+{
+    using baselines::ScheduleRecipe;
+
+    // --- A: attention kernel ablation -----------------------------------
+    bench::printHeader("Ablation A: attention kernel (BERT-335M, mb=4)");
+    std::printf("%-24s %10s %16s %14s\n", "kernel", "launches",
+                "activations(GB)", "samples/s");
+    struct AttnCase
+    {
+        const char* label;
+        bool flash;
+        bool fused_softmax;
+    };
+    const AttnCase cases[] = {{"eager (HF)", false, false},
+                              {"Megatron fused softmax", false, true},
+                              {"flash attention", true, false}};
+    sim::TrainingSimulator single(sim::ClusterSpec::singleV100(), 2.0);
+    for (const AttnCase& c : cases) {
+        ScheduleRecipe recipe;
+        recipe.fuse_qkv = true;
+        recipe.fuse_bias_gelu = true;
+        recipe.flash_attention = c.flash;
+        recipe.megatron_fused_softmax = c.fused_softmax;
+        nn::Profile profile = profileBert(recipe, 1, 4);
+        auto sch =
+            baselines::applyRecipe(models::buildModel("bert", 0), recipe);
+        sim::ParallelConfig config;
+        config.micro_batch = 4;
+        sim::StepStats stats = single.simulate(
+            *sch->module(), baselines::modelShapeFn("bert", 0), config);
+        sim::MemoryModel mm(2.0, 0, 1);
+        std::printf("%-24s %10zu %16.2f %14.1f\n", c.label,
+                    profile.kernels.size(),
+                    mm.activationMemory(profile) / 1e9, stats.throughput);
+    }
+
+    // --- B: deferred vs immediate aggregation (Fig. 3(c)) -----------------
+    bench::printHeader(
+        "Ablation B: sync placement in the FFN pair, TP=8 (BERT-335M, mb=4)");
+    std::printf("%-40s %14s %12s\n", "strategy", "comm (GB/pass)",
+                "TP time (ms)");
+    sim::CostModel cost(sim::ClusterSpec::p3_16xlarge(), 2.0);
+    {
+        // Deferred: fc1 col-parallel, fc2 row-parallel, one all-reduce.
+        nn::Profile deferred = profileBert(ScheduleRecipe::tensorParallel(8, 0.0,
+                                                                          false),
+                                           8, 4);
+        const double bytes = deferred.commBytes(false);
+        std::printf("%-40s %14.3f %12.2f\n",
+                    "deferred all-reduce after fc2 (Fig. 3c)", bytes / 1e9,
+                    cost.commTime(deferred, 8, false, false) * 1e3);
+    }
+    {
+        // Immediate: all-gather the fc1 output, keep fc2 replicated.
+        auto model = models::buildModel("bert", 0);
+        auto sch = core::Schedule::create(model, 8);
+        for (auto& [path, m] : model->namedModules()) {
+            if (m->typeName() == "FFN") {
+                core::Schedule& ffn = (*sch)[path];
+                ffn["fc1"].shard(std::vector<std::string>{"weight", "bias"},
+                                 0);
+                ffn["fc1"].sync(nn::SyncDirection::Forward,
+                                nn::SyncKind::AllGather, /*axis=*/-1);
+            }
+            if (m->typeName() == "SelfAttention") {
+                core::Schedule& attn = (*sch)[path];
+                for (const char* proj : {"query", "key", "value"}) {
+                    attn[proj].shard(
+                        std::vector<std::string>{"weight", "bias"}, 0);
+                    attn[proj].sync(nn::SyncDirection::Forward,
+                                    nn::SyncKind::AllGather, /*axis=*/-1);
+                }
+            }
+        }
+        sim::TrainingSimulator simulator(sim::ClusterSpec::p3_16xlarge(), 2.0);
+        nn::Profile immediate = simulator.profileModel(*model, {{4, 512}}, 8);
+        const double bytes = immediate.commBytes(false);
+        std::printf("%-40s %14.3f %12.2f\n",
+                    "immediate all-gather after each linear", bytes / 1e9,
+                    cost.commTime(immediate, 8, false, false) * 1e3);
+    }
+
+    // --- C: GPipe vs 1F1B --------------------------------------------------
+    bench::printHeader(
+        "Ablation C: pipeline schedule (GPT-10B, TP=8 x PP=2, 16 GPUs, "
+        "global batch 256)");
+    std::printf("%-10s %6s %6s %14s %16s %8s\n", "schedule", "mb", "accum",
+                "activations(GB)", "samples/s", "OOM");
+    sim::TrainingSimulator multi(sim::ClusterSpec::p3dn_24xlarge(2), 2.0);
+    auto gpt = baselines::applyRecipe(models::buildGpt10B(),
+                                      ScheduleRecipe::tensorParallel(8, 0.5));
+    for (sim::PipeSchedule ps :
+         {sim::PipeSchedule::GPipe, sim::PipeSchedule::OneFOneB}) {
+        sim::ParallelConfig config;
+        config.tp = 8;
+        config.pp = 2;
+        config.micro_batch = 4;
+        config.grad_accum = 64;
+        config.pipe_schedule = ps;
+        sim::StepStats stats = multi.simulate(
+            *gpt->module(), baselines::modelShapeFn("gpt-10b", 0), config);
+        std::printf("%-10s %6d %6d %14.1f %16.2f %8s\n",
+                    ps == sim::PipeSchedule::GPipe ? "GPipe" : "1F1B",
+                    config.micro_batch, config.grad_accum,
+                    stats.memory.activations / 1e9, stats.throughput,
+                    stats.oom ? "yes" : "no");
+    }
+
+    // --- D: fusion scope ---------------------------------------------------
+    bench::printHeader(
+        "Ablation D: fusion scope — whole-graph compiler vs "
+        "structure-preserving schedule (BERT-335M, mb=4)");
+    auto traffic = [](const nn::Profile& p) {
+        double total = 0;
+        for (const auto& k : p.kernels) total += k.bytes_in + k.bytes_out;
+        return total / 1e9;
+    };
+    nn::Profile vanilla = profileBert(ScheduleRecipe::vanilla(), 1, 4);
+    nn::Profile whole_graph = baselines::fuseElementwiseChains(vanilla);
+    ScheduleRecipe slapo_fusion;
+    slapo_fusion.fuse_bias_gelu = true;
+    nn::Profile scoped = profileBert(slapo_fusion, 1, 4);
+    // Decomposed-but-unfused: what the graph looks like between
+    // .decompose() and .fuse() — the extra bias-add pass fusion removes.
+    nn::Profile decomposed_only;
+    {
+        auto model = models::buildModel("bert", 0);
+        auto sch = core::Schedule::create(model);
+        for (auto& [path, m] : model->namedModules()) {
+            if (m->typeName() == "FFN") {
+                core::Schedule& ffn = (*sch)[path];
+                ffn["fc1"].decompose();
+                nn::TraceOptions options;
+                options.flatten = true;
+                ffn.trace({{1, 8, 1024}}, options);
+            }
+        }
+        sim::TrainingSimulator simulator(sim::ClusterSpec::singleV100(), 2.0);
+        decomposed_only = simulator.profileModel(*model, {{4, 512}}, 1);
+    }
+    std::printf("  %-36s %8s %14s\n", "strategy", "launches", "traffic (GB)");
+    std::printf("  %-36s %8zu %14.2f\n", "unfused (bias in GEMM epilogue)",
+                vanilla.kernels.size(), traffic(vanilla));
+    std::printf("  %-36s %8zu %14.2f\n", "decomposed, not fused",
+                decomposed_only.kernels.size(), traffic(decomposed_only));
+    std::printf("  %-36s %8zu %14.2f\n", "module-scoped bias+gelu fusion",
+                scoped.kernels.size(), traffic(scoped));
+    std::printf("  %-36s %8zu %14.2f\n", "whole-graph pointwise fusion",
+                whole_graph.kernels.size(), traffic(whole_graph));
+    std::printf("  (\"Slapo's fusion capability is limited by module "
+                "boundaries ... most performance\n   bottleneck subgraphs "
+                "do not cross modules\", §5.1 — combined with flash\n"
+                "   attention the remaining gap disappears, see Fig. 7)\n");
+    return 0;
+}

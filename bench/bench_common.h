@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared formatting helpers for the figure/table reproduction harnesses.
+ * Every bench binary prints the same rows/series the paper reports, plus
+ * the ratios the text calls out, so EXPERIMENTS.md can be filled by
+ * running every binary under build/bench/.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/baselines.h"
+
+namespace slapo {
+namespace bench {
+
+/** Render a throughput cell; unsupported systems print "x" (as in the
+ * paper's figures) and OOM prints "OOM". */
+inline std::string
+cell(const baselines::BenchResult& result)
+{
+    if (!result.supported) {
+        return "      x";
+    }
+    if (result.stats.oom) {
+        return "    OOM";
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%7.1f", result.stats.throughput);
+    return buffer;
+}
+
+inline void
+printHeader(const char* title)
+{
+    std::printf("\n=====================================================================\n");
+    std::printf("%s\n", title);
+    std::printf("=====================================================================\n");
+}
+
+inline double
+ratio(const baselines::BenchResult& a, const baselines::BenchResult& b)
+{
+    if (!a.supported || !b.supported || a.stats.oom || b.stats.oom ||
+        b.stats.throughput <= 0) {
+        return 0;
+    }
+    return a.stats.throughput / b.stats.throughput;
+}
+
+} // namespace bench
+} // namespace slapo

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fig. 8 reproduction: training throughput on one p3.16xlarge node with
+ * 2/4/8 V100 16GB GPUs — Megatron-LM vs DeepSpeed ZeRO-3 vs Slapo-TP vs
+ * Slapo-ZeRO3 on all seven Table 2 models.
+ *
+ * Paper shape: Megatron only supports BERT/GPT/T5 ("x" elsewhere);
+ * neither baseline dominates the other everywhere; Slapo-TP lands at
+ * 87-103% of Megatron on its models; Slapo-ZeRO3 beats DeepSpeed by
+ * 1.08x - 3.35x.
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "models/registry.h"
+
+int
+main()
+{
+    using namespace slapo;
+    using baselines::BenchResult;
+
+    double z3_min = 1e9;
+    double z3_max = 0;
+    double tp_min = 1e9;
+    double tp_max = 0;
+
+    for (int gpus : {2, 4, 8}) {
+        sim::ClusterSpec cluster = sim::ClusterSpec::p3_16xlarge();
+        cluster.gpus_per_node = gpus; // 2/4/8-GPU slices of the node
+
+        char title[128];
+        std::snprintf(title, sizeof(title),
+                      "Fig. 8: single-node throughput on %d x V100 16GB "
+                      "(samples/s, simulated)",
+                      gpus);
+        bench::printHeader(title);
+        std::printf("%-12s %8s %8s %8s %8s | %10s %10s\n", "Model",
+                    "Megatron", "DeepSpd", "Slapo-TP", "Slapo-Z3", "TP/Meg",
+                    "Z3/DS");
+
+        for (const auto& info : models::table2()) {
+            if (info.name == "wideresnet" && gpus > 1) {
+                // The paper trains WRN with data parallelism only; keep
+                // the DeepSpeed-family columns and mark TP "x".
+            }
+            baselines::RunOptions tp_options;
+            tp_options.tp = gpus;
+            baselines::RunOptions dp_options;
+            dp_options.dp = gpus;
+
+            BenchResult megatron =
+                baselines::runMegatron(info.name, 0, cluster, tp_options);
+            BenchResult deepspeed =
+                baselines::runDeepSpeed(info.name, 0, cluster, dp_options);
+            BenchResult slapo_tp =
+                info.name == "wideresnet"
+                    ? BenchResult{"Slapo-TP", false,
+                                  "no tensor-parallel dims in conv blocks",
+                                  0.0, {}}
+                    : baselines::runSlapoTP(info.name, 0, cluster, tp_options);
+            BenchResult slapo_z3 =
+                baselines::runSlapoZeRO3(info.name, 0, cluster, dp_options);
+
+            const double tp_vs_meg = bench::ratio(slapo_tp, megatron);
+            const double z3_vs_ds = bench::ratio(slapo_z3, deepspeed);
+            std::printf("%-12s %s %s %s %s |", info.name.c_str(),
+                        bench::cell(megatron).c_str(),
+                        bench::cell(deepspeed).c_str(),
+                        bench::cell(slapo_tp).c_str(),
+                        bench::cell(slapo_z3).c_str());
+            if (tp_vs_meg > 0) {
+                std::printf(" %9.0f%%", tp_vs_meg * 100.0);
+                tp_min = std::min(tp_min, tp_vs_meg);
+                tp_max = std::max(tp_max, tp_vs_meg);
+            } else {
+                std::printf(" %10s", "-");
+            }
+            if (z3_vs_ds > 0) {
+                std::printf(" %9.2fx\n", z3_vs_ds);
+                z3_min = std::min(z3_min, z3_vs_ds);
+                z3_max = std::max(z3_max, z3_vs_ds);
+            } else {
+                std::printf(" %10s\n", "-");
+            }
+        }
+    }
+
+    std::printf("\nSlapo-TP vs Megatron range: %.0f%% - %.0f%% "
+                "(paper: 87%% - 103%% on 8 GPUs)\n",
+                tp_min * 100.0, tp_max * 100.0);
+    std::printf("Slapo-ZeRO3 vs DeepSpeed range: %.2fx - %.2fx "
+                "(paper: 1.08x - 3.35x)\n",
+                z3_min, z3_max);
+    return 0;
+}

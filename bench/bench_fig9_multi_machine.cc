@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig. 9 reproduction: strong scaling of a 10-billion-parameter GPT on
+ * 8-64 V100 32GB GPUs (p3dn.24xlarge nodes, 100 Gbps network), global
+ * batch fixed at 256. Baselines follow the paper's setup: DeepSpeed
+ * ZeRO-3 with dp = world; Megatron-LM with tensor-parallel 8 and
+ * pipeline-parallel 2 (pure TP on a single node). Slapo schedules both
+ * strategies plus its kernel/checkpoint optimizations and reports the
+ * better one per point.
+ *
+ * Paper shape: no one baseline is always best; Slapo matches or beats
+ * the best baseline (up to 1.32x).
+ */
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace slapo;
+    using baselines::BenchResult;
+
+    bench::printHeader(
+        "Fig. 9: GPT-10B strong scaling, global batch 256 "
+        "(samples/s, simulated V100 32GB nodes)");
+    std::printf("%6s %10s %10s %10s %10s %10s | %12s\n", "GPUs", "Megatron",
+                "DeepSpeed", "Slapo-TP", "Slapo-Z3", "Slapo-best",
+                "vs best base");
+
+    for (int nodes : {1, 2, 4, 8}) {
+        const auto cluster = sim::ClusterSpec::p3dn_24xlarge(nodes);
+        const int world = cluster.worldSize();
+
+        baselines::RunOptions megatron_options;
+        megatron_options.tp = 8;
+        megatron_options.pp = world >= 16 ? 2 : 1;
+        megatron_options.dp = world / (8 * megatron_options.pp);
+        megatron_options.fixed_global_batch = 256;
+
+        baselines::RunOptions deepspeed_options;
+        deepspeed_options.dp = world;
+        deepspeed_options.fixed_global_batch = 256;
+
+        BenchResult megatron =
+            baselines::runMegatron("gpt-10b", 0, cluster, megatron_options);
+        BenchResult deepspeed =
+            baselines::runDeepSpeed("gpt-10b", 0, cluster, deepspeed_options);
+        BenchResult slapo_tp =
+            baselines::runSlapoTP("gpt-10b", 0, cluster, megatron_options);
+        BenchResult slapo_z3 =
+            baselines::runSlapoZeRO3("gpt-10b", 0, cluster, deepspeed_options);
+
+        const BenchResult& slapo_best =
+            slapo_tp.stats.throughput >= slapo_z3.stats.throughput ? slapo_tp
+                                                                   : slapo_z3;
+        const double best_baseline = std::max(megatron.stats.throughput,
+                                              deepspeed.stats.throughput);
+        std::printf("%6d %s %s %s %s %s | %11.2fx\n", world,
+                    bench::cell(megatron).c_str(),
+                    bench::cell(deepspeed).c_str(),
+                    bench::cell(slapo_tp).c_str(),
+                    bench::cell(slapo_z3).c_str(),
+                    bench::cell(slapo_best).c_str(),
+                    best_baseline > 0
+                        ? slapo_best.stats.throughput / best_baseline
+                        : 0.0);
+    }
+
+    std::printf("\nPaper shape: ZeRO-3 competitive at 8 GPUs, Megatron "
+                "TP8/PP2 ahead across nodes; Slapo tracks/beats the best "
+                "baseline (paper: up to 1.32x; the crossover between the "
+                "two baselines appears between 8 and 16 GPUs).\n");
+    return 0;
+}

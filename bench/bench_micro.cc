@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the framework itself: numeric
+ * kernels, symbolic tracing, pattern matching, schedule application,
+ * model cloning, and one full simulator evaluation — the costs a Slapo
+ * user pays at schedule-construction time (the paper argues these are
+ * negligible next to training).
+ */
+#include <benchmark/benchmark.h>
+
+#include "baselines/baselines.h"
+#include "models/registry.h"
+#include "nn/tracer.h"
+#include "runtime/autograd.h"
+#include "core/auto_shard.h"
+#include "core/pipeline.h"
+#include "runtime/dist_executor.h"
+#include "runtime/trainer.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace slapo;
+
+void
+BM_TensorMatmul(benchmark::State& state)
+{
+    const int64_t n = state.range(0);
+    Tensor a = Tensor::uniform({n, n}, 1.0f, 1);
+    Tensor b = Tensor::uniform({n, n}, 1.0f, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::matmul(a, b));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_TensorLayerNorm(benchmark::State& state)
+{
+    Tensor x = Tensor::uniform({64, 1024}, 1.0f, 3);
+    Tensor gamma = Tensor::full({1024}, 1.0f);
+    Tensor beta = Tensor::zeros({1024});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::layerNorm(x, gamma, beta, 1e-5f));
+    }
+}
+BENCHMARK(BM_TensorLayerNorm);
+
+void
+BM_TensorSoftmax(benchmark::State& state)
+{
+    Tensor x = Tensor::uniform({8, 16, 128, 128}, 1.0f, 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::softmax(x));
+    }
+}
+BENCHMARK(BM_TensorSoftmax);
+
+void
+BM_TraceFfnFlattened(benchmark::State& state)
+{
+    nn::FFN ffn(1024, 4096, 0.1);
+    nn::TraceOptions options;
+    options.flatten = true;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            nn::traceModule(ffn, {{1, 512, 1024}}, options));
+    }
+}
+BENCHMARK(BM_TraceFfnFlattened);
+
+void
+BM_TraceBertLayerHierarchy(benchmark::State& state)
+{
+    models::TransformerConfig config = models::modelConfig("bert", 0);
+    models::TransformerLayer layer(config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            nn::traceModule(layer, {{1, 512, config.hidden}}));
+    }
+}
+BENCHMARK(BM_TraceBertLayerHierarchy);
+
+void
+BM_PatternMatchFfn(benchmark::State& state)
+{
+    nn::FFN ffn(1024, 4096, 0.1);
+    ffn.child("fc1")->meta().decomposed = true;
+    nn::TraceOptions options;
+    options.flatten = true;
+    auto g = nn::traceModule(ffn, {{1, 512, 1024}}, options);
+    const auto pattern = graph::Pattern::chain({"add", "gelu"});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(graph::findPattern(*g, pattern));
+    }
+}
+BENCHMARK(BM_PatternMatchFfn);
+
+void
+BM_ScheduleFullBertRecipe(benchmark::State& state)
+{
+    // The whole §2.2 optimization flow on paper-scale BERT: fused QKV,
+    // flash attention, bias+gelu fusion, checkpointing.
+    for (auto _ : state) {
+        auto sch = baselines::applyRecipe(
+            models::buildModel("bert", 0),
+            baselines::ScheduleRecipe::kernelOptimized(0.25));
+        benchmark::DoNotOptimize(sch);
+    }
+}
+BENCHMARK(BM_ScheduleFullBertRecipe)->Unit(benchmark::kMillisecond);
+
+void
+BM_CloneBert335M(benchmark::State& state)
+{
+    auto model = models::buildModel("bert", 0); // meta parameters
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model->clone());
+    }
+}
+BENCHMARK(BM_CloneBert335M)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatorStepBert(benchmark::State& state)
+{
+    sim::TrainingSimulator simulator(sim::ClusterSpec::singleV100(), 2.0);
+    auto sch = baselines::applyRecipe(
+        models::buildModel("bert", 0),
+        baselines::ScheduleRecipe::kernelOptimized(0.25));
+    auto shapes = baselines::modelShapeFn("bert", 0);
+    sim::ParallelConfig config;
+    config.micro_batch = 8;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simulator.simulate(*sch->module(), shapes, config));
+    }
+    state.SetLabel("one cost-model evaluation of BERT-335M");
+}
+BENCHMARK(BM_SimulatorStepBert)->Unit(benchmark::kMillisecond);
+
+void
+BM_AutogradTinyBertStep(benchmark::State& state)
+{
+    auto model = runtime::withCrossEntropyLoss(models::buildTinyModel("bert"));
+    model->initializeParams(7);
+    Tensor ids = Tensor::randint({2, 8}, 64, 1);
+    Tensor targets = Tensor::randint({2, 8}, 64, 2);
+    for (auto _ : state) {
+        runtime::AutogradEngine engine;
+        benchmark::DoNotOptimize(engine.run(*model, {ids, targets}));
+    }
+    state.SetLabel("numeric fwd+bwd of the tiny test model");
+}
+BENCHMARK(BM_AutogradTinyBertStep)->Unit(benchmark::kMillisecond);
+
+void
+BM_VerifierShardedFfn(benchmark::State& state)
+{
+    // One end-to-end verification of a 2-way sharded linear pair: the
+    // cost of the paper's §3.5 numeric check at test scale.
+    auto seq = std::make_shared<nn::Sequential>();
+    seq->append(std::make_shared<nn::Linear>(32, 64));
+    seq->append(std::make_shared<nn::Linear>(64, 32));
+    seq->initializeParams(3);
+    nn::ShardSpec col;
+    col.axis = 0;
+    col.world_size = 2;
+    seq->child("0")->meta().sharded_params["weight"] = col;
+    seq->child("0")->meta().sharded_params["bias"] = col;
+    nn::ShardSpec row;
+    row.axis = 1;
+    row.world_size = 2;
+    seq->child("1")->meta().sharded_params["weight"] = row;
+    nn::SyncSpec sync;
+    seq->child("1")->meta().syncs.push_back(sync);
+
+    Tensor x = Tensor::uniform({4, 32}, 1.0f, 9);
+    for (auto _ : state) {
+        runtime::DistExecutor executor(2);
+        benchmark::DoNotOptimize(executor.forward(*seq, {x}));
+    }
+}
+BENCHMARK(BM_VerifierShardedFfn)->Unit(benchmark::kMillisecond);
+
+void
+BM_AutoShardBert335M(benchmark::State& state)
+{
+    // Automatic shard/sync generation for the full paper-scale model.
+    for (auto _ : state) {
+        auto sch =
+            core::Schedule::create(models::buildModel("bert", 0), 8);
+        core::autoShard(*sch);
+        benchmark::DoNotOptimize(sch);
+    }
+}
+BENCHMARK(BM_AutoShardBert335M)->Unit(benchmark::kMillisecond);
+
+void
+BM_PipelinePartitionBert(benchmark::State& state)
+{
+    for (auto _ : state) {
+        auto model = models::buildModel("bert", 0);
+        auto sch = core::Schedule::create(model, 2);
+        (*sch)["encoder.layer.11"].pipelineSplit();
+        benchmark::DoNotOptimize(core::partitionPipeline(*sch, {{1, 512}}));
+    }
+}
+BENCHMARK(BM_PipelinePartitionBert)->Unit(benchmark::kMillisecond);
+
+void
+BM_TrainerStepTinyBert(benchmark::State& state)
+{
+    auto model = runtime::withCrossEntropyLoss(models::buildTinyModel("bert"));
+    model->initializeParams(11);
+    runtime::Trainer trainer(model);
+    std::vector<std::vector<Tensor>> micros = {
+        {Tensor::randint({2, 8}, 64, 1), Tensor::randint({2, 8}, 64, 2)}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trainer.step(micros));
+    }
+    state.SetLabel("fwd+bwd+AdamW on the tiny test model");
+}
+BENCHMARK(BM_TrainerStepTinyBert)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

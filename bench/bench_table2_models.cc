@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 2 reproduction: the evaluated models with their parameter
+ * counts, sequence lengths / image sizes, and precisions. Prints the
+ * paper's number next to the parameter count of the model we actually
+ * built (our LM heads are untied, so decoder models carry an extra
+ * vocab x hidden block; see DESIGN.md).
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "models/registry.h"
+
+int
+main()
+{
+    using namespace slapo;
+    bench::printHeader(
+        "Table 2: Models used in the experiments (paper vs this repo)");
+    std::printf("%-12s %-8s %16s %18s %12s %10s\n", "Model", "Task",
+                "paper params(M)", "built params(M)", "SeqLen/Img",
+                "Precision");
+
+    for (const auto& info : models::table2()) {
+        double built[2] = {0, 0};
+        const int variants =
+            info.paper_params_m[0] == info.paper_params_m[1] ? 1 : 2;
+        for (int v = 0; v < variants; ++v) {
+            built[v] =
+                static_cast<double>(models::buildModel(info.name, v)->numParams()) /
+                1e6;
+        }
+        char paper_col[32];
+        char built_col[32];
+        if (variants == 1) {
+            std::snprintf(paper_col, sizeof(paper_col), "%.0f",
+                          info.paper_params_m[0]);
+            std::snprintf(built_col, sizeof(built_col), "%.0f", built[0]);
+        } else {
+            std::snprintf(paper_col, sizeof(paper_col), "%.0f, %.0f",
+                          info.paper_params_m[0], info.paper_params_m[1]);
+            std::snprintf(built_col, sizeof(built_col), "%.0f, %.0f", built[0],
+                          built[1]);
+        }
+        std::printf("%-12s %-8s %16s %18s %12lld %10s\n", info.name.c_str(),
+                    info.task.c_str(), paper_col, built_col,
+                    static_cast<long long>(info.seq_len),
+                    info.precision.c_str());
+    }
+
+    const double gpt10b =
+        static_cast<double>(models::buildGpt10B()->numParams()) / 1e9;
+    std::printf("\nFig. 9 model: GPT %.2fB parameters (paper: 10B)\n", gpt10b);
+    return 0;
+}

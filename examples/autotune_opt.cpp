@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Auto-tuning demo (§3.4): build a Fig. 6-style polygon search space of
+ * micro-batch size x checkpoint ratio for OPT on 8 simulated GPUs,
+ * prune it with a domain-knowledge constraint, and compare exhaustive
+ * search against randomized coordinate descent.
+ */
+#include <cstdio>
+#include <map>
+
+#include "baselines/baselines.h"
+#include "models/registry.h"
+#include "tuner/tuner.h"
+
+using namespace slapo;
+
+int
+main()
+{
+    const auto cluster = sim::ClusterSpec::p3_16xlarge();
+    sim::TrainingSimulator simulator(cluster, 2.0);
+    auto shapes = baselines::modelShapeFn("opt", 0);
+
+    // Symbolic variables with candidates, as a developer would declare.
+    tuner::SearchSpace space;
+    space.addVar("batch", {2, 4, 8, 16, 32});
+    space.addVar("ckpt", {0.0, 0.25, 0.5, 0.75, 1.0});
+    // Domain knowledge (the gray region of Fig. 6): very large batches
+    // cannot possibly fit without checkpointing — prune before running.
+    space.addConstraint([](const tuner::Config& c) {
+        return c.at("batch") <= 16 || c.at("ckpt") >= 0.5;
+    });
+    std::printf("search space: %zu of %zu cartesian configs survive "
+                "pruning\n",
+                space.enumerate().size(), space.cartesianSize());
+
+    std::map<double, core::SchedulePtr> schedules;
+    for (double ratio : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        schedules[ratio] = baselines::applyRecipe(
+            models::buildModel("opt", 0),
+            baselines::ScheduleRecipe::kernelOptimized(ratio));
+    }
+
+    int launches = 0;
+    auto evaluate = [&](const tuner::Config& config) {
+        ++launches;
+        sim::ParallelConfig pc;
+        pc.dp = 8;
+        pc.zero_stage = 3;
+        pc.micro_batch = static_cast<int>(config.at("batch"));
+        sim::StepStats stats = simulator.simulate(
+            *schedules.at(config.at("ckpt"))->module(), shapes, pc);
+        return stats.oom ? 0.0 : stats.throughput;
+    };
+
+    tuner::TuneResult exhaustive = tuner::exhaustiveSearch(space, evaluate);
+    std::printf("exhaustive: best %.1f samples/s at batch %.0f, ratio "
+                "%.0f%% (%d evaluations)\n",
+                exhaustive.best_value, exhaustive.best.at("batch"),
+                exhaustive.best.at("ckpt") * 100, exhaustive.evaluated);
+
+    launches = 0;
+    tuner::TuneResult cd = tuner::coordinateDescent(space, evaluate,
+                                                    {.seed = 7, .restarts = 2});
+    std::printf("coordinate descent: best %.1f samples/s at batch %.0f, "
+                "ratio %.0f%% (%d evaluations, %.0f%% of the space)\n",
+                cd.best_value, cd.best.at("batch"), cd.best.at("ckpt") * 100,
+                cd.evaluated,
+                100.0 * cd.evaluated / space.enumerate().size());
+    std::printf("coordinate descent found the optimum: %s\n",
+                cd.best_value >= exhaustive.best_value - 1e-9 ? "yes" : "no");
+    return 0;
+}

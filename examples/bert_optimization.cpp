@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The paper's §2.2 motivating example, end to end: progressively
+ * optimize HuggingFace-style BERT training with schedule primitives and
+ * watch the simulated single-V100 throughput improve at every step —
+ * without ever editing the model definition.
+ *
+ *   ① fuse QKV           ② efficient kernels (flash attention,
+ *   bias+GeLU fusion)    ③ tensor parallelism (8 GPUs)
+ *   ④ activation checkpointing (tuned ratio)
+ */
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "core/verify.h"
+#include "models/registry.h"
+
+using namespace slapo;
+
+namespace {
+
+/** Simulated throughput of the scheduled model, micro-batch tuned. */
+double
+throughputOf(core::Schedule& sch, int gpus, int tp)
+{
+    sim::ClusterSpec cluster = sim::ClusterSpec::p3_16xlarge();
+    cluster.gpus_per_node = gpus;
+    sim::TrainingSimulator simulator(cluster, 2.0);
+    sim::ParallelConfig config;
+    config.tp = tp;
+    config.dp = gpus / tp;
+    sim::StepStats stats = simulator.tuneMicroBatch(
+        *sch.module(), baselines::modelShapeFn("bert", 0), config, 256);
+    return stats.oom ? 0.0 : stats.throughput;
+}
+
+} // namespace
+
+int
+main()
+{
+    using baselines::ScheduleRecipe;
+
+    std::printf("Progressive optimization of BERT-335M (simulated V100s)\n");
+    std::printf("%-52s %12s\n", "schedule", "samples/s");
+
+    // Step 0: the vanilla model, out of the box on one GPU.
+    {
+        auto sch = baselines::applyRecipe(models::buildModel("bert", 0),
+                                          ScheduleRecipe::vanilla());
+        std::printf("%-52s %12.1f\n", "vanilla (1 GPU)",
+                    throughputOf(*sch, 1, 1));
+    }
+
+    // Step ①: fuse the three q/k/v projections into one kernel.
+    {
+        ScheduleRecipe recipe;
+        recipe.fuse_qkv = true;
+        auto sch =
+            baselines::applyRecipe(models::buildModel("bert", 0), recipe);
+        std::printf("%-52s %12.1f\n", "+ (1) fuse QKV", throughputOf(*sch, 1, 1));
+    }
+
+    // Step ②: flash attention + fused bias-GeLU via trace/find/fuse.
+    {
+        auto sch = baselines::applyRecipe(models::buildModel("bert", 0),
+                                          ScheduleRecipe::kernelOptimized());
+        std::printf("%-52s %12.1f\n",
+                    "+ (2) flash attention & bias+GeLU fusion",
+                    throughputOf(*sch, 1, 1));
+    }
+
+    // Step ④ (single device): tuned activation checkpointing.
+    {
+        double best = 0;
+        double best_ratio = 0;
+        for (double ratio : baselines::checkpointRatioCandidates()) {
+            auto sch = baselines::applyRecipe(
+                models::buildModel("bert", 0),
+                ScheduleRecipe::kernelOptimized(ratio));
+            const double thr = throughputOf(*sch, 1, 1);
+            if (thr > best) {
+                best = thr;
+                best_ratio = ratio;
+            }
+        }
+        std::printf("%-52s %12.1f  (ratio %.0f%%)\n",
+                    "+ (4) tuned activation checkpointing", best,
+                    best_ratio * 100);
+    }
+
+    // Step ③: shard attention/FFN across 8 GPUs, Fig. 3 sync points.
+    {
+        auto sch = baselines::applyRecipe(
+            models::buildModel("bert", 0),
+            ScheduleRecipe::tensorParallel(8, 0.25));
+        std::printf("%-52s %12.1f\n",
+                    "+ (3) tensor parallelism on 8 GPUs",
+                    throughputOf(*sch, 8, 8));
+    }
+
+    // The same schedule at test scale is *numerically verified* against
+    // the unscheduled model — the §3.5 pipeline in action.
+    {
+        auto model = models::buildTinyModel("bert");
+        model->initializeParams(1);
+        nn::ModulePtr reference = model->clone();
+        auto sch = baselines::applyRecipe(
+            model, ScheduleRecipe::tensorParallel(2, 0.5));
+        core::VerifyOptions vopts;
+        vopts.input_gen = [](int trial) {
+            return std::vector<Tensor>{Tensor::randint({2, 8}, 64, trial + 1)};
+        };
+        core::verifyEndToEnd(*reference, *sch, vopts);
+        std::printf("\nverifier: the full recipe (fused QKV + flash attention "
+                    "+ bias+GeLU fusion\n+ 2-way sharding + checkpointing) is "
+                    "numerically exact at test scale\n");
+    }
+    return 0;
+}

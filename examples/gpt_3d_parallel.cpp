@@ -1,0 +1,121 @@
+/**
+ * @file
+ * 3D parallelism for a GPT-family model (§3.3.2, Fig. 5): tensor
+ * parallelism via .shard()/.sync(), pipeline stages via
+ * .pipeline_split() + the partition-propagation algorithm, executed
+ * through the DeepSpeed dialect, and data parallelism on top — then the
+ * whole strategy evaluated on a simulated two-node V100 cluster.
+ */
+#include <cstdio>
+
+#include "baselines/baselines.h"
+#include "core/auto_shard.h"
+#include "core/pipeline.h"
+#include "dialects/deepspeed_dialect.h"
+#include "dialects/megatron_dialect.h"
+#include "models/registry.h"
+#include "runtime/pipeline_runtime.h"
+
+using namespace slapo;
+
+int
+main()
+{
+    // --- pipeline partitioning demonstrated numerically (test scale) ----
+    // OPT shares GPT's architecture with a traceable top module.
+    {
+        nn::ModulePtr model = models::buildTinyModel("opt");
+        model->initializeParams(3);
+        nn::ModulePtr reference = model->clone();
+
+        core::SchedulePtr sch = core::Schedule::create(model, /*world=*/4);
+        (*sch)["decoder.layer.0"].pipelineSplit();
+        auto stages = core::partitionPipeline(*sch, {{1, 8}});
+        std::printf("pipeline stages after propagation:\n");
+        for (size_t i = 0; i < stages.size(); ++i) {
+            std::printf("  stage %zu:", i);
+            for (const auto& [path, m] : stages[i].modules) {
+                std::printf(" %s", path.c_str());
+            }
+            std::printf("\n");
+        }
+
+        // DeepSpeed dialect + the threaded pipeline runtime: stream four
+        // micro-batches through one worker thread per stage.
+        auto wrapped = dialects::wrapForDeepSpeedPipeline(stages);
+        runtime::PipelineRuntime pipeline(wrapped);
+        std::vector<std::vector<Tensor>> micros;
+        for (int m = 0; m < 4; ++m) {
+            micros.push_back({Tensor::randint({1, 8}, 64, 5 + m)});
+        }
+        runtime::PipelineRunResult result = pipeline.forward(micros);
+        bool all_match = true;
+        for (size_t m = 0; m < micros.size(); ++m) {
+            std::vector<nn::Value> expected =
+                reference->call({nn::Value(micros[m][0])});
+            all_match &= Tensor::allClose(expected[0].tensor(),
+                                          result.outputs[m][0], 1e-4f);
+        }
+        std::printf("pipelined outputs match reference: %s "
+                    "(peak micro-batches in flight: %d)\n",
+                    all_match ? "yes" : "NO", result.peak_in_flight);
+
+        // Auto-scheduler (the paper's future work): generate the
+        // shard/sync primitives instead of writing them by hand.
+        nn::ModulePtr auto_model = models::buildTinyModel("opt");
+        auto_model->initializeParams(3);
+        auto auto_sch = core::Schedule::create(auto_model, 2);
+        core::AutoShardReport report = core::autoShard(*auto_sch);
+        std::printf("auto-scheduler: %zu column/row pairs, %zu embeddings, "
+                    "%zu sync points generated\n",
+                    report.sharded_pairs.size(),
+                    report.sharded_embeddings.size(),
+                    report.forward_syncs.size() + report.backward_syncs.size());
+    }
+
+    // --- the full 3D strategy on GPT-10B, simulated ---------------------
+    {
+        const auto cluster = sim::ClusterSpec::p3dn_24xlarge(2); // 16 GPUs
+        baselines::ScheduleRecipe recipe =
+            baselines::ScheduleRecipe::tensorParallel(8, 0.5);
+        recipe.pipeline_stages = 2; // real .pipeline_split() annotations
+        auto sch = baselines::applyRecipe(models::buildGpt10B(), recipe);
+
+        // Hand the tensor-parallel schedule to the Megatron dialect: it
+        // validates column/row pairs and sync points (§4).
+        dialects::MegatronLaunchConfig launch =
+            dialects::toMegatron(*sch->module(), /*tp=*/8, /*pp=*/2);
+        std::printf("\nMegatron dialect accepted the schedule: "
+                    "%zu column-parallel, %zu row-parallel, "
+                    "%zu vocab-parallel modules\n",
+                    launch.column_parallel.size(), launch.row_parallel.size(),
+                    launch.vocab_parallel.size());
+
+        sim::TrainingSimulator simulator(cluster, 2.0);
+        sim::ParallelConfig config;
+        config.tp = 8;
+        config.pp = 2;
+        config.dp = 1;
+        sim::StepStats stats = simulator.tuneMicroBatch(
+            *sch->module(), baselines::modelShapeFn("gpt-10b", 0), config,
+            64, /*fixed_global_batch=*/256);
+        std::printf("GPT-10B on 16 simulated V100-32GB (TP=8, PP=2, global "
+                    "batch 256):\n");
+        std::printf("  throughput %.2f samples/s, step %.2f s, micro-batch "
+                    "%d x %d accumulations\n",
+                    stats.throughput, stats.step_time,
+                    stats.config.micro_batch, stats.config.grad_accum);
+        std::printf("  per-GPU memory: %.1f GB of %.1f GB (weights %.1f, "
+                    "optimizer %.1f, activations %.1f)\n",
+                    stats.memory.total() / 1e9, stats.capacity / 1e9,
+                    stats.memory.weights / 1e9,
+                    stats.memory.optimizer_states / 1e9,
+                    stats.memory.activations / 1e9);
+        std::printf("  phases: fwd %.2fs, bwd %.2fs (recompute %.2fs), "
+                    "TP comm %.2fs, DP comm %.2fs\n",
+                    stats.phases.forward, stats.phases.backward,
+                    stats.phases.recompute, stats.phases.tp_comm,
+                    stats.phases.dp_comm);
+    }
+    return 0;
+}

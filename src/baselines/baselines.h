@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The four systems of the evaluation (§5) plus the Slapo configurations,
+ * all running on the same training simulator so comparisons isolate the
+ * *schedules* each system effectively applies:
+ *
+ *  - PyTorch Eager: the vanilla model, out-of-the-box (with and without
+ *    full activation checkpointing, reporting the better — §5.1).
+ *  - TorchScript (nvFuser): whole-model tracing + elementwise-chain
+ *    fusion; refuses models whose top module is untraceable (GPT-Neo).
+ *  - Megatron-LM v2: hand-optimized kernels + tensor(+pipeline)
+ *    parallelism + full recompute; only BERT/GPT/T5; its independent
+ *    model implementation is modeled as a per-model efficiency factor.
+ *  - DeepSpeed: vanilla HF model + ZeRO-3 + full checkpointing.
+ *  - Slapo: the same hand-crafted optimizations *scheduled* on the HF
+ *    model, with the checkpoint ratio and micro-batch auto-tuned
+ *    (Slapo-TP and Slapo-ZeRO3 flavours for Fig. 8/9).
+ */
+#pragma once
+
+#include <string>
+
+#include "baselines/slapo_schedules.h"
+#include "sim/training_sim.h"
+
+namespace slapo {
+namespace baselines {
+
+/** One system's result on one configuration. */
+struct BenchResult
+{
+    std::string system;
+    bool supported = true;    ///< false renders as "x" in the figures
+    std::string reason;       ///< why unsupported
+    double checkpoint_ratio = 0.0; ///< ratio the winning schedule used
+    sim::StepStats stats;
+};
+
+/** Input-shape builder of a registry model at its Table 2 seq length. */
+sim::ShapeFn modelShapeFn(const std::string& model_name, int variant);
+
+/** Bytes per element of a model's Table 2 precision. */
+double modelBytesPerElement(const std::string& model_name);
+
+/** Shared knobs of one benchmark run. */
+struct RunOptions
+{
+    int dp = 1;              ///< data-parallel degree
+    int tp = 1;              ///< tensor-parallel degree (Megatron/Slapo-TP)
+    int pp = 1;              ///< pipeline stages (Fig. 9 Megatron)
+    int fixed_global_batch = 0; ///< strong-scaling global batch (Fig. 9)
+    int max_micro_batch = 256;
+};
+
+BenchResult runEager(const std::string& model_name, int variant,
+                     const sim::ClusterSpec& cluster,
+                     const RunOptions& options = {});
+
+BenchResult runTorchScript(const std::string& model_name, int variant,
+                           const sim::ClusterSpec& cluster,
+                           const RunOptions& options = {});
+
+BenchResult runMegatron(const std::string& model_name, int variant,
+                        const sim::ClusterSpec& cluster,
+                        const RunOptions& options);
+
+BenchResult runDeepSpeed(const std::string& model_name, int variant,
+                         const sim::ClusterSpec& cluster,
+                         const RunOptions& options);
+
+/** Slapo on a single device: kernel opts + tuned checkpoint ratio. */
+BenchResult runSlapoSingleDevice(const std::string& model_name, int variant,
+                                 const sim::ClusterSpec& cluster,
+                                 const RunOptions& options = {});
+
+/** Slapo-TP: schedules tensor parallelism like Megatron (Fig. 8). */
+BenchResult runSlapoTP(const std::string& model_name, int variant,
+                       const sim::ClusterSpec& cluster,
+                       const RunOptions& options);
+
+/** Slapo-ZeRO3: schedules kernels/ckpt and runs on ZeRO-3 (Fig. 8). */
+BenchResult runSlapoZeRO3(const std::string& model_name, int variant,
+                          const sim::ClusterSpec& cluster,
+                          const RunOptions& options);
+
+/** The checkpoint ratios the Slapo auto-tuner scans. */
+const std::vector<double>& checkpointRatioCandidates();
+
+/**
+ * nvFuser-style elementwise-chain fusion over a profile: consecutive
+ * pointwise kernels in the same module collapse into one launch reading
+ * the first input and writing the last output.
+ */
+nn::Profile fuseElementwiseChains(nn::Profile profile);
+
+} // namespace baselines
+} // namespace slapo

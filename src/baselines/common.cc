@@ -1,0 +1,139 @@
+#include "baselines/detail.h"
+
+#include "models/registry.h"
+
+namespace slapo {
+namespace baselines {
+
+sim::ShapeFn
+modelShapeFn(const std::string& model_name, int variant)
+{
+    if (model_name == "wideresnet") {
+        return [](int mb) {
+            return std::vector<Shape>{{mb, 3, 224, 224}};
+        };
+    }
+    if (model_name == "gpt-10b") {
+        const auto config = models::gpt10BConfig();
+        const int64_t seq = config.seq_len;
+        return [seq](int mb) { return std::vector<Shape>{{mb, seq}}; };
+    }
+    const auto config = models::modelConfig(model_name, variant);
+    const int64_t seq = config.seq_len;
+    if (model_name == "t5") {
+        const int64_t dec_seq = config.decoder_seq_len;
+        return [seq, dec_seq](int mb) {
+            return std::vector<Shape>{{mb, seq}, {mb, dec_seq}};
+        };
+    }
+    return [seq](int mb) { return std::vector<Shape>{{mb, seq}}; };
+}
+
+double
+modelBytesPerElement(const std::string& model_name)
+{
+    return model_name == "wideresnet" ? 4.0 : 2.0;
+}
+
+const std::vector<double>&
+checkpointRatioCandidates()
+{
+    static const std::vector<double> kRatios = {0.0, 0.25, 0.5, 0.75, 1.0};
+    return kRatios;
+}
+
+namespace detail {
+
+RunOptions
+adjustTpForModel(const std::string& model_name, int variant,
+                 RunOptions options)
+{
+    if (options.tp <= 1 || model_name == "wideresnet") {
+        return options;
+    }
+    const models::TransformerConfig config =
+        model_name == "gpt-10b" ? models::gpt10BConfig()
+                                : models::modelConfig(model_name, variant);
+    int tp = options.tp;
+    while (tp > 1 && (config.heads % tp != 0 || config.hidden % tp != 0)) {
+        tp /= 2;
+    }
+    if (tp != options.tp) {
+        options.dp *= options.tp / tp;
+        options.tp = tp;
+    }
+    return options;
+}
+
+namespace {
+
+nn::ModulePtr
+buildFor(const std::string& model_name, int variant)
+{
+    if (model_name == "gpt-10b") {
+        return models::buildGpt10B();
+    }
+    return models::buildModel(model_name, variant);
+}
+
+} // namespace
+
+BenchResult
+runRecipe(const std::string& system, const std::string& model_name,
+          int variant, const sim::ClusterSpec& cluster,
+          const RunOptions& options, const ScheduleRecipe& recipe,
+          int zero_stage, sim::PipeSchedule pipe_schedule,
+          const sim::ProfileTransform& transform, double impl_speedup)
+{
+    BenchResult result;
+    result.system = system;
+    result.checkpoint_ratio = recipe.checkpoint_ratio;
+
+    core::SchedulePtr schedule =
+        applyRecipe(buildFor(model_name, variant), recipe);
+
+    sim::TrainingSimulator simulator(cluster,
+                                     modelBytesPerElement(model_name));
+    sim::ParallelConfig config;
+    config.tp = options.tp;
+    config.pp = options.pp;
+    config.dp = options.dp;
+    config.zero_stage = zero_stage;
+    config.pipe_schedule = pipe_schedule;
+
+    result.stats = simulator.tuneMicroBatch(
+        *schedule->module(), modelShapeFn(model_name, variant), config,
+        options.max_micro_batch, options.fixed_global_batch, transform);
+    if (impl_speedup != 1.0 && !result.stats.oom) {
+        result.stats.step_time /= impl_speedup;
+        result.stats.throughput *= impl_speedup;
+    }
+    return result;
+}
+
+BenchResult
+bestOverCheckpointRatios(const std::string& system,
+                         const std::string& model_name, int variant,
+                         const sim::ClusterSpec& cluster,
+                         const RunOptions& options, ScheduleRecipe recipe,
+                         int zero_stage)
+{
+    BenchResult best;
+    best.system = system;
+    best.stats.oom = true;
+    for (double ratio : checkpointRatioCandidates()) {
+        recipe.checkpoint_ratio = ratio;
+        BenchResult r = runRecipe(system, model_name, variant, cluster,
+                                  options, recipe, zero_stage,
+                                  sim::PipeSchedule::OneFOneB);
+        if (!r.stats.oom &&
+            (best.stats.oom || r.stats.throughput > best.stats.throughput)) {
+            best = r;
+        }
+    }
+    return best;
+}
+
+} // namespace detail
+} // namespace baselines
+} // namespace slapo

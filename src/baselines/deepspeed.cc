@@ -1,0 +1,72 @@
+#include "baselines/detail.h"
+
+namespace slapo {
+namespace baselines {
+
+BenchResult
+runDeepSpeed(const std::string& model_name, int variant,
+             const sim::ClusterSpec& cluster, const RunOptions& options)
+{
+    // DeepSpeed runs the *unmodified* HuggingFace model under ZeRO-3
+    // with its default full activation checkpointing — no custom
+    // kernels, no fusion, no checkpoint-ratio tuning (§5.2).
+    ScheduleRecipe recipe;
+    recipe.checkpoint_ratio = 1.0;
+    BenchResult result = detail::runRecipe(
+        "DeepSpeed", model_name, variant, cluster, options, recipe,
+        /*zero_stage=*/3, sim::PipeSchedule::OneFOneB);
+    if (result.stats.oom) {
+        // Fall back to no checkpointing if that somehow fits better.
+        BenchResult no_ckpt = detail::runRecipe(
+            "DeepSpeed", model_name, variant, cluster, options,
+            ScheduleRecipe::vanilla(), 3, sim::PipeSchedule::OneFOneB);
+        if (!no_ckpt.stats.oom) {
+            return no_ckpt;
+        }
+    }
+    return result;
+}
+
+BenchResult
+runSlapoSingleDevice(const std::string& model_name, int variant,
+                     const sim::ClusterSpec& cluster,
+                     const RunOptions& options)
+{
+    // Slapo on one GPU: efficient kernels + operator fusion, with the
+    // activation-checkpoint ratio tuned by the auto-tuner (§5.1).
+    return detail::bestOverCheckpointRatios(
+        "Slapo", model_name, variant, cluster, options,
+        ScheduleRecipe::kernelOptimized(), /*zero_stage=*/0);
+}
+
+BenchResult
+runSlapoTP(const std::string& model_name, int variant,
+           const sim::ClusterSpec& cluster, const RunOptions& options)
+{
+    const RunOptions adjusted =
+        detail::adjustTpForModel(model_name, variant, options);
+    ScheduleRecipe recipe = ScheduleRecipe::tensorParallel(adjusted.tp, 0.0);
+    if (adjusted.tp == 1) {
+        recipe = ScheduleRecipe::kernelOptimized();
+    }
+    if (adjusted.pp > 1 && adjusted.tp > 1) {
+        // Slapo's pipeline stages come from real .pipeline_split()
+        // annotations (partitioned by the Fig. 5 algorithm).
+        recipe.pipeline_stages = adjusted.pp;
+    }
+    return detail::bestOverCheckpointRatios("Slapo-TP", model_name, variant,
+                                            cluster, adjusted, recipe,
+                                            /*zero_stage=*/0);
+}
+
+BenchResult
+runSlapoZeRO3(const std::string& model_name, int variant,
+              const sim::ClusterSpec& cluster, const RunOptions& options)
+{
+    return detail::bestOverCheckpointRatios(
+        "Slapo-ZeRO3", model_name, variant, cluster, options,
+        ScheduleRecipe::kernelOptimized(), /*zero_stage=*/3);
+}
+
+} // namespace baselines
+} // namespace slapo

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Internal helpers shared by the baseline implementations.
+ */
+#pragma once
+
+#include "baselines/baselines.h"
+
+namespace slapo {
+namespace baselines {
+namespace detail {
+
+/**
+ * Schedule a model with `recipe`, then tune the micro-batch on the
+ * simulator. `impl_speedup` models an independent (non-HF) model
+ * implementation being intrinsically faster (Megatron's fixed position
+ * embeddings etc., §5.2); 1.0 for everything that runs the HF model.
+ */
+BenchResult runRecipe(const std::string& system, const std::string& model_name,
+                      int variant, const sim::ClusterSpec& cluster,
+                      const RunOptions& options, const ScheduleRecipe& recipe,
+                      int zero_stage, sim::PipeSchedule pipe_schedule,
+                      const sim::ProfileTransform& transform = {},
+                      double impl_speedup = 1.0);
+
+/**
+ * Tensor parallelism requires the head count (and hidden size) to divide
+ * by the TP degree — Megatron's constraint. When it does not (GPT-Neo's
+ * 12 heads on 8 GPUs), fall back to the largest feasible TP degree and
+ * convert the remaining factor into data parallelism.
+ */
+RunOptions adjustTpForModel(const std::string& model_name, int variant,
+                            RunOptions options);
+
+/** Best result over the checkpoint-ratio candidates (the Slapo tuner). */
+BenchResult bestOverCheckpointRatios(
+    const std::string& system, const std::string& model_name, int variant,
+    const sim::ClusterSpec& cluster, const RunOptions& options,
+    ScheduleRecipe recipe, int zero_stage);
+
+} // namespace detail
+} // namespace baselines
+} // namespace slapo

@@ -1,0 +1,28 @@
+#include "baselines/detail.h"
+
+namespace slapo {
+namespace baselines {
+
+BenchResult
+runEager(const std::string& model_name, int variant,
+         const sim::ClusterSpec& cluster, const RunOptions& options)
+{
+    // §5.1: "If activation checkpointing is implemented in a model, we
+    // evaluate the performance with and without activation checkpointing,
+    // and report the better one."
+    BenchResult without = detail::runRecipe(
+        "Eager", model_name, variant, cluster, options,
+        ScheduleRecipe::vanilla(), /*zero_stage=*/0,
+        sim::PipeSchedule::OneFOneB);
+    ScheduleRecipe full_ckpt;
+    full_ckpt.checkpoint_ratio = 1.0;
+    BenchResult with = detail::runRecipe("Eager", model_name, variant, cluster,
+                                         options, full_ckpt, 0,
+                                         sim::PipeSchedule::OneFOneB);
+    if (with.stats.oom) return without;
+    if (without.stats.oom) return with;
+    return with.stats.throughput > without.stats.throughput ? with : without;
+}
+
+} // namespace baselines
+} // namespace slapo

@@ -1,0 +1,91 @@
+#include "baselines/detail.h"
+
+#include "dialects/megatron_dialect.h"
+#include "models/registry.h"
+
+namespace slapo {
+namespace baselines {
+
+BenchResult
+runMegatron(const std::string& model_name, int variant,
+            const sim::ClusterSpec& cluster, const RunOptions& options)
+{
+    BenchResult result;
+    result.system = "Megatron-LM";
+
+    // §5.2: Megatron-LM officially implements only BERT, GPT, and T5.
+    const std::string base =
+        model_name == "gpt-10b" ? std::string("gpt") : model_name;
+    if (base != "bert" && base != "gpt" && base != "t5") {
+        result.supported = false;
+        result.reason = "model not implemented by Megatron-LM";
+        result.stats.oom = true;
+        return result;
+    }
+
+    // Megatron's hand-written model: fused kernels + tensor parallelism
+    // + full recompute of every layer (its default for large models).
+    const RunOptions adjusted = detail::adjustTpForModel(
+        model_name == "gpt-10b" ? "gpt-10b" : base, variant, options);
+    ScheduleRecipe recipe =
+        ScheduleRecipe::tensorParallel(adjusted.tp, /*ckpt_ratio=*/1.0);
+    if (adjusted.tp == 1) {
+        recipe = ScheduleRecipe::kernelOptimized(1.0);
+    }
+    // Megatron-LM at the evaluated commit (0bb597b) fuses QKV, bias+GeLU,
+    // and scale-mask-softmax, but has no flash attention: the (B, h, S, S)
+    // probability tensor is still materialized, which is what lets
+    // Slapo's xFormers schedule pull ahead on memory-bound configs.
+    recipe.flash_attention = false;
+    recipe.megatron_fused_softmax = true;
+    // Fixed position embeddings instead of HF T5's relative bias: the
+    // §5.2 implementation difference, now *measured* rather than assumed.
+    recipe.megatron_fixed_positions = true;
+
+    // Its independent (non-HuggingFace) implementation is intrinsically
+    // leaner — e.g. fixed instead of relative position embeddings in T5
+    // (§5.2). Modeled as a constant per-model efficiency factor.
+    // Residual edge of the non-HF implementations (data path, fused
+    // optimizers). The T5 relative-position bias is partly structural
+    // (stripped above, so its FLOPs/params really disappear) and partly
+    // in this factor (its gather/bucket kernels that the flash kernel
+    // absorbs on the Slapo side).
+    double impl_speedup = 1.0;
+    if (base == "bert") impl_speedup = 1.08;
+    if (base == "gpt") impl_speedup = 1.10;
+    if (base == "t5") impl_speedup = 1.15;
+    // The 10B model of Fig. 9 uses the same custom configuration in
+    // every system, so the HF-vs-Megatron implementation delta of the
+    // hub models does not apply (only the leaner data path remains).
+    if (model_name == "gpt-10b") impl_speedup = 1.02;
+
+    // Validate the schedule is in Megatron's accepted form before
+    // "handing it to the runtime" (the dialect's job, §4).
+    core::SchedulePtr schedule =
+        model_name == "gpt-10b"
+            ? applyRecipe(models::buildGpt10B(), recipe)
+            : buildScheduledModel(base, variant, recipe);
+    if (adjusted.tp > 1) {
+        dialects::toMegatron(*schedule->module(), adjusted.tp, adjusted.pp);
+    }
+
+    // Megatron's recompute flag is binary: evaluate with and without
+    // full activation recomputation and keep the better one.
+    result = detail::runRecipe("Megatron-LM", model_name, variant, cluster,
+                               adjusted, recipe, /*zero_stage=*/0,
+                               sim::PipeSchedule::OneFOneB, {}, impl_speedup);
+    ScheduleRecipe no_ckpt = recipe;
+    no_ckpt.checkpoint_ratio = 0.0;
+    BenchResult without = detail::runRecipe(
+        "Megatron-LM", model_name, variant, cluster, adjusted, no_ckpt,
+        /*zero_stage=*/0, sim::PipeSchedule::OneFOneB, {}, impl_speedup);
+    if (!without.stats.oom &&
+        (result.stats.oom ||
+         without.stats.throughput > result.stats.throughput)) {
+        result = without;
+    }
+    return result;
+}
+
+} // namespace baselines
+} // namespace slapo

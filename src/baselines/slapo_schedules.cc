@@ -1,0 +1,323 @@
+#include "baselines/slapo_schedules.h"
+
+#include <cmath>
+
+#include "models/registry.h"
+#include "models/wideresnet.h"
+
+namespace slapo {
+namespace baselines {
+
+using core::Schedule;
+using core::SchedulePtr;
+using nn::ModulePtr;
+
+ScheduleRecipe
+ScheduleRecipe::kernelOptimized(double ckpt_ratio)
+{
+    ScheduleRecipe recipe;
+    recipe.fuse_qkv = true;
+    recipe.flash_attention = true;
+    recipe.fuse_bias_gelu = true;
+    recipe.checkpoint_ratio = ckpt_ratio;
+    return recipe;
+}
+
+ScheduleRecipe
+ScheduleRecipe::tensorParallel(int tp, double ckpt_ratio, bool shard_embedding)
+{
+    ScheduleRecipe recipe = kernelOptimized(ckpt_ratio);
+    recipe.tp = tp;
+    recipe.shard_embedding = shard_embedding;
+    return recipe;
+}
+
+namespace {
+
+/** Paths of all modules of a given type, in pre-order. */
+std::vector<std::string>
+pathsOfType(nn::Module& model, const std::string& type_name)
+{
+    std::vector<std::string> paths;
+    for (auto& [path, m] : model.namedModules()) {
+        if (m->typeName() == type_name) {
+            paths.push_back(path);
+        }
+    }
+    return paths;
+}
+
+/** ① Replace every SelfAttention with the fused-QKV variant. */
+void
+applyFuseQkv(Schedule& root)
+{
+    for (const std::string& path : pathsOfType(*root.module(), "SelfAttention")) {
+        auto attn = std::static_pointer_cast<nn::SelfAttention>(
+            root.module()->findByPath(path));
+        root[path].replace(nn::FusedSelfAttention::fromSelfAttention(*attn));
+    }
+}
+
+/** ② Replace every core attention with the flash-attention kernel. */
+void
+applyFlashAttention(Schedule& root)
+{
+    for (const std::string& path : pathsOfType(*root.module(), "CoreAttention")) {
+        auto core_attn = std::static_pointer_cast<nn::CoreAttention>(
+            root.module()->findByPath(path));
+        root[path].replace(nn::EfficientAttention::fromCore(*core_attn));
+    }
+}
+
+/** ② Decompose + trace + find + fuse the bias+GeLU chain in every FFN. */
+void
+applyBiasGeluFusion(Schedule& root, int64_t sample_seq)
+{
+    for (const std::string& path : pathsOfType(*root.module(), "FFN")) {
+        Schedule& ffn = root[path];
+        ffn["fc1"].decompose();
+        auto ffn_module = std::static_pointer_cast<nn::FFN>(ffn.module());
+        nn::TraceOptions options;
+        options.flatten = true;
+        std::vector<Shape> shapes = {{1, sample_seq, ffn_module->hidden()}};
+        if (ffn_module->preNorm()) {
+            shapes.push_back(shapes[0]); // (normed_x, residual)
+        }
+        ffn.trace(shapes, options);
+        const auto matches =
+            ffn.find(graph::Pattern::chain({"add", "gelu"}));
+        SLAPO_CHECK(matches.size() == 1,
+                    "bias+gelu fusion: expected exactly one add->gelu chain "
+                    "in FFN '" << path << "', found " << matches.size());
+        ffn.fuse(matches.front(), "TorchScript");
+    }
+}
+
+/** ② (vision) Fuse every BN+ReLU pair inside WideResNet blocks. */
+void
+applyBnReluFusion(Schedule& root)
+{
+    for (const std::string& path :
+         pathsOfType(*root.module(), "WideResNetBlock")) {
+        Schedule& block = root[path];
+        auto* block_module =
+            static_cast<models::WideResNetBlock*>(block.module().get());
+        block["bn1"].decompose();
+        block["bn2"].decompose();
+        nn::TraceOptions options;
+        options.flatten = true;
+        // Spatial extent is irrelevant to the graph topology.
+        block.trace({{1, block_module->inChannels(), 16, 16}}, options);
+        const auto matches =
+            block.find(graph::Pattern::chain({"batch_norm", "relu"}));
+        SLAPO_CHECK(matches.size() == 2,
+                    "bn+relu fusion: expected two chains in block '"
+                        << path << "', found " << matches.size());
+        for (const auto& match : matches) {
+            block.fuse(match, "TorchScript");
+        }
+    }
+}
+
+/** Layer-container types eligible for .checkpoint(). */
+bool
+isLayerType(const std::string& type_name)
+{
+    return type_name == "TransformerLayer" || type_name == "PreNormLayer" ||
+           type_name == "T5DecoderLayer" || type_name == "WideResNetBlock";
+}
+
+/** ④ Checkpoint the first ratio * L layer blocks. */
+void
+applyCheckpointRatio(Schedule& root, double ratio)
+{
+    if (ratio <= 0.0) {
+        return;
+    }
+    std::vector<std::string> layers;
+    for (auto& [path, m] : root.module()->namedModules()) {
+        if (!path.empty() && isLayerType(m->typeName())) {
+            layers.push_back(path);
+        }
+    }
+    const auto count = static_cast<size_t>(
+        std::llround(ratio * static_cast<double>(layers.size())));
+    for (size_t i = 0; i < std::min(count, layers.size()); ++i) {
+        root[layers[i]].checkpoint();
+    }
+}
+
+/** ③ Shard attention + FFN parameters and place the sync points of
+ * Fig. 3: column-parallel in, row-parallel out, deferred all-reduce. */
+void
+applyTensorParallel(Schedule& root)
+{
+    nn::Module& model = *root.module();
+
+    // The relative-bias table (when present) is indexed by head, so it
+    // shards on axis 0 exactly like the head-parallel projections.
+    auto shard_rel_bias = [](Schedule& attn) {
+        Schedule& core = attn["core"];
+        if (core.module()->hasParam("rel_bias")) {
+            core.shard("rel_bias", 0);
+        }
+    };
+
+    for (const std::string& path : pathsOfType(model, "FusedSelfAttention")) {
+        Schedule& attn = root[path];
+        // Interleaved q/k/v groups keep the fused split correct per rank.
+        attn["qkv"].shard("weight", 0, /*interleave=*/3);
+        attn["qkv"].shard("bias", 0, /*interleave=*/3);
+        shard_rel_bias(attn);
+        // Megatron "f": all-reduce the region's input gradient.
+        attn.sync(nn::SyncDirection::Backward);
+    }
+    for (const std::string& path : pathsOfType(model, "SelfAttention")) {
+        Schedule& attn = root[path];
+        for (const char* proj : {"query", "key", "value"}) {
+            attn[proj].shard(std::vector<std::string>{"weight", "bias"}, 0);
+        }
+        shard_rel_bias(attn);
+        attn.sync(nn::SyncDirection::Backward);
+    }
+    // Row-parallel output projections: weight axis 1, all-reduce after.
+    for (const std::string& path : pathsOfType(model, "Projection")) {
+        Schedule& proj = root[path];
+        proj["dense"].shard("weight", 1);
+        proj["dense"].sync(nn::SyncDirection::Forward);
+    }
+    for (const std::string& path : pathsOfType(model, "FFN")) {
+        Schedule& ffn = root[path];
+        ffn["fc1"].shard(std::vector<std::string>{"weight", "bias"}, 0);
+        ffn["fc1"].sync(nn::SyncDirection::Backward);
+        ffn["fc2"].shard("weight", 1);
+        ffn["fc2"].sync(nn::SyncDirection::Forward);
+    }
+    // Cross-attention (T5 decoder): shard projections the same way.
+    for (const std::string& path : pathsOfType(model, "CrossAttentionBlock")) {
+        Schedule& cross = root[path];
+        for (const char* proj : {"query", "key", "value"}) {
+            cross[proj].shard(std::vector<std::string>{"weight", "bias"}, 0);
+        }
+        cross.sync(nn::SyncDirection::Backward);
+    }
+}
+
+/** ③ Vocabulary-parallel output heads: any linear projecting hidden
+ * states to a vocabulary-sized space (>= 8x wider than its input) is
+ * replaced with the padded, column-sharded, gather-and-narrow head —
+ * Megatron's parallel LM head. Without this the unsharded head would
+ * dominate a tensor-parallel rank (it costs about one full layer). */
+void
+applyVocabHeadShard(Schedule& root, int world_size)
+{
+    std::vector<std::string> heads;
+    for (auto& [path, m] : root.module()->namedModules()) {
+        if (m->typeName() != "Linear") {
+            continue;
+        }
+        auto* lin = static_cast<nn::Linear*>(m);
+        if (lin->outFeatures() >= 8 * lin->inFeatures()) {
+            heads.push_back(path);
+        }
+    }
+    for (const std::string& path : heads) {
+        auto* lin = static_cast<nn::Linear*>(
+            root.module()->findByPath(path).get());
+        root[path].replace(
+            nn::VocabParallelLinear::fromLinear(*lin, world_size));
+    }
+}
+
+/** Insert evenly spaced `.pipeline_split()` annotations (§3.3.2). */
+void
+applyPipelineSplits(Schedule& root, int stages)
+{
+    std::vector<std::string> layers;
+    for (auto& [path, m] : root.module()->namedModules()) {
+        if (!path.empty() && isLayerType(m->typeName())) {
+            layers.push_back(path);
+        }
+    }
+    SLAPO_CHECK(static_cast<int>(layers.size()) >= stages,
+                "pipeline_stages = " << stages << " exceeds the "
+                                     << layers.size() << " layer blocks");
+    const size_t per_stage = layers.size() / static_cast<size_t>(stages);
+    for (int s = 0; s + 1 < stages; ++s) {
+        root[layers[(s + 1) * per_stage - 1]].pipelineSplit();
+    }
+}
+
+/** Fig. 10 final step: vocab-parallel word embeddings. */
+void
+applyEmbeddingShard(Schedule& root)
+{
+    const int ws = root.worldSize();
+    for (auto& [path, m] : root.module()->namedModules()) {
+        if (m->typeName() == "Embedding" && path.find("word") != std::string::npos) {
+            // Megatron-style vocab padding so the shard divides evenly.
+            auto* emb_module = static_cast<nn::Embedding*>(m);
+            const int64_t padded =
+                (emb_module->vocabSize() + ws - 1) / ws * ws;
+            emb_module->padVocabTo(padded);
+            Schedule& emb = root[path];
+            emb.shard("weight", 0);
+            emb.sync(nn::SyncDirection::Forward);
+        }
+    }
+}
+
+} // namespace
+
+SchedulePtr
+applyRecipe(ModulePtr model, const ScheduleRecipe& recipe, int64_t sample_seq)
+{
+    SchedulePtr root = Schedule::create(std::move(model), recipe.tp);
+    if (recipe.megatron_fixed_positions) {
+        for (const std::string& path :
+             pathsOfType(*root->module(), "CoreAttention")) {
+            static_cast<nn::CoreAttention*>(
+                root->module()->findByPath(path).get())
+                ->disableRelativeBias();
+        }
+    }
+    if (recipe.fuse_qkv) {
+        applyFuseQkv(*root);
+    }
+    if (recipe.flash_attention) {
+        applyFlashAttention(*root);
+    } else if (recipe.megatron_fused_softmax) {
+        for (const std::string& path :
+             pathsOfType(*root->module(), "CoreAttention")) {
+            static_cast<nn::CoreAttention*>(
+                root->module()->findByPath(path).get())
+                ->setFusedSoftmax(true);
+        }
+    }
+    if (recipe.fuse_bias_gelu) {
+        applyBiasGeluFusion(*root, sample_seq);
+        applyBnReluFusion(*root);
+    }
+    if (recipe.tp > 1) {
+        applyTensorParallel(*root);
+        applyVocabHeadShard(*root, recipe.tp);
+        if (recipe.shard_embedding) {
+            applyEmbeddingShard(*root);
+        }
+    }
+    applyCheckpointRatio(*root, recipe.checkpoint_ratio);
+    if (recipe.pipeline_stages > 1) {
+        applyPipelineSplits(*root, recipe.pipeline_stages);
+    }
+    return root;
+}
+
+SchedulePtr
+buildScheduledModel(const std::string& model_name, int variant,
+                    const ScheduleRecipe& recipe)
+{
+    return applyRecipe(models::buildModel(model_name, variant), recipe);
+}
+
+} // namespace baselines
+} // namespace slapo

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The Slapo schedule recipes used throughout the evaluation — the §2.2
+ * motivating optimizations expressed with real schedule primitives:
+ *
+ *   ① fuse QKV            -> .replace(FusedSelfAttention)
+ *   ② efficient kernels   -> .replace(EfficientAttention) per core;
+ *                            .decompose() + .trace() + .find() + .fuse()
+ *                            for the bias+GeLU chain in every FFN
+ *   ③ tensor parallelism  -> .shard() column/row pairs + .sync() points
+ *   ④ activation ckpt     -> .checkpoint() on a tunable layer fraction
+ *   word-embedding shard  -> .shard(axis 0) + all-reduce sync (Fig. 10)
+ *
+ * A recipe applies to *any* registry model by walking the schedule tree
+ * for the block types — the generality the paper claims for schedules.
+ */
+#pragma once
+
+#include <string>
+
+#include "core/schedule.h"
+
+namespace slapo {
+namespace baselines {
+
+/** Which optimizations a schedule applies (all off = vanilla model). */
+struct ScheduleRecipe
+{
+    bool fuse_qkv = false;
+    bool flash_attention = false;
+    bool fuse_bias_gelu = false;
+    /** Fraction of transformer layers wrapped in .checkpoint(). */
+    double checkpoint_ratio = 0.0;
+    /** Tensor-parallel degree; > 1 shards attention + FFN (Fig. 3). */
+    int tp = 1;
+    /** Also shard the word embedding (the last Fig. 10 step). */
+    bool shard_embedding = false;
+    /**
+     * Megatron's fused scale-mask-softmax kernel: one launch, stores
+     * only the probability tensor (weaker than flash attention, which
+     * stores nothing quadratic). Used by the Megatron-LM baseline.
+     */
+    bool megatron_fused_softmax = false;
+    /**
+     * Pipeline stages: > 1 inserts evenly spaced `.pipeline_split()`
+     * annotations across the transformer layer stack, so the simulator
+     * partitions with the Fig. 5 algorithm and paces on the real
+     * bottleneck stage. Requires tp > 1 (a distributed schedule).
+     */
+    int pipeline_stages = 1;
+    /**
+     * Megatron uses fixed position embeddings: strip any T5-style
+     * relative attention bias (§5.2's "model implementation difference").
+     * Changes the model's function — baseline modeling only.
+     */
+    bool megatron_fixed_positions = false;
+
+    /** Recipe presets. */
+    static ScheduleRecipe vanilla() { return {}; }
+    static ScheduleRecipe kernelOptimized(double ckpt_ratio = 0.0);
+    static ScheduleRecipe tensorParallel(int tp, double ckpt_ratio,
+                                         bool shard_embedding = true);
+};
+
+/**
+ * Build the schedule of `model` and apply `recipe` through the schedule
+ * primitives. Returns the root schedule (its module() is the scheduled
+ * model). `sample_seq` sizes the example shapes used by the FFN traces.
+ */
+core::SchedulePtr applyRecipe(nn::ModulePtr model, const ScheduleRecipe& recipe,
+                              int64_t sample_seq = 8);
+
+/**
+ * Convenience: build a registry model at paper scale and schedule it.
+ */
+core::SchedulePtr buildScheduledModel(const std::string& model_name,
+                                      int variant,
+                                      const ScheduleRecipe& recipe);
+
+} // namespace baselines
+} // namespace slapo

@@ -1,0 +1,271 @@
+#include "core/auto_shard.h"
+
+#include <set>
+
+namespace slapo {
+namespace core {
+
+namespace {
+
+using graph::Node;
+using graph::NodeKind;
+using graph::OpKind;
+using nn::Module;
+using nn::ModulePtr;
+
+/** Elementwise, feature-preserving ops a column→row pair may straddle. */
+bool
+isFeaturePreservingOp(const Node& node)
+{
+    if (node.kind() != NodeKind::CallOp) {
+        return false;
+    }
+    switch (node.op()) {
+      case OpKind::Gelu:
+      case OpKind::Relu:
+      case OpKind::Tanh:
+      case OpKind::Dropout:
+      case OpKind::Scale:
+      case OpKind::AddScalar:
+      case OpKind::Identity:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Feature-preserving leaf modules (activations, dropout). */
+bool
+isFeaturePreservingModule(const Module& module)
+{
+    const std::string& t = module.typeName();
+    return t == "GELU" || t == "ReLU" || t == "TanhAct" || t == "Dropout";
+}
+
+bool
+alreadySharded(const Module& module)
+{
+    return !module.meta().sharded_params.empty();
+}
+
+void
+shardLinear(Schedule& sch, int64_t axis, int64_t interleave = 1)
+{
+    sch.shard("weight", axis, interleave);
+    if (axis == 0 && sch.module()->hasParam("bias")) {
+        sch.shard("bias", 0, interleave);
+    }
+}
+
+/** Example shapes for tracing a module whose input feature size is known
+ * from its first linear-ish child; seq/batch are irrelevant to topology. */
+std::vector<Shape>
+probeShapes(Module& module)
+{
+    // Find the first Linear (directly or transitively) to size the input.
+    for (auto& [path, m] : module.namedModules()) {
+        if (m->typeName() == "Linear") {
+            auto* lin = static_cast<nn::Linear*>(m);
+            return {{1, 4, lin->inFeatures()}};
+        }
+    }
+    return {};
+}
+
+/**
+ * Structural pass: inside `container`'s shallow graph, find
+ * Linear -> (feature-preserving)* -> Linear chains and shard them as a
+ * column/row pair with a deferred all-reduce after the consumer.
+ */
+void
+shardLinearPairs(Schedule& root, Schedule& container,
+                 const AutoShardOptions& options, AutoShardReport& report)
+{
+    Module& module = *container.module();
+    if (!module.traceable()) {
+        return;
+    }
+    const std::vector<Shape> shapes = probeShapes(module);
+    if (shapes.empty()) {
+        return;
+    }
+    std::shared_ptr<graph::Graph> g = module.meta().traced_graph;
+    if (!g) {
+        try {
+            g = nn::traceModule(module, shapes, nn::TraceOptions{});
+        } catch (const SlapoError&) {
+            return; // shapes did not fit this container's forward
+        }
+    }
+
+    for (Node* node : g->nodes()) {
+        if (node->kind() != NodeKind::CallModule ||
+            node->module()->typeName() != "Linear") {
+            continue;
+        }
+        Module* producer = node->module();
+        if (alreadySharded(*producer)) {
+            continue;
+        }
+        // Follow the single-consumer feature-preserving chain.
+        Node* cursor = node;
+        Node* consumer_node = nullptr;
+        while (true) {
+            auto users = g->usersOf(cursor);
+            if (users.size() != 1 || users[0]->kind() == NodeKind::Output) {
+                break;
+            }
+            Node* user = users[0];
+            if (user->kind() == NodeKind::CallModule) {
+                if (user->module()->typeName() == "Linear") {
+                    consumer_node = user;
+                    break;
+                }
+                if (!isFeaturePreservingModule(*user->module())) {
+                    break;
+                }
+            } else if (!isFeaturePreservingOp(*user)) {
+                break;
+            }
+            cursor = user;
+        }
+        if (consumer_node == nullptr) {
+            continue;
+        }
+        Module* consumer = consumer_node->module();
+        if (alreadySharded(*consumer)) {
+            continue;
+        }
+        auto* a = static_cast<nn::Linear*>(producer);
+        auto* b = static_cast<nn::Linear*>(consumer);
+        if (a->outFeatures() != b->inFeatures() ||
+            a->outFeatures() % container.worldSize() != 0) {
+            continue;
+        }
+        if (a->numParams() + b->numParams() < options.min_pair_params) {
+            continue;
+        }
+        Schedule& producer_sch = container[node->target()];
+        Schedule& consumer_sch = container[consumer_node->target()];
+        shardLinear(producer_sch, 0);
+        producer_sch.sync(nn::SyncDirection::Backward);
+        shardLinear(consumer_sch, 1);
+        consumer_sch.sync(nn::SyncDirection::Forward);
+        report.sharded_pairs.emplace_back(producer_sch.path(),
+                                          consumer_sch.path());
+        report.backward_syncs.push_back(producer_sch.path());
+        report.forward_syncs.push_back(consumer_sch.path());
+        (void)root;
+    }
+}
+
+/** Shard an attention region: projections column-parallel, the output
+ * dense row-parallel, deferred all-reduce after the dense (Fig. 3). */
+void
+shardAttention(Schedule& root, const std::string& attn_path,
+               AutoShardReport& report)
+{
+    Schedule& attn = root[attn_path];
+    Module& module = *attn.module();
+    const int ws = attn.worldSize();
+    if (alreadySharded(*module.children().front().second)) {
+        return;
+    }
+
+    // Validate head divisibility via the core attention's head_dim.
+    for (auto& [path, m] : module.namedModules()) {
+        if (m->typeName() == "CoreAttention" ||
+            m->typeName() == "EfficientAttention") {
+            auto* core = static_cast<nn::CoreAttention*>(m);
+            auto* first_linear = static_cast<nn::Linear*>(
+                module.children().front().second.get());
+            const int64_t hidden = first_linear->inFeatures();
+            SLAPO_CHECK((hidden / ws) % core->headDim() == 0,
+                        "autoShard: head count of '"
+                            << attn_path << "' not divisible by world size "
+                            << ws);
+        }
+    }
+
+    if (module.typeName() == "FusedSelfAttention") {
+        shardLinear(attn["qkv"], 0, /*interleave=*/3);
+    } else {
+        for (const char* proj : {"query", "key", "value"}) {
+            shardLinear(attn[proj], 0);
+        }
+    }
+    if (module.hasChild("core") &&
+        attn["core"].module()->hasParam("rel_bias")) {
+        attn["core"].shard("rel_bias", 0); // head-indexed table
+    }
+    attn.sync(nn::SyncDirection::Backward);
+    report.backward_syncs.push_back(attn.path());
+
+    // The row-parallel partner: an internal "output" projection
+    // (CrossAttentionBlock) or the sibling Projection's dense.
+    Schedule* dense = nullptr;
+    if (module.hasChild("output")) {
+        dense = &attn["output.dense"];
+    } else if (attn.parent() != nullptr &&
+               attn.parent()->module()->hasChild("output")) {
+        dense = &(*attn.parent())["output.dense"];
+    }
+    SLAPO_CHECK(dense != nullptr,
+                "autoShard: no output projection found for '" << attn_path
+                                                              << "'");
+    shardLinear(*dense, 1);
+    dense->sync(nn::SyncDirection::Forward);
+    report.sharded_pairs.emplace_back(attn.path(), dense->path());
+    report.forward_syncs.push_back(dense->path());
+}
+
+} // namespace
+
+AutoShardReport
+autoShard(Schedule& schedule, const AutoShardOptions& options)
+{
+    SLAPO_CHECK(schedule.worldSize() > 1,
+                "autoShard: schedule must target world_size > 1");
+    AutoShardReport report;
+
+    // Pass 1: attention regions (type-guided pairing across siblings).
+    std::vector<std::string> attention_paths;
+    for (auto& [path, m] : schedule.module()->namedModules()) {
+        const std::string& t = m->typeName();
+        if (t == "SelfAttention" || t == "FusedSelfAttention" ||
+            t == "CrossAttentionBlock") {
+            attention_paths.push_back(path);
+        }
+    }
+    for (const std::string& path : attention_paths) {
+        shardAttention(schedule, path, report);
+    }
+
+    // Pass 2: structural Linear->pointwise->Linear pairs in every
+    // container (FFNs, MLP heads, ...), discovered from traced graphs.
+    for (Schedule* sub : schedule.subtree()) {
+        shardLinearPairs(schedule, *sub, options, report);
+    }
+
+    // Pass 3: vocabulary-parallel embeddings.
+    if (options.shard_embeddings) {
+        const int ws = schedule.worldSize();
+        for (auto& [path, m] : schedule.module()->namedModules()) {
+            if (m->typeName() == "Embedding" &&
+                path.find("word") != std::string::npos &&
+                !alreadySharded(*m)) {
+                auto* emb = static_cast<nn::Embedding*>(m);
+                emb->padVocabTo((emb->vocabSize() + ws - 1) / ws * ws);
+                Schedule& emb_sch = schedule[path];
+                emb_sch.shard("weight", 0);
+                emb_sch.sync(nn::SyncDirection::Forward);
+                report.sharded_embeddings.push_back(path);
+                report.forward_syncs.push_back(path);
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace core
+} // namespace slapo

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Auto-scheduler prototype for tensor parallelism — the paper's stated
+ * future work ("we plan to develop an auto-scheduler that automatically
+ * generates these primitives", §3.2.2) implemented for the shard/sync
+ * primitive family.
+ *
+ * The generator walks each transformer block's *traced* dataflow to find
+ * producer→consumer linear pairs, shards the producer column-parallel
+ * and the consumer row-parallel, and places a single deferred all-reduce
+ * after the consumer (the Fig. 3(c) deferred aggregation point),
+ * together with the conjugate backward sync at the region entry. Vocab
+ * embeddings become vocab-parallel with a forward all-reduce. The result
+ * is the same schedule a Megatron expert writes by hand — but derived,
+ * not hand-placed — and it passes the §3.5 verifier.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace slapo {
+namespace core {
+
+/** What the auto-scheduler decided, for reporting and tests. */
+struct AutoShardReport
+{
+    /** Producer/consumer linear pairs sharded column/row-parallel. */
+    std::vector<std::pair<std::string, std::string>> sharded_pairs;
+    /** Vocab-parallel embeddings. */
+    std::vector<std::string> sharded_embeddings;
+    /** Modules that received a forward all-reduce sync. */
+    std::vector<std::string> forward_syncs;
+    /** Modules that received a backward all-reduce sync. */
+    std::vector<std::string> backward_syncs;
+};
+
+/** Options of the auto-shard pass. */
+struct AutoShardOptions
+{
+    /** Also shard vocabulary embeddings (with padding if needed). */
+    bool shard_embeddings = true;
+    /**
+     * Minimum parameter count for a linear pair to be worth sharding
+     * (tiny projections are all communication, no savings).
+     */
+    int64_t min_pair_params = 0;
+};
+
+/**
+ * Automatically generate `.shard()` / `.sync()` primitives for every
+ * shardable region of the scheduled model. The schedule must have been
+ * created with world_size > 1.
+ *
+ * Detected regions:
+ *  - SelfAttention / FusedSelfAttention / CrossAttentionBlock followed by
+ *    their Projection (q/k/v or fused qkv column-parallel, output dense
+ *    row-parallel);
+ *  - FFN fc1→fc2 pairs;
+ *  - (optionally) word embeddings, vocab-parallel.
+ *
+ * @throws SlapoError if world size does not divide the relevant
+ *         dimensions (heads, hidden) of a detected region.
+ */
+AutoShardReport autoShard(Schedule& schedule,
+                          const AutoShardOptions& options = {});
+
+} // namespace core
+} // namespace slapo

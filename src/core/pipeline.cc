@@ -1,0 +1,144 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+namespace slapo {
+namespace core {
+
+using graph::Node;
+using graph::NodeKind;
+using nn::Module;
+using nn::ModulePtr;
+
+namespace {
+
+/** An unsplittable unit of the linearized model. */
+struct Atom
+{
+    std::string path;
+    ModulePtr module;
+    bool split_after = false;
+};
+
+bool
+hasAnnotatedDescendant(Module& module)
+{
+    for (auto& [path, m] : module.namedModules()) {
+        if (!path.empty() && m->meta().pipeline_split_after) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Linearize `module` into atoms, expanding only containers that hold
+ * annotations. The container's execution order comes from its (traced)
+ * static graph: a chain of CallModule nodes, each consuming the previous
+ * one — the form the pipeline runtime requires.
+ */
+void
+expand(const std::string& path, ModulePtr module,
+       const std::vector<Shape>& input_shapes, std::vector<Atom>& atoms)
+{
+    const bool split_after = module->meta().pipeline_split_after;
+    if (!hasAnnotatedDescendant(*module)) {
+        atoms.push_back({path, module, split_after});
+        return;
+    }
+
+    // Trace by need: this container is on an annotation path, so it must
+    // expose its child-call order as a static graph.
+    std::shared_ptr<graph::Graph> g = module->meta().traced_graph;
+    if (!g) {
+        g = nn::traceModule(*module, input_shapes, nn::TraceOptions{});
+    }
+
+    const Node* previous = nullptr;
+    for (Node* node : g->nodes()) {
+        switch (node->kind()) {
+          case NodeKind::Placeholder:
+            previous = node;
+            break;
+          case NodeKind::CallModule: {
+            SLAPO_CHECK(node->inputs().size() == 1 &&
+                            node->inputs()[0] == previous,
+                        "pipeline partitioning: container '"
+                            << (path.empty() ? "<root>" : path)
+                            << "' is not a single-tensor linear chain at "
+                               "node "
+                            << node->name()
+                            << "; pipeline stages need sequential modules");
+            ModulePtr child = module->child(node->target());
+            std::vector<Shape> child_shapes;
+            for (const Node* in : node->inputs()) {
+                child_shapes.push_back(in->shape());
+            }
+            const std::string child_path =
+                path.empty() ? node->target() : path + "." + node->target();
+            expand(child_path, child, child_shapes, atoms);
+            previous = node;
+            break;
+          }
+          case NodeKind::Output:
+            SLAPO_CHECK(node->inputs().size() == 1 &&
+                            node->inputs()[0] == previous,
+                        "pipeline partitioning: container output of '"
+                            << path << "' is not the last child call");
+            break;
+          default:
+            SLAPO_THROW("pipeline partitioning: container '"
+                        << (path.empty() ? "<root>" : path)
+                        << "' computes outside its children (node "
+                        << node->name()
+                        << "); move the computation into a submodule");
+        }
+    }
+    // An annotation on the container itself cuts after its last atom.
+    if (split_after && !atoms.empty()) {
+        atoms.back().split_after = true;
+    }
+}
+
+} // namespace
+
+ModulePtr
+PipelineStage::toModule() const
+{
+    auto seq = std::make_shared<nn::Sequential>();
+    for (const auto& [path, m] : modules) {
+        seq->append(m);
+    }
+    return seq;
+}
+
+std::vector<PipelineStage>
+partitionPipeline(Schedule& schedule, const std::vector<Shape>& input_shapes)
+{
+    int annotations = 0;
+    for (Schedule* s : schedule.subtree()) {
+        if (s->module()->meta().pipeline_split_after) {
+            ++annotations;
+        }
+    }
+    SLAPO_CHECK(annotations > 0,
+                "partitionPipeline: no .pipeline_split() annotations found");
+
+    std::vector<Atom> atoms;
+    expand("", schedule.module(), input_shapes, atoms);
+
+    std::vector<PipelineStage> stages(1);
+    for (Atom& atom : atoms) {
+        stages.back().modules.emplace_back(atom.path, atom.module);
+        if (atom.split_after) {
+            stages.emplace_back();
+        }
+    }
+    SLAPO_CHECK(!stages.back().modules.empty(),
+                "partitionPipeline: trailing .pipeline_split() produced an "
+                "empty final stage");
+    return stages;
+}
+
+} // namespace core
+} // namespace slapo

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Pipeline partitioning (§3.3.2): turn `.pipeline_split()` annotations on
+ * arbitrary-depth submodules into a flat sequence of stage modules.
+ *
+ * Because the schedule preserves the model hierarchy, an annotation on
+ * bert.encoder.layer.11 must be propagated upward so sibling modules at
+ * every level (embeddings before the encoder, the pooler after it) land
+ * in the correct stages — the propagation algorithm of Fig. 5. Only the
+ * modules on the path from the common parent down to the annotations are
+ * traced ("trace by need"); untraceable core blocks like attention stay
+ * opaque atoms.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/schedule.h"
+
+namespace slapo {
+namespace core {
+
+/** One pipeline stage: an execution-ordered chain of original modules. */
+struct PipelineStage
+{
+    /** Modules executed by this stage, in order (aliases into the model). */
+    std::vector<std::pair<std::string, nn::ModulePtr>> modules;
+
+    /** Wrap the chain as a runnable module (a Sequential alias). */
+    nn::ModulePtr toModule() const;
+};
+
+/**
+ * Partition the scheduled model into pipeline stages.
+ *
+ * @param schedule the root schedule; its subtree is scanned for
+ *        `.pipeline_split()` annotations.
+ * @param input_shapes example input shapes of the *root* module, used to
+ *        trace the container modules along the annotation paths.
+ * @return num_splits + 1 stages covering every module exactly once.
+ * @throws SlapoError if no annotations exist, or if a container on the
+ *         annotation path is not a single-tensor linear chain (the
+ *         restriction the DeepSpeed pipeline runtime imposes, §4).
+ */
+std::vector<PipelineStage> partitionPipeline(
+    Schedule& schedule, const std::vector<Shape>& input_shapes);
+
+} // namespace core
+} // namespace slapo

@@ -1,0 +1,338 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace slapo {
+namespace core {
+
+using graph::Node;
+using nn::ModulePtr;
+
+Schedule::Schedule(ModulePtr module, Schedule* parent, std::string name,
+                   int world_size)
+    : module_(std::move(module)),
+      parent_(parent),
+      name_(std::move(name)),
+      world_size_(world_size)
+{
+    path_ = parent_ == nullptr || parent_->path_.empty()
+                ? name_
+                : parent_->path_ + "." + name_;
+    rebuildChildren();
+}
+
+SchedulePtr
+Schedule::create(ModulePtr model, int world_size)
+{
+    SLAPO_CHECK(model != nullptr, "create_schedule: null model");
+    SLAPO_CHECK(world_size >= 1, "create_schedule: bad world size "
+                                     << world_size);
+    return SchedulePtr(new Schedule(std::move(model), nullptr, "", world_size));
+}
+
+void
+Schedule::rebuildChildren()
+{
+    children_.clear();
+    for (const auto& [name, child] : module_->children()) {
+        children_.emplace_back(
+            name, SchedulePtr(new Schedule(child, this, name, world_size_)));
+    }
+}
+
+Schedule&
+Schedule::operator[](const std::string& path)
+{
+    if (path.empty()) {
+        return *this;
+    }
+    const size_t dot = path.find('.');
+    const std::string head = path.substr(0, dot);
+    for (auto& [name, child] : children_) {
+        if (name == head) {
+            return dot == std::string::npos ? *child
+                                            : (*child)[path.substr(dot + 1)];
+        }
+    }
+    SLAPO_THROW("schedule path '" << head << "' not found under '"
+                                  << (path_.empty() ? "<root>" : path_) << "'");
+}
+
+std::vector<Schedule*>
+Schedule::subtree()
+{
+    std::vector<Schedule*> result = {this};
+    for (auto& [name, child] : children_) {
+        auto sub = child->subtree();
+        result.insert(result.end(), sub.begin(), sub.end());
+    }
+    return result;
+}
+
+std::string
+Schedule::toString()
+{
+    std::ostringstream os;
+    for (Schedule* node : subtree()) {
+        const nn::ScheduleMeta& meta = node->module_->meta();
+        const bool scheduled = !meta.sharded_params.empty() ||
+                               !meta.syncs.empty() || meta.checkpointed ||
+                               meta.pipeline_split_after || meta.decomposed ||
+                               meta.traced_graph != nullptr;
+        if (!scheduled) {
+            continue;
+        }
+        os << (node->path_.empty() ? "<root>" : node->path_) << " ("
+           << node->module_->typeName() << "):";
+        for (const auto& [name, spec] : meta.sharded_params) {
+            os << " .shard(" << name << ", axis=" << spec.axis;
+            if (spec.interleave > 1) {
+                os << ", interleave=" << spec.interleave;
+            }
+            os << ")";
+        }
+        for (const nn::SyncSpec& sync : meta.syncs) {
+            os << " .sync("
+               << (sync.direction == nn::SyncDirection::Forward    ? "forward"
+                   : sync.direction == nn::SyncDirection::Backward ? "backward"
+                                                                   : "both")
+               << ", "
+               << (sync.kind == nn::SyncKind::AllReduce ? "all_reduce"
+                   : sync.kind == nn::SyncKind::AllGather
+                       ? "all_gather"
+                       : "reduce_scatter")
+               << ")";
+        }
+        if (meta.checkpointed) os << " .checkpoint()";
+        if (meta.decomposed) os << " .decompose()";
+        if (meta.pipeline_split_after) os << " .pipeline_split()";
+        if (meta.traced_graph) {
+            os << " .trace(" << meta.traced_graph->size() << " nodes)";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+Schedule::requireDistributed(const char* primitive) const
+{
+    SLAPO_CHECK(world_size_ > 1,
+                "." << primitive
+                    << "(): distributed primitives require a schedule "
+                       "created with world_size > 1 (got "
+                    << world_size_ << ")");
+}
+
+void
+Schedule::requireTraced(const char* primitive) const
+{
+    SLAPO_CHECK(module_->meta().traced_graph != nullptr,
+                "." << primitive << "(): module '"
+                    << (path_.empty() ? "<root>" : path_)
+                    << "' has no static graph; call .trace() first");
+}
+
+void
+Schedule::replace(ModulePtr new_module)
+{
+    SLAPO_CHECK(new_module != nullptr, ".replace(): null module");
+    SLAPO_CHECK(parent_ != nullptr,
+                ".replace(): cannot replace the root module; schedule its "
+                "parent instead");
+    // A replacement invalidates any graph the *parent* traced earlier,
+    // because CallModule nodes bind the old module.
+    SLAPO_CHECK(parent_->module_->meta().traced_graph == nullptr,
+                ".replace(): parent '" << parent_->path()
+                                       << "' was traced before the "
+                                          "replacement; re-trace after "
+                                          "replacing");
+    parent_->module_->replaceChild(name_, new_module);
+    module_ = std::move(new_module);
+    rebuildChildren();
+}
+
+void
+Schedule::shard(const std::string& param_name, int64_t axis, int64_t interleave)
+{
+    requireDistributed("shard");
+    SLAPO_CHECK(module_->hasParam(param_name),
+                ".shard(): module '" << path_ << "' has no parameter '"
+                                     << param_name << "'");
+    const Tensor& param = module_->paramTensor(param_name);
+    SLAPO_CHECK(axis >= 0 && axis < param.dim(),
+                ".shard(): axis " << axis << " out of range for parameter "
+                                  << param_name << " of shape "
+                                  << shapeToString(param.shape()));
+    SLAPO_CHECK(param.size(axis) % (world_size_ * interleave) == 0,
+                ".shard(): axis extent " << param.size(axis)
+                                         << " not divisible by world size "
+                                         << world_size_);
+    nn::ShardSpec spec;
+    spec.axis = axis;
+    spec.world_size = world_size_;
+    spec.interleave = interleave;
+    module_->meta().sharded_params[param_name] = spec;
+}
+
+void
+Schedule::shard(const std::vector<std::string>& param_names, int64_t axis)
+{
+    for (const std::string& name : param_names) {
+        shard(name, axis);
+    }
+}
+
+void
+Schedule::sync(nn::SyncDirection direction, nn::SyncKind kind, int64_t axis)
+{
+    requireDistributed("sync");
+    // Rule (§3.5): a .sync() must follow a .shard() somewhere in this
+    // subtree — aggregating an unsharded module is always a bug.
+    bool any_shard = false;
+    for (auto& [path, m] : module_->namedModules()) {
+        if (!m->meta().sharded_params.empty()) {
+            any_shard = true;
+            break;
+        }
+    }
+    SLAPO_CHECK(any_shard,
+                ".sync(): no .shard() was applied under '"
+                    << (path_.empty() ? "<root>" : path_)
+                    << "'; a sync point requires a prior shard");
+    nn::SyncSpec spec;
+    spec.direction = direction;
+    spec.kind = kind;
+    spec.axis = axis;
+    module_->meta().syncs.push_back(spec);
+}
+
+void
+Schedule::checkpoint()
+{
+    module_->meta().checkpointed = true;
+}
+
+void
+Schedule::pipelineSplit()
+{
+    requireDistributed("pipeline_split");
+    SLAPO_CHECK(parent_ != nullptr,
+                ".pipeline_split(): cannot split after the root module");
+    module_->meta().pipeline_split_after = true;
+}
+
+void
+Schedule::decompose()
+{
+    module_->meta().decomposed = true;
+}
+
+void
+Schedule::unshard(const std::string& param_name)
+{
+    auto& shards = module_->meta().sharded_params;
+    auto it = shards.find(param_name);
+    SLAPO_CHECK(it != shards.end(),
+                ".unshard(): parameter '" << param_name
+                                          << "' of '" << path_
+                                          << "' is not sharded");
+    shards.erase(it);
+    if (shards.empty()) {
+        // A sync without any shard would be rejected by the validator on
+        // re-application; drop the now-orphaned aggregation points too.
+        module_->meta().syncs.clear();
+    }
+}
+
+void
+Schedule::unsync()
+{
+    module_->meta().syncs.clear();
+}
+
+void
+Schedule::uncheckpoint()
+{
+    module_->meta().checkpointed = false;
+}
+
+void
+Schedule::untrace()
+{
+    module_->meta().traced_graph = nullptr;
+}
+
+void
+Schedule::trace(const std::vector<Shape>& input_shapes,
+                nn::TraceOptions options)
+{
+    module_->meta().traced_graph = nullptr; // re-trace replaces the graph
+    module_->meta().traced_graph =
+        nn::traceModule(*module_, input_shapes, std::move(options));
+}
+
+graph::Graph&
+Schedule::graph()
+{
+    requireTraced("graph");
+    return *module_->meta().traced_graph;
+}
+
+std::vector<graph::Match>
+Schedule::find(const graph::Pattern& pattern)
+{
+    requireTraced("find");
+    return graph::findPattern(graph(), pattern);
+}
+
+std::vector<graph::Match>
+Schedule::find(const std::string& regex)
+{
+    requireTraced("find");
+    return graph::findByRegex(graph(), regex);
+}
+
+void
+Schedule::fuse(const std::vector<Node*>& subgraph, const std::string& compiler)
+{
+    requireTraced("fuse");
+    SLAPO_CHECK(compiler == "TorchScript",
+                ".fuse(): unknown compiler '"
+                    << compiler << "' (only \"TorchScript\" is supported)");
+    graph().fuseSubgraph(subgraph, "fused");
+}
+
+void
+Schedule::replace(ModulePtr new_module, const std::vector<Node*>& subgraph)
+{
+    requireTraced("replace");
+    SLAPO_CHECK(new_module != nullptr, ".replace(): null module");
+    // Register the custom kernel as a child so it is owned, cloned, and
+    // profiled like any other module.
+    std::string name = "replaced_0";
+    for (int i = 0; module_->hasChild(name); ++i) {
+        name = "replaced_" + std::to_string(i + 1);
+    }
+    module_->registerChild(name, new_module);
+    Node* node = graph().replaceSubgraph(subgraph, graph::NodeKind::CallModule,
+                                         name);
+    node->setTarget(name);
+    node->setModule(new_module.get());
+    node->setAttr("type", new_module->typeName());
+    rebuildChildren();
+}
+
+void
+Schedule::checkpoint(const std::vector<Node*>& subgraph)
+{
+    requireTraced("checkpoint");
+    SLAPO_CHECK(!subgraph.empty(), ".checkpoint(): empty subgraph");
+    for (Node* node : subgraph) {
+        node->setCheckpointed(true);
+    }
+}
+
+} // namespace core
+} // namespace slapo

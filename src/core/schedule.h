@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The Slapo schedule language (§3): a structure-preserving schedule tree
+ * over a model plus the primitives of Table 1.
+ *
+ *   | dynamic-graph primitives      | static-graph primitives            |
+ *   |--------------------------------|------------------------------------|
+ *   | replace(new_mod)              | replace(new_mod, subgraph)         |
+ *   | shard(param_name, axis)       | fuse(compiler, subgraph)           |
+ *   | sync(type)                    | pipelineSplit()                    |
+ *   | checkpoint()                  | checkpoint(subgraph)               |
+ *
+ * plus trace(leaves, flatten), find(regex | pattern), and decompose().
+ * createSchedule() recurses over all submodules so primitives can be
+ * applied at any level via sch["bert.encoder.layer.0.attention"].
+ *
+ * Every primitive validates its preconditions (§3.5 first stage): .sync()
+ * needs a prior .shard(); distributed primitives need world_size > 1;
+ * static-graph primitives need a prior .trace(). Violations raise
+ * SlapoError and abort the rest of the scheduling process.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/pattern.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/tracer.h"
+
+namespace slapo {
+namespace core {
+
+class Schedule;
+using SchedulePtr = std::shared_ptr<Schedule>;
+
+/**
+ * A node of the schedule tree, aliasing one module of the model. The
+ * tree mirrors the module hierarchy exactly (structure preservation),
+ * so developers locate optimization targets by the same paths they use
+ * to debug the model.
+ */
+class Schedule : public std::enable_shared_from_this<Schedule>
+{
+  public:
+    /**
+     * Build the default schedule of `model` (recursively, §3.1).
+     *
+     * @param world_size the distributed group size this schedule targets;
+     *        1 (default) disables distributed primitives.
+     */
+    static SchedulePtr create(nn::ModulePtr model, int world_size = 1);
+
+    /** Navigate to a sub-schedule by dotted path (throws if absent). */
+    Schedule& operator[](const std::string& path);
+
+    /** The scheduled module. */
+    nn::ModulePtr module() const { return module_; }
+
+    /** Dotted path from the root schedule ("" at the root). */
+    const std::string& path() const { return path_; }
+
+    Schedule* parent() const { return parent_; }
+    int worldSize() const { return world_size_; }
+
+    /** Direct sub-schedules in registration order. */
+    const std::vector<std::pair<std::string, SchedulePtr>>& children() const
+    {
+        return children_;
+    }
+
+    // --- dynamic-graph primitives (§3.2) --------------------------------
+
+    /**
+     * Swap this module for `new_module` (efficient kernel, fused block).
+     * The sub-schedule tree is rebuilt for the replacement; numerical
+     * equivalence is the verifier's job (core/verify.h).
+     */
+    void replace(nn::ModulePtr new_module);
+
+    /** Shard parameter `name` along `axis` across the schedule's world. */
+    void shard(const std::string& param_name, int64_t axis,
+               int64_t interleave = 1);
+
+    /** Shard several parameters along the same axis (Fig. 3 style). */
+    void shard(const std::vector<std::string>& param_names, int64_t axis);
+
+    /**
+     * Add an aggregation point at this module's boundary. `direction` is
+     * the paper's "forward" / "backward" / "both"; `kind` defaults to the
+     * partial-sum all-reduce of Fig. 3.
+     */
+    void sync(nn::SyncDirection direction,
+              nn::SyncKind kind = nn::SyncKind::AllReduce, int64_t axis = -1);
+
+    /** Wrap this module with activation checkpointing. */
+    void checkpoint();
+
+    /** Mark a pipeline-stage boundary after this module (§3.3.2). */
+    void pipelineSplit();
+
+    /**
+     * Inline this framework leaf into primitive ops when traced (splits a
+     * Linear into matmul + bias-add so bias fusions can grab the add).
+     */
+    void decompose();
+
+    // --- static-graph primitives (§3.3) -----------------------------------
+
+    /**
+     * Trace this module's forward into a static graph with the given
+     * example input shapes; prerequisite of all graph primitives.
+     */
+    void trace(const std::vector<Shape>& input_shapes,
+               nn::TraceOptions options = {});
+
+    /** All matches of a signature-chain / DAG pattern (§3.3.1). */
+    std::vector<graph::Match> find(const graph::Pattern& pattern);
+
+    /** All nodes matching a regular expression. */
+    std::vector<graph::Match> find(const std::string& regex);
+
+    /**
+     * Fuse a matched subgraph into one kernel via `compiler` (only the
+     * "TorchScript" pattern-based fuser is implemented, as in the paper).
+     */
+    void fuse(const std::vector<graph::Node*>& subgraph,
+              const std::string& compiler = "TorchScript");
+
+    /** Replace a matched subgraph with a custom module. */
+    void replace(nn::ModulePtr new_module,
+                 const std::vector<graph::Node*>& subgraph);
+
+    /** Checkpoint only a subgraph of the traced computation. */
+    void checkpoint(const std::vector<graph::Node*>& subgraph);
+
+    // --- un-apply (§3: primitives can be applied *or un-applied*) --------
+
+    /** Remove the shard decision of `param_name` (and any now-orphaned
+     * syncs if it was the last shard under this module). */
+    void unshard(const std::string& param_name);
+
+    /** Remove all sync points of this module. */
+    void unsync();
+
+    /** Remove the activation-checkpoint wrapper. */
+    void uncheckpoint();
+
+    /** Drop the traced static graph; the module runs its original
+     * forward again (all graph-level rewrites are discarded). */
+    void untrace();
+
+    /** The traced graph (throws if .trace() has not run). */
+    graph::Graph& graph();
+
+    /** True once .trace() has run on this module. */
+    bool traced() const { return module_->meta().traced_graph != nullptr; }
+
+    /** Pre-order walk of this subtree (used by partitioner/verifier). */
+    std::vector<Schedule*> subtree();
+
+    /**
+     * Human-readable dump of every primitive applied in this subtree —
+     * the debuggability story of §1 (Challenge 4): the schedule is
+     * inspectable separately from the (unchanged) model definition.
+     * Modules with a default schedule are omitted.
+     */
+    std::string toString();
+
+  private:
+    Schedule(nn::ModulePtr module, Schedule* parent, std::string name,
+             int world_size);
+
+    void rebuildChildren();
+    void requireDistributed(const char* primitive) const;
+    void requireTraced(const char* primitive) const;
+
+    nn::ModulePtr module_;
+    Schedule* parent_;
+    std::string name_;
+    std::string path_;
+    int world_size_;
+    std::vector<std::pair<std::string, SchedulePtr>> children_;
+};
+
+} // namespace core
+} // namespace slapo

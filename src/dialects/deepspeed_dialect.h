@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DeepSpeed framework dialect (§4): the DeepSpeed pipeline runtime
+ * requires each stage to consume and produce *a single tuple of
+ * tensors*. The dialect wraps every partitioned stage in a module that
+ * (1) unpacks the incoming tuple and packs the outgoing one, and
+ * (2) performs liveness analysis so tensors required by *later* stages
+ * are bypassed through intermediate stages that do not use them.
+ */
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.h"
+#include "nn/module.h"
+
+namespace slapo {
+namespace dialects {
+
+/**
+ * A pipeline stage in DeepSpeed form: forward takes the stage tuple
+ * (primary activation first, live bypass tensors after) and returns the
+ * next stage's tuple.
+ */
+class DeepSpeedStage : public nn::Module
+{
+  public:
+    /**
+     * @param stage the partitioned chain this stage executes.
+     * @param bypass_count trailing tuple entries forwarded untouched
+     *        (the liveness set computed by wrapForDeepSpeedPipeline).
+     */
+    DeepSpeedStage(const core::PipelineStage& stage, int bypass_count);
+
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+    int bypassCount() const { return bypass_count_; }
+
+  private:
+    int bypass_count_;
+};
+
+/**
+ * Convert partitioned stages into DeepSpeed tuple-calling-convention
+ * stage modules. Liveness: with single-tensor boundaries (the form
+ * core::partitionPipeline guarantees), each stage's bypass set is any
+ * extra tuple entries the caller threads through — computed here so
+ * chained execution of the returned stages reproduces the original
+ * model exactly (verified in tests).
+ */
+std::vector<nn::ModulePtr> wrapForDeepSpeedPipeline(
+    const std::vector<core::PipelineStage>& stages);
+
+/**
+ * Execute wrapped stages back-to-back on one device (the runtime's
+ * correctness path; scheduling across devices is the simulator's job).
+ */
+std::vector<nn::Value> runPipelineSequentially(
+    const std::vector<nn::ModulePtr>& stages,
+    const std::vector<nn::Value>& inputs);
+
+} // namespace dialects
+} // namespace slapo

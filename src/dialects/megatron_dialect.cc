@@ -1,0 +1,67 @@
+#include "dialects/megatron_dialect.h"
+
+namespace slapo {
+namespace dialects {
+
+MegatronLaunchConfig
+toMegatron(nn::Module& model, int tensor_parallel, int pipeline_parallel)
+{
+    SLAPO_CHECK(tensor_parallel >= 1 && pipeline_parallel >= 1,
+                "toMegatron: bad parallel degrees");
+    MegatronLaunchConfig config;
+    config.tensor_parallel = tensor_parallel;
+    config.pipeline_parallel = pipeline_parallel;
+
+    auto hasForwardSync = [](const nn::Module& m) {
+        for (const nn::SyncSpec& sync : m.meta().syncs) {
+            if (sync.direction == nn::SyncDirection::Forward ||
+                sync.direction == nn::SyncDirection::Both) {
+                return true;
+            }
+        }
+        return false;
+    };
+
+    for (auto& [path, module] : model.namedModules()) {
+        const auto& shards = module->meta().sharded_params;
+        if (shards.empty()) {
+            continue;
+        }
+        for (const auto& [pname, spec] : shards) {
+            SLAPO_CHECK(spec.world_size == tensor_parallel,
+                        "toMegatron: '" << path << "." << pname
+                                        << "' sharded over " << spec.world_size
+                                        << " ranks but tensor_parallel = "
+                                        << tensor_parallel);
+        }
+        auto weight_it = shards.find("weight");
+        if (weight_it == shards.end()) {
+            continue;
+        }
+        if (module->typeName() == "Linear") {
+            if (weight_it->second.axis == 0) {
+                config.column_parallel.push_back(path);
+            } else {
+                SLAPO_CHECK(hasForwardSync(*module),
+                            "toMegatron: row-parallel linear '"
+                                << path
+                                << "' has no forward all-reduce sync; its "
+                                   "output would stay a partial sum");
+                config.row_parallel.push_back(path);
+            }
+        } else if (module->typeName() == "Embedding") {
+            SLAPO_CHECK(weight_it->second.axis == 0,
+                        "toMegatron: embedding '" << path
+                                                  << "' must shard the vocab "
+                                                     "axis (0)");
+            SLAPO_CHECK(hasForwardSync(*module),
+                        "toMegatron: vocab-parallel embedding '"
+                            << path << "' needs a forward all-reduce sync");
+            config.vocab_parallel.push_back(path);
+        }
+    }
+    return config;
+}
+
+} // namespace dialects
+} // namespace slapo

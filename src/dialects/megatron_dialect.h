@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Megatron-LM framework dialect (§4): validates that a scheduled model
+ * is in the form Megatron's runtime accepts — every tensor-parallel
+ * block must be a column-parallel/row-parallel pair with the matching
+ * sync points — and emits the runtime configuration. The checks encode
+ * Megatron's conventions: column-parallel linears shard weights on
+ * axis 0 with the gradient all-reduce ("f") at their input; row-parallel
+ * linears shard on axis 1 with the output all-reduce ("g").
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace slapo {
+namespace dialects {
+
+/** Runtime configuration handed to the (simulated) Megatron launcher. */
+struct MegatronLaunchConfig
+{
+    int tensor_parallel = 1;
+    int pipeline_parallel = 1;
+    /** Paths of column-parallel (axis-0) sharded linears. */
+    std::vector<std::string> column_parallel;
+    /** Paths of row-parallel (axis-1) sharded linears. */
+    std::vector<std::string> row_parallel;
+    /** Paths of vocab-parallel embeddings. */
+    std::vector<std::string> vocab_parallel;
+};
+
+/**
+ * Validate the scheduled model against Megatron's conventions and
+ * extract its launch configuration.
+ *
+ * @throws SlapoError if a row-parallel linear lacks a forward sync, if a
+ *         sharded module's world size disagrees with `tensor_parallel`,
+ *         or if a vocab-parallel embedding lacks its all-reduce.
+ */
+MegatronLaunchConfig toMegatron(nn::Module& model, int tensor_parallel,
+                                int pipeline_parallel = 1);
+
+} // namespace dialects
+} // namespace slapo

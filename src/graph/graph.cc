@@ -1,0 +1,315 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace slapo {
+namespace graph {
+
+Node*
+Graph::createNode(NodeKind kind, const std::string& base_name)
+{
+    auto node = std::make_unique<Node>(
+        kind, base_name + "_" + std::to_string(next_id_++));
+    Node* raw = node.get();
+    nodes_.push_back(std::move(node));
+    return raw;
+}
+
+Node*
+Graph::createNodeBefore(NodeKind kind, const std::string& base_name,
+                        Node* anchor)
+{
+    auto node = std::make_unique<Node>(
+        kind, base_name + "_" + std::to_string(next_id_++));
+    Node* raw = node.get();
+    auto it = std::find_if(nodes_.begin(), nodes_.end(),
+                           [&](const auto& n) { return n.get() == anchor; });
+    SLAPO_ASSERT(it != nodes_.end(), "anchor node not in graph");
+    nodes_.insert(it, std::move(node));
+    return raw;
+}
+
+std::vector<Node*>
+Graph::nodes() const
+{
+    std::vector<Node*> out;
+    out.reserve(nodes_.size());
+    for (const auto& n : nodes_) {
+        out.push_back(n.get());
+    }
+    return out;
+}
+
+std::vector<Node*>
+Graph::placeholders() const
+{
+    std::vector<Node*> out;
+    for (const auto& n : nodes_) {
+        if (n->kind() == NodeKind::Placeholder) {
+            out.push_back(n.get());
+        }
+    }
+    return out;
+}
+
+std::vector<Node*>
+Graph::usersOf(const Node* node) const
+{
+    std::vector<Node*> users;
+    for (const auto& n : nodes_) {
+        const auto& ins = n->inputs();
+        if (std::find(ins.begin(), ins.end(), node) != ins.end()) {
+            users.push_back(n.get());
+        }
+    }
+    return users;
+}
+
+void
+Graph::replaceAllUses(Node* from, Node* to)
+{
+    for (const auto& n : nodes_) {
+        if (n.get() != to) {
+            n->replaceInput(from, to);
+        }
+    }
+    eraseNode(from);
+}
+
+void
+Graph::eraseNode(Node* node)
+{
+    SLAPO_ASSERT(usersOf(node).empty(),
+                 "cannot erase node " << node->name() << " with live users");
+    if (output_ == node) {
+        output_ = nullptr;
+    }
+    nodes_.erase(std::find_if(nodes_.begin(), nodes_.end(),
+                              [&](const auto& n) { return n.get() == node; }));
+}
+
+void
+Graph::eliminateDeadNodes()
+{
+    if (!output_) {
+        return;
+    }
+    std::set<const Node*> live;
+    std::vector<const Node*> stack = {output_};
+    while (!stack.empty()) {
+        const Node* n = stack.back();
+        stack.pop_back();
+        if (!live.insert(n).second) {
+            continue;
+        }
+        for (Node* in : n->inputs()) {
+            stack.push_back(in);
+        }
+    }
+    // Keep placeholders: they define the graph's calling convention.
+    for (auto it = nodes_.begin(); it != nodes_.end();) {
+        if (!live.count(it->get()) &&
+            (*it)->kind() != NodeKind::Placeholder) {
+            it = nodes_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+namespace {
+
+/** External inputs of `body` in first-use order, and the single external
+ * output node of the set. */
+struct SubgraphBoundary
+{
+    std::vector<Node*> inputs;
+    Node* output = nullptr;
+};
+
+SubgraphBoundary
+analyzeBoundary(const Graph& g, const std::vector<Node*>& body)
+{
+    SLAPO_CHECK(!body.empty(), "subgraph rewrite: empty body");
+    std::set<const Node*> in_body(body.begin(), body.end());
+    SubgraphBoundary boundary;
+    std::set<const Node*> seen_inputs;
+    for (Node* n : body) {
+        for (Node* in : n->inputs()) {
+            if (!in_body.count(in) && seen_inputs.insert(in).second) {
+                boundary.inputs.push_back(in);
+            }
+        }
+    }
+    for (Node* n : body) {
+        for (Node* user : g.usersOf(n)) {
+            if (!in_body.count(user)) {
+                SLAPO_CHECK(boundary.output == nullptr || boundary.output == n,
+                            "subgraph rewrite: body has multiple external "
+                            "outputs (" << boundary.output->name() << " and "
+                                        << n->name() << ")");
+                boundary.output = n;
+            }
+        }
+    }
+    // A body feeding nothing (e.g. ending at output node) is invalid here.
+    SLAPO_CHECK(boundary.output != nullptr,
+                "subgraph rewrite: body has no external output");
+    return boundary;
+}
+
+} // namespace
+
+Node*
+Graph::replaceSubgraph(const std::vector<Node*>& body, NodeKind kind,
+                       const std::string& name)
+{
+    SubgraphBoundary boundary = analyzeBoundary(*this, body);
+    Node* repl = createNodeBefore(kind, name, body.front());
+    for (Node* in : boundary.inputs) {
+        repl->addInput(in);
+    }
+    repl->setShapes({boundary.output->shape()});
+
+    // Rewire external users of the body output to the replacement.
+    std::set<const Node*> in_body(body.begin(), body.end());
+    for (const auto& n : nodes_) {
+        if (!in_body.count(n.get()) && n.get() != repl) {
+            n->replaceInput(boundary.output, repl);
+        }
+    }
+    // Erase body nodes in reverse topological order.
+    for (auto it = body.rbegin(); it != body.rend(); ++it) {
+        eraseNode(*it);
+    }
+    return repl;
+}
+
+Node*
+Graph::fuseSubgraph(const std::vector<Node*>& body, const std::string& name)
+{
+    for (Node* n : body) {
+        SLAPO_CHECK(n->kind() == NodeKind::CallOp ||
+                        n->kind() == NodeKind::GetParam,
+                    "fuse: body node " << n->name()
+                                       << " is not a primitive op; only op-level "
+                                          "subgraphs can be fused");
+    }
+    SubgraphBoundary boundary = analyzeBoundary(*this, body);
+
+    // Build the inner graph: placeholders for the boundary inputs, clones
+    // of the body nodes, then an output node.
+    auto inner = std::make_shared<Graph>();
+    std::map<const Node*, Node*> remap;
+    for (Node* in : boundary.inputs) {
+        Node* ph = inner->createNode(NodeKind::Placeholder, in->name());
+        ph->setShapes({in->shape()});
+        remap[in] = ph;
+    }
+    for (Node* n : body) {
+        Node* c = inner->createNode(n->kind(), n->name());
+        c->setOp(n->op());
+        c->setTarget(n->target());
+        c->setModule(n->module());
+        c->setShapes(n->shapes());
+        for (const auto& [k, v] : n->attrs()) {
+            c->setAttr(k, v);
+        }
+        for (Node* in : n->inputs()) {
+            auto it = remap.find(in);
+            SLAPO_ASSERT(it != remap.end(), "fuse: dangling input");
+            c->addInput(it->second);
+        }
+        remap[n] = c;
+    }
+    Node* out = inner->createNode(NodeKind::Output, "output");
+    out->addInput(remap[boundary.output]);
+    out->setShapes({boundary.output->shape()});
+    inner->setOutputNode(out);
+
+    Node* fused = replaceSubgraph(body, NodeKind::FusedOp, name);
+    fused->setSubgraph(std::move(inner));
+    return fused;
+}
+
+void
+Graph::validate() const
+{
+    std::set<const Node*> seen;
+    const Node* output = nullptr;
+    for (const auto& n : nodes_) {
+        SLAPO_CHECK(output == nullptr,
+                    "graph validate: node '" << n->name()
+                                             << "' appears after the output");
+        for (const Node* in : n->inputs()) {
+            SLAPO_CHECK(seen.count(in),
+                        "graph validate: node '"
+                            << n->name() << "' uses '" << in->name()
+                            << "' before (or without) its definition");
+        }
+        SLAPO_CHECK(!n->shapes().empty() || n->kind() == NodeKind::Output,
+                    "graph validate: node '" << n->name()
+                                             << "' has no output shapes");
+        if (n->kind() == NodeKind::Output) {
+            output = n.get();
+        }
+        if (n->kind() == NodeKind::FusedOp) {
+            SLAPO_CHECK(n->subgraph() != nullptr,
+                        "graph validate: fused node '" << n->name()
+                                                       << "' has no subgraph");
+            n->subgraph()->validate();
+        }
+        seen.insert(n.get());
+    }
+    SLAPO_CHECK(output != nullptr, "graph validate: no output node");
+    SLAPO_CHECK(output == output_,
+                "graph validate: output pointer out of sync");
+}
+
+std::string
+Graph::toString() const
+{
+    std::ostringstream os;
+    for (const auto& n : nodes_) {
+        os << "  " << n->toString() << "\n";
+    }
+    return os.str();
+}
+
+std::shared_ptr<Graph>
+Graph::clone() const
+{
+    auto copy = std::make_shared<Graph>();
+    std::map<const Node*, Node*> remap;
+    for (const auto& n : nodes_) {
+        Node* c = copy->createNode(n->kind(), n->name());
+        c->setName(n->name()); // keep names stable across clones
+        c->setOp(n->op());
+        c->setTarget(n->target());
+        c->setModule(n->module());
+        c->setShapes(n->shapes());
+        c->setCheckpointed(n->checkpointed());
+        for (const auto& [k, v] : n->attrs()) {
+            c->setAttr(k, v);
+        }
+        if (n->subgraph()) {
+            c->setSubgraph(n->subgraph()->clone());
+        }
+        for (Node* in : n->inputs()) {
+            auto it = remap.find(in);
+            SLAPO_ASSERT(it != remap.end(), "clone: dangling input");
+            c->addInput(it->second);
+        }
+        remap[n.get()] = c;
+    }
+    if (output_) {
+        copy->setOutputNode(remap.at(output_));
+    }
+    return copy;
+}
+
+} // namespace graph
+} // namespace slapo

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Container for the static graph IR (see node.h) plus the structural
+ * rewrites the schedule primitives need: node insertion relative to an
+ * anchor, subgraph replacement (for `.replace(new_mod, subgraph)`), and
+ * subgraph fusion (for `.fuse(compiler, subgraph)`).
+ */
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/node.h"
+
+namespace slapo {
+namespace graph {
+
+/**
+ * A static dataflow graph: an ordered list of nodes in topological
+ * (construction) order. The graph owns its nodes; all Node* handed out
+ * remain valid until the node is erased.
+ */
+class Graph
+{
+  public:
+    Graph() = default;
+    Graph(const Graph&) = delete;
+    Graph& operator=(const Graph&) = delete;
+
+    /** Append a new node with a unique name derived from `base_name`. */
+    Node* createNode(NodeKind kind, const std::string& base_name);
+
+    /** Insert a new node immediately before `anchor` in program order. */
+    Node* createNodeBefore(NodeKind kind, const std::string& base_name,
+                           Node* anchor);
+
+    /** All nodes in topological order. */
+    std::vector<Node*> nodes() const;
+
+    /** Placeholder (input) nodes in declaration order. */
+    std::vector<Node*> placeholders() const;
+
+    /** The unique Output node (null until sealed). */
+    Node* outputNode() const { return output_; }
+    void setOutputNode(Node* node) { output_ = node; }
+
+    /** Users of `node` within this graph. */
+    std::vector<Node*> usersOf(const Node* node) const;
+
+    /**
+     * Redirect every use of `from` to `to` (excluding `to` itself), then
+     * erase `from`. `from` must not be the output node.
+     */
+    void replaceAllUses(Node* from, Node* to);
+
+    /** Erase a node with no users. */
+    void eraseNode(Node* node);
+
+    /** Remove all nodes that no longer (transitively) feed the output. */
+    void eliminateDeadNodes();
+
+    /**
+     * Replace a connected set of nodes with a single replacement node.
+     * `body` is given in topological order; external inputs of the set
+     * become the replacement's inputs (in first-use order) and the set's
+     * sole external output is rewired to the replacement. Used by both
+     * fusion and partial-computation replacement.
+     *
+     * @return the replacement node (already inserted before the first
+     *         body node), with its inputs and shape populated.
+     */
+    Node* replaceSubgraph(const std::vector<Node*>& body, NodeKind kind,
+                          const std::string& name);
+
+    /**
+     * Fuse `body` into a single FusedOp node whose subgraph re-expresses
+     * the body over placeholder inputs, so the fused kernel stays
+     * numerically executable and cost-model analyzable.
+     */
+    Node* fuseSubgraph(const std::vector<Node*>& body, const std::string& name);
+
+    /** Number of live nodes. */
+    size_t size() const { return nodes_.size(); }
+
+    /** Multi-line textual dump (fx-style) for debugging and tests. */
+    std::string toString() const;
+
+    /**
+     * Structural well-formedness check: inputs precede their users in
+     * program order, all inputs belong to this graph, a single Output
+     * node exists and is last, and every node has its expected shape
+     * count. Used by the verifier's pre-flight stage and after graph
+     * rewrites in tests.
+     *
+     * @throws SlapoError describing the first violation.
+     */
+    void validate() const;
+
+    /** Deep-copy this graph; module pointers are shared, nodes are cloned. */
+    std::shared_ptr<Graph> clone() const;
+
+  private:
+    std::vector<std::unique_ptr<Node>> nodes_;
+    Node* output_ = nullptr;
+    int64_t next_id_ = 0;
+};
+
+} // namespace graph
+} // namespace slapo

@@ -1,0 +1,160 @@
+#include "graph/pattern.h"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <set>
+
+namespace slapo {
+namespace graph {
+
+std::string
+matchSignature(const Node& node)
+{
+    switch (node.kind()) {
+      case NodeKind::CallOp:
+        return opKindName(node.op());
+      case NodeKind::CallModule:
+        return node.hasAttr("type") ? node.attrStr("type") : node.target();
+      case NodeKind::FusedOp:
+        return "fused";
+      case NodeKind::Placeholder:
+        return "placeholder";
+      case NodeKind::GetParam:
+        return "get_param";
+      case NodeKind::TupleGet:
+        return "tuple_get";
+      case NodeKind::Output:
+        return "output";
+    }
+    return "?";
+}
+
+Pattern
+Pattern::chain(const std::vector<std::string>& signatures)
+{
+    Pattern p;
+    for (size_t i = 0; i < signatures.size(); ++i) {
+        PatternNode n;
+        n.signature = signatures[i];
+        n.inputs.push_back(i == 0 ? -1 : static_cast<int>(i - 1));
+        p.nodes.push_back(std::move(n));
+    }
+    return p;
+}
+
+namespace {
+
+/** Try to complete an embedding starting from pattern node `pi`. */
+bool
+tryMatch(const Graph& g, const Pattern& pattern, size_t pi,
+         std::vector<Node*>& assignment, std::set<Node*>& used)
+{
+    if (pi == pattern.nodes.size()) {
+        // Every non-output pattern node's match must have all users inside
+        // the match (otherwise extraction would duplicate computation).
+        for (size_t i = 0; i + 1 < assignment.size(); ++i) {
+            for (Node* user : g.usersOf(assignment[i])) {
+                if (!used.count(user)) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+    const PatternNode& pn = pattern.nodes[pi];
+    for (Node* candidate : g.nodes()) {
+        if (used.count(candidate)) continue;
+        if (matchSignature(*candidate) != pn.signature) continue;
+
+        // Structural check: pattern inputs that point at earlier pattern
+        // nodes must correspond to the candidate's inputs.
+        if (!pn.inputs.empty() &&
+            candidate->inputs().size() < pn.inputs.size()) {
+            continue;
+        }
+        bool ok = true;
+        for (size_t k = 0; k < pn.inputs.size(); ++k) {
+            const int ref = pn.inputs[k];
+            if (ref < 0) continue; // wildcard
+            // The referenced assignment must appear among candidate inputs.
+            const auto& ins = candidate->inputs();
+            if (std::find(ins.begin(), ins.end(), assignment[ref]) ==
+                ins.end()) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok) continue;
+
+        assignment.push_back(candidate);
+        used.insert(candidate);
+        if (tryMatch(g, pattern, pi + 1, assignment, used)) {
+            return true;
+        }
+        used.erase(candidate);
+        assignment.pop_back();
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<Match>
+findPattern(const Graph& g, const Pattern& pattern, bool non_overlapping)
+{
+    SLAPO_CHECK(!pattern.nodes.empty(), "findPattern: empty pattern");
+    std::vector<Match> matches;
+    std::set<Node*> claimed;
+
+    for (Node* anchor : g.nodes()) {
+        if (matchSignature(*anchor) != pattern.nodes.front().signature) {
+            continue;
+        }
+        if (claimed.count(anchor)) continue;
+
+        std::vector<Node*> assignment = {anchor};
+        std::set<Node*> used = {anchor};
+        if (tryMatch(g, pattern, 1, assignment, used)) {
+            bool overlaps = false;
+            if (non_overlapping) {
+                for (Node* n : assignment) {
+                    if (claimed.count(n)) {
+                        overlaps = true;
+                        break;
+                    }
+                }
+            }
+            if (!overlaps) {
+                if (non_overlapping) {
+                    claimed.insert(assignment.begin(), assignment.end());
+                }
+                matches.push_back(std::move(assignment));
+            }
+        }
+    }
+    return matches;
+}
+
+std::vector<Match>
+findByRegex(const Graph& g, const std::string& regex)
+{
+    const std::regex re(regex);
+    std::vector<Match> matches;
+    for (Node* n : g.nodes()) {
+        if (n->kind() == NodeKind::Output ||
+            n->kind() == NodeKind::Placeholder) {
+            continue;
+        }
+        if (std::regex_search(n->name(), re) ||
+            std::regex_search(matchSignature(*n), re) ||
+            (!n->target().empty() && std::regex_search(n->target(), re))) {
+            matches.push_back({n});
+        }
+    }
+    return matches;
+}
+
+} // namespace graph
+} // namespace slapo

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Subgraph pattern matching backing the `.find()` schedule primitive.
+ *
+ * The paper (§3.3.1) supports two query forms: a regular expression over
+ * node names/signatures, and a "function with an identical subgraph" —
+ * here a declarative Pattern describing a small dataflow DAG. Matching is
+ * anchored subgraph isomorphism with backtracking; matches are returned
+ * in program order and can be requested non-overlapping so repetitive
+ * transformer layers are all captured at once.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace slapo {
+namespace graph {
+
+/**
+ * Matching signature of a node: the op name for CallOp ("add",
+ * "layer_norm", ...), the module type for CallModule (set by the tracer
+ * as attr "type", e.g. "Linear"), the node kind otherwise.
+ */
+std::string matchSignature(const Node& node);
+
+/** One node of a pattern DAG. */
+struct PatternNode
+{
+    /** Required matching signature (see matchSignature). */
+    std::string signature;
+    /**
+     * Indices into the pattern's node list for each input; -1 denotes a
+     * wildcard input (matches any producer, treated as external).
+     */
+    std::vector<int> inputs;
+};
+
+/**
+ * A pattern: nodes in topological order; the last node is the pattern
+ * output (the only node whose match may have users outside the match).
+ */
+struct Pattern
+{
+    std::vector<PatternNode> nodes;
+
+    /** Convenience: a straight-line chain of signatures, each consuming
+     * the previous one (first consumes a wildcard). */
+    static Pattern chain(const std::vector<std::string>& signatures);
+};
+
+/** A successful embedding: graph nodes in pattern-node order. */
+using Match = std::vector<Node*>;
+
+/**
+ * Find embeddings of `pattern` in `g`.
+ *
+ * @param non_overlapping when true (default), later matches sharing any
+ *        node with an earlier match are discarded — the behaviour
+ *        `.find()` needs to schedule all N identical layers exactly once.
+ */
+std::vector<Match> findPattern(const Graph& g, const Pattern& pattern,
+                               bool non_overlapping = true);
+
+/**
+ * Find single-node matches whose signature or node name matches the ECMA
+ * regular expression `regex` (the `.find("regex")` form).
+ */
+std::vector<Match> findByRegex(const Graph& g, const std::string& regex);
+
+} // namespace graph
+} // namespace slapo

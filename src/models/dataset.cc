@@ -1,0 +1,122 @@
+#include "models/dataset.h"
+
+#include <cmath>
+
+#include "models/registry.h"
+
+namespace slapo {
+namespace models {
+
+std::vector<Tensor>
+Batch::withTargets() const
+{
+    std::vector<Tensor> all = inputs;
+    all.push_back(targets);
+    return all;
+}
+
+SyntheticDataset::SyntheticDataset(std::string task, int64_t vocab,
+                                   int64_t seq_len, uint64_t seed)
+    : task_(std::move(task)), vocab_(vocab), seq_len_(seq_len), seed_(seed)
+{
+    SLAPO_CHECK(task_ == "MLM" || task_ == "CLM" || task_ == "Seq2Seq" ||
+                    task_ == "IC",
+                "SyntheticDataset: unknown task '" << task_ << "'");
+    SLAPO_CHECK(vocab_ >= 4 && seq_len_ >= 2,
+                "SyntheticDataset: degenerate vocab/seq");
+}
+
+int64_t
+SyntheticDataset::sampleToken(Rng& rng) const
+{
+    // Inverse-CDF sample of a Zipf(s=1) distribution over the vocabulary
+    // via the approximation rank = exp(u * ln V): heavily favors small
+    // ids, like natural-language unigram frequencies.
+    const double u = rng.uniform();
+    const double rank =
+        std::exp(u * std::log(static_cast<double>(vocab_ - 1)));
+    const int64_t token = static_cast<int64_t>(rank) - 1;
+    return std::min(std::max<int64_t>(token, 0), vocab_ - 2);
+}
+
+Batch
+SyntheticDataset::batch(int64_t batch_size, int64_t index) const
+{
+    Rng rng(seed_ * 0x9e3779b9ULL + static_cast<uint64_t>(index) * 2654435761ULL + 1);
+    Batch out;
+
+    if (task_ == "IC") {
+        Tensor pixels = Tensor::zeros({batch_size, 3, seq_len_, seq_len_});
+        float* p = pixels.data();
+        for (int64_t i = 0; i < pixels.numel(); ++i) {
+            p[i] = rng.uniform(-1.0f, 1.0f);
+        }
+        Tensor labels = Tensor::zeros({batch_size});
+        for (int64_t b = 0; b < batch_size; ++b) {
+            labels.set(b, static_cast<float>(
+                              rng.next() % static_cast<uint64_t>(vocab_)));
+        }
+        out.inputs = {pixels};
+        out.targets = labels;
+        return out;
+    }
+
+    auto sample_stream = [&](int64_t len) {
+        Tensor ids = Tensor::zeros({batch_size, len});
+        for (int64_t i = 0; i < ids.numel(); ++i) {
+            ids.set(i, static_cast<float>(sampleToken(rng)));
+        }
+        return ids;
+    };
+
+    if (task_ == "MLM") {
+        Tensor ids = sample_stream(seq_len_);
+        Tensor labels = ids.clone();
+        // Mask 15% of positions; the model must reconstruct the original.
+        for (int64_t i = 0; i < ids.numel(); ++i) {
+            if (rng.uniform() < 0.15f) {
+                ids.set(i, static_cast<float>(maskToken()));
+            }
+        }
+        out.inputs = {ids};
+        out.targets = labels;
+        return out;
+    }
+
+    if (task_ == "CLM") {
+        Tensor ids = sample_stream(seq_len_ + 1);
+        out.inputs = {sliceSeq(ids, 0)};
+        out.targets = sliceSeq(ids, 1);
+        return out;
+    }
+
+    // Seq2Seq: independent source; labels = target shifted left.
+    Tensor src = sample_stream(seq_len_);
+    Tensor tgt = sample_stream(seq_len_ + 1);
+    out.inputs = {src, sliceSeq(tgt, 0)};
+    out.targets = sliceSeq(tgt, 1);
+    return out;
+}
+
+Tensor
+SyntheticDataset::sliceSeq(const Tensor& ids, int64_t offset) const
+{
+    // Slice [offset, offset + seq_len) along the sequence axis.
+    Tensor out = Tensor::zeros({ids.size(0), seq_len_});
+    const int64_t full = ids.size(1);
+    for (int64_t b = 0; b < ids.size(0); ++b) {
+        for (int64_t s = 0; s < seq_len_; ++s) {
+            out.set(b * seq_len_ + s, ids.at(b * full + offset + s));
+        }
+    }
+    return out;
+}
+
+std::string
+taskOf(const std::string& model_name)
+{
+    return modelInfo(model_name).task;
+}
+
+} // namespace models
+} // namespace slapo

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Synthetic training workloads for the Table 2 tasks — the stand-in for
+ * the corpora the paper trains on (see DESIGN.md §2: no production data
+ * here, so we generate token streams with a Zipfian unigram distribution,
+ * which preserves the only property the systems experiments care about:
+ * realistic id/label tensors of the right shapes for each task).
+ *
+ *  - MLM (BERT/RoBERTa/ALBERT): 15% of positions masked; labels carry
+ *    the original token there and an ignore-marker elsewhere (we train
+ *    on all positions for simplicity — labels equal the input where not
+ *    masked).
+ *  - CLM (GPT/OPT): labels are the inputs shifted left by one.
+ *  - Seq2Seq (T5): independent source and target streams; labels are
+ *    the target shifted left.
+ *  - IC (WideResNet): uniform pixel tensors + class labels.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace slapo {
+namespace models {
+
+/** One training example batch: model inputs followed by the target. */
+struct Batch
+{
+    /** Inputs in model order (ids; or src_ids, tgt_ids; or pixels). */
+    std::vector<Tensor> inputs;
+    /** Integer targets, flattened to the model's logit leading dims. */
+    Tensor targets;
+
+    /** inputs + targets, the tuple a loss-headed model consumes. */
+    std::vector<Tensor> withTargets() const;
+};
+
+/** Deterministic synthetic dataset for one Table 2 task. */
+class SyntheticDataset
+{
+  public:
+    /**
+     * @param task "MLM" | "CLM" | "Seq2Seq" | "IC" (Table 2 names).
+     * @param vocab vocabulary size (or class count for IC).
+     * @param seq_len sequence length (or image size for IC).
+     * @param seed base seed; batch i of two equally-seeded datasets is
+     *        identical (data-parallel tests rely on this).
+     */
+    SyntheticDataset(std::string task, int64_t vocab, int64_t seq_len,
+                     uint64_t seed = 1);
+
+    /** The `index`-th batch of the given size (stateless, random access). */
+    Batch batch(int64_t batch_size, int64_t index) const;
+
+    const std::string& task() const { return task_; }
+
+    /** Mask token id used by MLM batches (vocab - 1). */
+    int64_t maskToken() const { return vocab_ - 1; }
+
+  private:
+    /** Zipf-distributed token sample in [0, vocab). */
+    int64_t sampleToken(Rng& rng) const;
+
+    /** Slice [offset, offset + seq_len) along the sequence axis. */
+    Tensor sliceSeq(const Tensor& ids, int64_t offset) const;
+
+    std::string task_;
+    int64_t vocab_;
+    int64_t seq_len_;
+    uint64_t seed_;
+};
+
+/** The Table 2 task name of a registry model ("bert" -> "MLM", ...). */
+std::string taskOf(const std::string& model_name);
+
+} // namespace models
+} // namespace slapo

@@ -1,0 +1,230 @@
+#include "models/registry.h"
+
+namespace slapo {
+namespace models {
+
+const std::vector<ModelInfo>&
+table2()
+{
+    static const std::vector<ModelInfo> kRows = {
+        {"bert", "MLM", {335, 335}, 512, "FP16", true, true},
+        {"roberta", "MLM", {355, 355}, 512, "FP16", false, true},
+        {"albert", "MLM", {177, 177}, 512, "FP16", false, true},
+        {"gpt", "CLM", {125, 1300}, 1024, "FP16", true, false},
+        {"opt", "CLM", {350, 350}, 1024, "FP16", false, true},
+        {"t5", "Seq2Seq", {223, 770}, 1024, "FP16", true, true},
+        {"wideresnet", "IC", {250, 250}, 224, "FP32", false, true},
+    };
+    return kRows;
+}
+
+const ModelInfo&
+modelInfo(const std::string& name)
+{
+    for (const ModelInfo& info : table2()) {
+        if (info.name == name) {
+            return info;
+        }
+    }
+    SLAPO_THROW("unknown model '" << name << "'");
+}
+
+TransformerConfig
+modelConfig(const std::string& name, int variant)
+{
+    TransformerConfig c;
+    c.name = name;
+    if (name == "bert") {
+        // bert-large-uncased
+        c.vocab = 30522;
+        c.hidden = 1024;
+        c.layers = 24;
+        c.heads = 16;
+        c.intermediate = 4096;
+        c.max_positions = 512;
+        c.seq_len = 512;
+    } else if (name == "roberta") {
+        // roberta-large
+        c.vocab = 50265;
+        c.hidden = 1024;
+        c.layers = 24;
+        c.heads = 16;
+        c.intermediate = 4096;
+        c.max_positions = 512;
+        c.seq_len = 512;
+    } else if (name == "albert") {
+        // ALBERT with a single shared layer sized to ~177M params
+        c.vocab = 30000;
+        c.hidden = 3840;
+        c.layers = 12; // layer applications, all sharing one module
+        c.heads = 16;
+        c.intermediate = 15360;
+        c.max_positions = 512;
+        c.seq_len = 512;
+        c.embedding_size = 128;
+    } else if (name == "gpt") {
+        // GPT-Neo 125M / 1.3B
+        c.vocab = 50257;
+        c.causal = true;
+        c.pre_norm = true;
+        c.max_positions = 2048;
+        c.seq_len = 1024;
+        if (variant == 0) {
+            c.hidden = 768;
+            c.layers = 12;
+            c.heads = 12;
+            c.intermediate = 3072;
+        } else {
+            c.hidden = 2048;
+            c.layers = 24;
+            c.heads = 16;
+            c.intermediate = 8192;
+        }
+    } else if (name == "opt") {
+        // OPT-350M
+        c.vocab = 50272;
+        c.hidden = 1024;
+        c.layers = 24;
+        c.heads = 16;
+        c.intermediate = 4096;
+        c.causal = true;
+        c.pre_norm = true;
+        c.max_positions = 2048;
+        c.seq_len = 1024;
+    } else if (name == "t5") {
+        // t5-base / t5-large, encoder seq 1024 / decoder seq 512 (Table 2)
+        c.vocab = 32128;
+        c.max_positions = 1024;
+        c.seq_len = 1024;
+        c.decoder_seq_len = 512;
+        c.relative_buckets = 32; // HF T5's relative position bias
+        if (variant == 0) {
+            c.hidden = 768;
+            c.layers = 12;
+            c.decoder_layers = 12;
+            c.heads = 12;
+            c.intermediate = 3072;
+        } else {
+            c.hidden = 1024;
+            c.layers = 24;
+            c.decoder_layers = 24;
+            c.heads = 16;
+            c.intermediate = 4096;
+        }
+    } else {
+        SLAPO_THROW("modelConfig: '" << name << "' is not a transformer");
+    }
+    return c;
+}
+
+nn::ModulePtr
+buildModel(const std::string& name, int variant)
+{
+    if (name == "wideresnet") {
+        WideResNetConfig config; // WRN-28-26 ~= 250M params
+        return std::make_shared<WideResNet>(config);
+    }
+    const TransformerConfig c = modelConfig(name, variant);
+    if (name == "bert") {
+        return std::make_shared<BertModel>(c, "BertModel");
+    }
+    if (name == "roberta") {
+        return std::make_shared<BertModel>(c, "RobertaModel");
+    }
+    if (name == "albert") {
+        return std::make_shared<AlbertModel>(c);
+    }
+    if (name == "gpt") {
+        return std::make_shared<GptModel>(c, "GptModel",
+                                          /*top_traceable=*/false);
+    }
+    if (name == "opt") {
+        return std::make_shared<GptModel>(c, "OptModel",
+                                          /*top_traceable=*/true);
+    }
+    if (name == "t5") {
+        return std::make_shared<T5Model>(c);
+    }
+    SLAPO_THROW("unknown model '" << name << "'");
+}
+
+TransformerConfig
+gpt10BConfig()
+{
+    TransformerConfig c;
+    c.name = "gpt-10b";
+    c.vocab = 50257;
+    c.hidden = 4096;
+    c.layers = 48;
+    c.heads = 32;
+    c.intermediate = 16384;
+    c.causal = true;
+    c.pre_norm = true;
+    c.max_positions = 2048;
+    c.seq_len = 1024;
+    return c;
+}
+
+nn::ModulePtr
+buildGpt10B()
+{
+    // The 10B model is a custom configuration (not the HF GPT-Neo hub
+    // implementation), written tracer-friendly — so pipeline partitioning
+    // can trace its top-level containers (§3.3.2).
+    return std::make_shared<GptModel>(gpt10BConfig(), "GptModel",
+                                      /*top_traceable=*/true);
+}
+
+TransformerConfig
+tinyConfig(const std::string& name)
+{
+    TransformerConfig c = name == "wideresnet"
+                              ? TransformerConfig{}
+                              : modelConfig(name, 0);
+    c = c.scaled(/*hidden=*/16, /*layers=*/2, /*heads=*/2, /*vocab=*/64,
+                 /*seq=*/8);
+    c.max_positions = 16;
+    c.dropout = 0.0; // exact numeric verification
+    if (c.decoder_layers > 0) {
+        c.decoder_seq_len = 8;
+    }
+    return c;
+}
+
+nn::ModulePtr
+buildTinyModel(const std::string& name)
+{
+    if (name == "wideresnet") {
+        WideResNetConfig config;
+        config.depth = 10;
+        config.width = 1;
+        config.num_classes = 10;
+        config.image_size = 16;
+        return std::make_shared<WideResNet>(config);
+    }
+    const TransformerConfig c = tinyConfig(name);
+    if (name == "bert") {
+        return std::make_shared<BertModel>(c, "BertModel");
+    }
+    if (name == "roberta") {
+        return std::make_shared<BertModel>(c, "RobertaModel");
+    }
+    if (name == "albert") {
+        TransformerConfig ac = c;
+        ac.embedding_size = 8;
+        return std::make_shared<AlbertModel>(ac);
+    }
+    if (name == "gpt") {
+        return std::make_shared<GptModel>(c, "GptModel", false);
+    }
+    if (name == "opt") {
+        return std::make_shared<GptModel>(c, "OptModel", true);
+    }
+    if (name == "t5") {
+        return std::make_shared<T5Model>(c);
+    }
+    SLAPO_THROW("unknown model '" << name << "'");
+}
+
+} // namespace models
+} // namespace slapo

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Model registry implementing Table 2 of the paper: the seven evaluated
+ * models with their parameter counts, sequence lengths, and precisions,
+ * at both the single-device and the multi-node scales, plus the GPT-10B
+ * configuration of Fig. 9 and tiny variants for numeric tests.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/transformer.h"
+#include "models/wideresnet.h"
+
+namespace slapo {
+namespace models {
+
+/** One Table 2 row. */
+struct ModelInfo
+{
+    std::string name;       ///< "bert", "roberta", "albert", "gpt", "opt",
+                            ///< "t5", "wideresnet"
+    std::string task;       ///< MLM / CLM / Seq2Seq / IC
+    double paper_params_m[2] = {0, 0}; ///< Table 2 "# of params (Million)"
+    int64_t seq_len = 0;    ///< sequence length / image size
+    std::string precision;  ///< "FP16" or "FP32"
+    bool megatron_supported = false; ///< Megatron-LM implements it (§5.2)
+    bool torchscript_supported = true; ///< TorchScript can trace it (§5.1)
+};
+
+/** All Table 2 rows in paper order. */
+const std::vector<ModelInfo>& table2();
+
+/** Info row for a model name (throws on unknown name). */
+const ModelInfo& modelInfo(const std::string& name);
+
+/**
+ * Build a paper-scale model (meta parameters). `variant` selects the
+ * Table 2 size column: 0 = single-device/node size, 1 = the larger size
+ * where the paper lists one (GPT 1.3B, T5 770M).
+ */
+nn::ModulePtr buildModel(const std::string& name, int variant = 0);
+
+/** The Table 2 transformer config (throws for "wideresnet"). */
+TransformerConfig modelConfig(const std::string& name, int variant = 0);
+
+/** The GPT-10B configuration used by the Fig. 9 multi-machine study. */
+TransformerConfig gpt10BConfig();
+nn::ModulePtr buildGpt10B();
+
+/**
+ * A tiny, numerically-runnable variant of a model (materialized-friendly
+ * sizes) for tests and examples; dropout disabled so schedules verify
+ * exactly.
+ */
+nn::ModulePtr buildTinyModel(const std::string& name);
+TransformerConfig tinyConfig(const std::string& name);
+
+} // namespace models
+} // namespace slapo

@@ -1,0 +1,498 @@
+#include "models/transformer.h"
+
+namespace slapo {
+namespace models {
+
+using nn::Module;
+using nn::ModulePtr;
+using nn::Value;
+
+TransformerConfig
+TransformerConfig::scaled(int64_t hidden_, int64_t layers_, int64_t heads_,
+                          int64_t vocab_, int64_t seq_) const
+{
+    TransformerConfig c = *this;
+    c.hidden = hidden_;
+    c.layers = layers_;
+    c.heads = heads_;
+    c.vocab = vocab_;
+    c.seq_len = seq_;
+    c.max_positions = std::max<int64_t>(c.max_positions, seq_);
+    c.intermediate = 4 * hidden_;
+    if (c.embedding_size > 0) {
+        c.embedding_size = std::min<int64_t>(c.embedding_size, hidden_);
+    }
+    if (c.decoder_layers > 0) {
+        c.decoder_layers = layers_;
+        c.decoder_seq_len = seq_;
+    }
+    return c;
+}
+
+// --- embeddings ---------------------------------------------------------------
+
+BertEmbeddings::BertEmbeddings(const TransformerConfig& config)
+    : Module("BertEmbeddings"), config_(config)
+{
+    registerChild("word", std::make_shared<nn::Embedding>(config.vocab,
+                                                          config.hidden));
+    registerChild("pos", std::make_shared<nn::PositionalEmbedding>(
+                             config.max_positions, config.hidden));
+    registerChild("norm", std::make_shared<nn::LayerNorm>(config.hidden));
+    registerChild("dropout", std::make_shared<nn::Dropout>(config.dropout));
+}
+
+std::vector<Value>
+BertEmbeddings::forward(const std::vector<Value>& inputs)
+{
+    Value h = callChildOne("word", {inputs[0]});
+    h = callChildOne("pos", {h});
+    h = callChildOne("norm", {h});
+    return {callChildOne("dropout", {h})};
+}
+
+ModulePtr
+BertEmbeddings::clone() const
+{
+    auto m = std::make_shared<BertEmbeddings>(config_);
+    cloneInto(m.get());
+    return m;
+}
+
+GptEmbeddings::GptEmbeddings(const TransformerConfig& config)
+    : Module("GptEmbeddings"), config_(config)
+{
+    registerChild("word", std::make_shared<nn::Embedding>(config.vocab,
+                                                          config.hidden));
+    registerChild("pos", std::make_shared<nn::PositionalEmbedding>(
+                             config.max_positions, config.hidden));
+    registerChild("dropout", std::make_shared<nn::Dropout>(config.dropout));
+}
+
+std::vector<Value>
+GptEmbeddings::forward(const std::vector<Value>& inputs)
+{
+    Value h = callChildOne("word", {inputs[0]});
+    h = callChildOne("pos", {h});
+    return {callChildOne("dropout", {h})};
+}
+
+ModulePtr
+GptEmbeddings::clone() const
+{
+    auto m = std::make_shared<GptEmbeddings>(config_);
+    cloneInto(m.get());
+    return m;
+}
+
+// --- blocks ---------------------------------------------------------------
+
+AttentionBlock::AttentionBlock(const TransformerConfig& config, bool causal)
+    : Module("AttentionBlock"), config_(config), causal_(causal)
+{
+    registerChild("self", std::make_shared<nn::SelfAttention>(
+                              config.hidden, config.heads, config.dropout,
+                              causal, config.relative_buckets));
+    registerChild("output", std::make_shared<nn::Projection>(
+                                config.hidden, config.dropout,
+                                config.pre_norm));
+}
+
+std::vector<Value>
+AttentionBlock::forward(const std::vector<Value>& inputs)
+{
+    const Value& x = inputs[0];
+    // Pre-norm callers pass (normed_x, residual); post-norm pass (x).
+    const Value& residual = inputs.size() > 1 ? inputs[1] : x;
+    Value context = callChildOne("self", {x});
+    return {callChildOne("output", {context, residual})};
+}
+
+ModulePtr
+AttentionBlock::clone() const
+{
+    auto m = std::make_shared<AttentionBlock>(config_, causal_);
+    cloneInto(m.get());
+    return m;
+}
+
+TransformerLayer::TransformerLayer(const TransformerConfig& config)
+    : Module("TransformerLayer"), config_(config)
+{
+    registerChild("attention",
+                  std::make_shared<AttentionBlock>(config, config.causal));
+    registerChild("ffn", std::make_shared<nn::FFN>(config.hidden,
+                                                   config.intermediate,
+                                                   config.dropout, false));
+}
+
+std::vector<Value>
+TransformerLayer::forward(const std::vector<Value>& inputs)
+{
+    Value h = callChildOne("attention", {inputs[0]});
+    return {callChildOne("ffn", {h})};
+}
+
+ModulePtr
+TransformerLayer::clone() const
+{
+    auto m = std::make_shared<TransformerLayer>(config_);
+    cloneInto(m.get());
+    return m;
+}
+
+PreNormLayer::PreNormLayer(const TransformerConfig& config)
+    : Module("PreNormLayer"), config_(config)
+{
+    registerChild("ln1", std::make_shared<nn::LayerNorm>(config.hidden));
+    registerChild("attention", std::make_shared<AttentionBlock>(config, true));
+    registerChild("ln2", std::make_shared<nn::LayerNorm>(config.hidden));
+    registerChild("ffn", std::make_shared<nn::FFN>(config.hidden,
+                                                   config.intermediate,
+                                                   config.dropout,
+                                                   /*pre_norm=*/true));
+}
+
+std::vector<Value>
+PreNormLayer::forward(const std::vector<Value>& inputs)
+{
+    const Value& x = inputs[0];
+    Value a = callChildOne("ln1", {x});
+    Value h = callChildOne("attention", {a, x});
+    Value f = callChildOne("ln2", {h});
+    return {callChildOne("ffn", {f, h})};
+}
+
+ModulePtr
+PreNormLayer::clone() const
+{
+    auto m = std::make_shared<PreNormLayer>(config_);
+    cloneInto(m.get());
+    return m;
+}
+
+Encoder::Encoder(const TransformerConfig& config, bool pre_norm)
+    : Module("Encoder"), config_(config), pre_norm_(pre_norm)
+{
+    auto layers = std::make_shared<nn::Sequential>();
+    for (int64_t i = 0; i < config.layers; ++i) {
+        if (pre_norm) {
+            layers->append(std::make_shared<PreNormLayer>(config));
+        } else {
+            layers->append(std::make_shared<TransformerLayer>(config));
+        }
+    }
+    registerChild("layer", layers);
+}
+
+std::vector<Value>
+Encoder::forward(const std::vector<Value>& inputs)
+{
+    return callChild("layer", inputs);
+}
+
+ModulePtr
+Encoder::clone() const
+{
+    auto m = std::make_shared<Encoder>(config_, pre_norm_);
+    cloneInto(m.get());
+    return m;
+}
+
+// --- heads ---------------------------------------------------------------
+
+PoolerHead::PoolerHead(const TransformerConfig& config)
+    : Module("Pooler"), config_(config)
+{
+    registerChild("dense", std::make_shared<nn::Linear>(config.hidden,
+                                                        config.hidden));
+    registerChild("act",
+                  std::make_shared<nn::Activation>(nn::Activation::Kind::Tanh));
+    registerChild("decoder", std::make_shared<nn::Linear>(config.hidden,
+                                                          config.vocab));
+}
+
+std::vector<Value>
+PoolerHead::forward(const std::vector<Value>& inputs)
+{
+    Value h = callChildOne("dense", {inputs[0]});
+    h = callChildOne("act", {h});
+    return {callChildOne("decoder", {h})};
+}
+
+ModulePtr
+PoolerHead::clone() const
+{
+    auto m = std::make_shared<PoolerHead>(config_);
+    cloneInto(m.get());
+    return m;
+}
+
+GptHead::GptHead(const TransformerConfig& config)
+    : Module("GptHead"), config_(config)
+{
+    registerChild("ln_f", std::make_shared<nn::LayerNorm>(config.hidden));
+    registerChild("lm_head", std::make_shared<nn::Linear>(config.hidden,
+                                                          config.vocab,
+                                                          /*bias=*/false));
+}
+
+std::vector<Value>
+GptHead::forward(const std::vector<Value>& inputs)
+{
+    Value h = callChildOne("ln_f", {inputs[0]});
+    return {callChildOne("lm_head", {h})};
+}
+
+ModulePtr
+GptHead::clone() const
+{
+    auto m = std::make_shared<GptHead>(config_);
+    cloneInto(m.get());
+    return m;
+}
+
+// --- models ---------------------------------------------------------------
+
+BertModel::BertModel(const TransformerConfig& config,
+                     const std::string& type_name)
+    : Module(type_name), config_(config)
+{
+    registerChild("embeddings", std::make_shared<BertEmbeddings>(config));
+    registerChild("encoder", std::make_shared<Encoder>(config, false));
+    registerChild("pooler", std::make_shared<PoolerHead>(config));
+}
+
+std::vector<Value>
+BertModel::forward(const std::vector<Value>& inputs)
+{
+    Value h = callChildOne("embeddings", {inputs[0]});
+    h = callChildOne("encoder", {h});
+    return {callChildOne("pooler", {h})};
+}
+
+ModulePtr
+BertModel::clone() const
+{
+    auto m = std::make_shared<BertModel>(config_, typeName());
+    cloneInto(m.get());
+    return m;
+}
+
+GptModel::GptModel(const TransformerConfig& config,
+                   const std::string& type_name, bool top_traceable)
+    : Module(type_name), config_(config), top_traceable_(top_traceable)
+{
+    registerChild("embeddings", std::make_shared<GptEmbeddings>(config));
+    registerChild("decoder", std::make_shared<Encoder>(config, true));
+    registerChild("head", std::make_shared<GptHead>(config));
+    // GPT-Neo's HF implementation cannot be captured by whole-model
+    // tracers (§5.1); submodules remain individually traceable.
+    setTraceable(top_traceable);
+}
+
+std::vector<Value>
+GptModel::forward(const std::vector<Value>& inputs)
+{
+    Value h = callChildOne("embeddings", {inputs[0]});
+    h = callChildOne("decoder", {h});
+    return {callChildOne("head", {h})};
+}
+
+ModulePtr
+GptModel::clone() const
+{
+    auto m = std::make_shared<GptModel>(config_, typeName(), top_traceable_);
+    cloneInto(m.get());
+    return m;
+}
+
+AlbertModel::AlbertModel(const TransformerConfig& config)
+    : Module("AlbertModel"), config_(config)
+{
+    SLAPO_CHECK(config.embedding_size > 0,
+                "AlbertModel requires a factorized embedding_size");
+    TransformerConfig emb_config = config;
+    emb_config.hidden = config.embedding_size;
+    registerChild("embeddings", std::make_shared<BertEmbeddings>(emb_config));
+    registerChild("proj", std::make_shared<nn::Linear>(config.embedding_size,
+                                                       config.hidden));
+    registerChild("shared_layer", std::make_shared<TransformerLayer>(config));
+    registerChild("head_proj", std::make_shared<nn::Linear>(
+                                   config.hidden, config.embedding_size));
+    registerChild("decoder", std::make_shared<nn::Linear>(
+                                 config.embedding_size, config.vocab));
+}
+
+std::vector<Value>
+AlbertModel::forward(const std::vector<Value>& inputs)
+{
+    Value h = callChildOne("embeddings", {inputs[0]});
+    h = callChildOne("proj", {h});
+    for (int64_t i = 0; i < config_.layers; ++i) {
+        h = callChildOne("shared_layer", {h});
+    }
+    h = callChildOne("head_proj", {h});
+    return {callChildOne("decoder", {h})};
+}
+
+ModulePtr
+AlbertModel::clone() const
+{
+    auto m = std::make_shared<AlbertModel>(config_);
+    cloneInto(m.get());
+    return m;
+}
+
+CrossAttentionBlock::CrossAttentionBlock(const TransformerConfig& config)
+    : Module("CrossAttentionBlock"), config_(config)
+{
+    registerChild("query", std::make_shared<nn::Linear>(config.hidden,
+                                                        config.hidden));
+    registerChild("key", std::make_shared<nn::Linear>(config.hidden,
+                                                      config.hidden));
+    registerChild("value", std::make_shared<nn::Linear>(config.hidden,
+                                                        config.hidden));
+    registerChild("core", std::make_shared<nn::CoreAttention>(
+                              config.hidden / config.heads, config.dropout,
+                              /*causal=*/false));
+    registerChild("output", std::make_shared<nn::Projection>(config.hidden,
+                                                             config.dropout));
+}
+
+std::vector<Value>
+CrossAttentionBlock::forward(const std::vector<Value>& inputs)
+{
+    SLAPO_CHECK(inputs.size() == 2,
+                "CrossAttentionBlock: expects (x, memory), got "
+                    << inputs.size() << " inputs");
+    const Value& x = inputs[0];
+    const Value& memory = inputs[1];
+    Value q = callChildOne("query", {x});
+    Value k = callChildOne("key", {memory});
+    Value v = callChildOne("value", {memory});
+    Value context = callChildOne("core", {q, k, v});
+    return {callChildOne("output", {context, x})};
+}
+
+ModulePtr
+CrossAttentionBlock::clone() const
+{
+    auto m = std::make_shared<CrossAttentionBlock>(config_);
+    cloneInto(m.get());
+    return m;
+}
+
+T5DecoderLayer::T5DecoderLayer(const TransformerConfig& config)
+    : Module("T5DecoderLayer"), config_(config)
+{
+    registerChild("self_attention",
+                  std::make_shared<AttentionBlock>(config, /*causal=*/true));
+    registerChild("cross_attention",
+                  std::make_shared<CrossAttentionBlock>(config));
+    registerChild("ffn", std::make_shared<nn::FFN>(config.hidden,
+                                                   config.intermediate,
+                                                   config.dropout, false));
+}
+
+std::vector<Value>
+T5DecoderLayer::forward(const std::vector<Value>& inputs)
+{
+    SLAPO_CHECK(inputs.size() == 2,
+                "T5DecoderLayer: expects (x, memory), got " << inputs.size()
+                                                            << " inputs");
+    Value h = callChildOne("self_attention", {inputs[0]});
+    h = callChildOne("cross_attention", {h, inputs[1]});
+    return {callChildOne("ffn", {h})};
+}
+
+ModulePtr
+T5DecoderLayer::clone() const
+{
+    auto m = std::make_shared<T5DecoderLayer>(config_);
+    cloneInto(m.get());
+    return m;
+}
+
+namespace {
+
+/** Decoder stack threading the encoder memory into every layer. */
+class T5DecoderStack : public Module
+{
+  public:
+    explicit T5DecoderStack(const TransformerConfig& config)
+        : Module("T5DecoderStack"), layers_(config.decoder_layers)
+    {
+        for (int64_t i = 0; i < layers_; ++i) {
+            registerChild(std::to_string(i),
+                          std::make_shared<T5DecoderLayer>(config));
+        }
+    }
+
+    std::vector<Value>
+    forward(const std::vector<Value>& inputs) override
+    {
+        SLAPO_CHECK(inputs.size() == 2,
+                    "T5DecoderStack: expects (x, memory), got "
+                        << inputs.size() << " inputs");
+        Value h = inputs[0];
+        const Value& memory = inputs[1];
+        for (int64_t i = 0; i < layers_; ++i) {
+            h = callChildOne(std::to_string(i), {h, memory});
+        }
+        return {h};
+    }
+
+    ModulePtr
+    clone() const override
+    {
+        TransformerConfig dummy;
+        dummy.decoder_layers = 0; // children restored by cloneInto
+        auto m = std::shared_ptr<T5DecoderStack>(new T5DecoderStack(dummy));
+        m->layers_ = layers_;
+        cloneInto(m.get());
+        return m;
+    }
+
+  private:
+    int64_t layers_;
+};
+
+} // namespace
+
+T5Model::T5Model(const TransformerConfig& config)
+    : Module("T5Model"), config_(config)
+{
+    SLAPO_CHECK(config.decoder_layers > 0, "T5Model needs decoder_layers");
+    registerChild("enc_embeddings", std::make_shared<BertEmbeddings>(config));
+    registerChild("encoder", std::make_shared<Encoder>(config, false));
+    registerChild("dec_embeddings", std::make_shared<BertEmbeddings>(config));
+    registerChild("decoder", std::make_shared<T5DecoderStack>(config));
+    registerChild("head", std::make_shared<nn::Linear>(config.hidden,
+                                                       config.vocab,
+                                                       /*bias=*/false));
+}
+
+std::vector<Value>
+T5Model::forward(const std::vector<Value>& inputs)
+{
+    SLAPO_CHECK(inputs.size() == 2,
+                "T5Model: expects (src_ids, tgt_ids), got " << inputs.size()
+                                                            << " inputs");
+    Value memory = callChildOne("encoder",
+                                {callChildOne("enc_embeddings", {inputs[0]})});
+    Value h = callChildOne("dec_embeddings", {inputs[1]});
+    h = callChildOne("decoder", {h, memory});
+    return {callChildOne("head", {h})};
+}
+
+ModulePtr
+T5Model::clone() const
+{
+    auto m = std::make_shared<T5Model>(config_);
+    cloneInto(m.get());
+    return m;
+}
+
+} // namespace models
+} // namespace slapo

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Transformer model zoo mirroring the HuggingFace implementations the
+ * paper evaluates (Table 2): encoder models (BERT, RoBERTa, ALBERT),
+ * decoder models (GPT-Neo, OPT), and the encoder-decoder T5. All are
+ * built from the nn building blocks so the same schedules the paper
+ * applies (fused QKV, flash attention, sharding, checkpointing, pipeline
+ * splits) apply here unchanged.
+ */
+#pragma once
+
+#include <string>
+
+#include "nn/layers.h"
+
+namespace slapo {
+namespace models {
+
+/** Architecture hyper-parameters of one transformer model. */
+struct TransformerConfig
+{
+    std::string name = "bert";
+    int64_t vocab = 30522;
+    int64_t hidden = 1024;
+    int64_t layers = 24;
+    int64_t heads = 16;
+    int64_t intermediate = 4096;
+    int64_t max_positions = 512;
+    int64_t seq_len = 512;       ///< evaluation sequence length (Table 2)
+    double dropout = 0.1;
+    bool causal = false;         ///< decoder-style masked attention
+    bool pre_norm = false;       ///< GPT/OPT pre-LN blocks
+    int64_t embedding_size = 0;  ///< ALBERT factorized embedding (0 = hidden)
+    int64_t decoder_layers = 0;  ///< T5 only
+    int64_t decoder_seq_len = 0; ///< T5 only
+    /**
+     * T5-style relative position bias in self-attention (> 0 = bucket
+     * count). The HF implementation detail that makes Megatron's
+     * fixed-embedding T5 intrinsically faster (§5.2).
+     */
+    int64_t relative_buckets = 0;
+
+    /** Scale all width/depth dims down by `factor` for numeric tests. */
+    TransformerConfig scaled(int64_t hidden_, int64_t layers_, int64_t heads_,
+                             int64_t vocab_, int64_t seq_) const;
+};
+
+/** BERT word+position embeddings (+LN +dropout). */
+class BertEmbeddings : public nn::Module
+{
+  public:
+    explicit BertEmbeddings(const TransformerConfig& config);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+  private:
+    TransformerConfig config_;
+};
+
+/** GPT-style embeddings: word + position + dropout, no LN. */
+class GptEmbeddings : public nn::Module
+{
+  public:
+    explicit GptEmbeddings(const TransformerConfig& config);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+  private:
+    TransformerConfig config_;
+};
+
+/** Post-norm encoder block: attention(self+output) then FFN (Fig. 1). */
+class TransformerLayer : public nn::Module
+{
+  public:
+    explicit TransformerLayer(const TransformerConfig& config);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+  private:
+    TransformerConfig config_;
+};
+
+/** The attention sub-block: SelfAttention + Projection (HF layout). */
+class AttentionBlock : public nn::Module
+{
+  public:
+    AttentionBlock(const TransformerConfig& config, bool causal);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+  private:
+    TransformerConfig config_;
+    bool causal_;
+};
+
+/** Pre-LN decoder block (GPT-Neo / OPT style). */
+class PreNormLayer : public nn::Module
+{
+  public:
+    explicit PreNormLayer(const TransformerConfig& config);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+  private:
+    TransformerConfig config_;
+};
+
+/** Stack container holding the "layer" Sequential (HF encoder). */
+class Encoder : public nn::Module
+{
+  public:
+    /** @param pre_norm build PreNormLayer blocks instead of post-norm. */
+    Encoder(const TransformerConfig& config, bool pre_norm);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+  private:
+    TransformerConfig config_;
+    bool pre_norm_;
+};
+
+/** BERT head ("pooler" stage of Fig. 5): dense+tanh then vocab decoder. */
+class PoolerHead : public nn::Module
+{
+  public:
+    explicit PoolerHead(const TransformerConfig& config);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+  private:
+    TransformerConfig config_;
+};
+
+/** GPT head: final LN + LM projection. */
+class GptHead : public nn::Module
+{
+  public:
+    explicit GptHead(const TransformerConfig& config);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+  private:
+    TransformerConfig config_;
+};
+
+/**
+ * Encoder-only MLM model (BERT / RoBERTa): embeddings → encoder → pooler,
+ * a pure linear chain of children so `.pipeline_split()` partitioning
+ * works exactly as in Fig. 5. Input: token ids [B, S]; output: logits
+ * [B, S, vocab].
+ */
+class BertModel : public nn::Module
+{
+  public:
+    explicit BertModel(const TransformerConfig& config,
+                       const std::string& type_name = "BertModel");
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+    const TransformerConfig& config() const { return config_; }
+
+  private:
+    TransformerConfig config_;
+};
+
+/**
+ * Decoder-only CLM model (GPT-Neo / OPT). The GPT-Neo *top module* is
+ * flagged untraceable, reproducing the §5.1 observation that TorchScript
+ * cannot capture it while Slapo still schedules its submodules.
+ */
+class GptModel : public nn::Module
+{
+  public:
+    GptModel(const TransformerConfig& config,
+             const std::string& type_name = "GptModel",
+             bool top_traceable = false);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+    const TransformerConfig& config() const { return config_; }
+
+  private:
+    TransformerConfig config_;
+    bool top_traceable_;
+};
+
+/** ALBERT: factorized embedding + a single *shared* layer applied
+ * `layers` times — scheduling the shared layer once schedules them all. */
+class AlbertModel : public nn::Module
+{
+  public:
+    explicit AlbertModel(const TransformerConfig& config);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+    const TransformerConfig& config() const { return config_; }
+
+  private:
+    TransformerConfig config_;
+};
+
+/** Cross-attention block of the T5 decoder: q from x, k/v from memory. */
+class CrossAttentionBlock : public nn::Module
+{
+  public:
+    explicit CrossAttentionBlock(const TransformerConfig& config);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+  private:
+    TransformerConfig config_;
+};
+
+/** T5 decoder block: causal self-attention, cross-attention, FFN. */
+class T5DecoderLayer : public nn::Module
+{
+  public:
+    explicit T5DecoderLayer(const TransformerConfig& config);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+  private:
+    TransformerConfig config_;
+};
+
+/** Seq2Seq model (T5). Inputs: (src_ids, tgt_ids); output: logits. */
+class T5Model : public nn::Module
+{
+  public:
+    explicit T5Model(const TransformerConfig& config);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+    const TransformerConfig& config() const { return config_; }
+
+  private:
+    TransformerConfig config_;
+};
+
+} // namespace models
+} // namespace slapo

@@ -1,0 +1,107 @@
+#include "models/wideresnet.h"
+
+namespace slapo {
+namespace models {
+
+using nn::ModulePtr;
+using nn::Value;
+
+WideResNetBlock::WideResNetBlock(int64_t in_channels, int64_t out_channels,
+                                 int64_t stride)
+    : Module("WideResNetBlock"),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      stride_(stride)
+{
+    registerChild("bn1", std::make_shared<nn::BatchNorm2d>(in_channels));
+    registerChild("relu1",
+                  std::make_shared<nn::Activation>(nn::Activation::Kind::Relu));
+    registerChild("conv1", std::make_shared<nn::Conv2d>(in_channels,
+                                                        out_channels, 3,
+                                                        stride, 1));
+    registerChild("bn2", std::make_shared<nn::BatchNorm2d>(out_channels));
+    registerChild("relu2",
+                  std::make_shared<nn::Activation>(nn::Activation::Kind::Relu));
+    registerChild("conv2", std::make_shared<nn::Conv2d>(out_channels,
+                                                        out_channels, 3, 1, 1));
+    if (in_channels != out_channels || stride != 1) {
+        registerChild("shortcut", std::make_shared<nn::Conv2d>(
+                                      in_channels, out_channels, 1, stride, 0));
+    }
+}
+
+std::vector<Value>
+WideResNetBlock::forward(const std::vector<Value>& inputs)
+{
+    const Value& x = inputs[0];
+    Value h = callChildOne("bn1", {x});
+    h = callChildOne("relu1", {h});
+    Value pre = h; // pre-activation feeds the projection shortcut
+    h = callChildOne("conv1", {h});
+    h = callChildOne("bn2", {h});
+    h = callChildOne("relu2", {h});
+    h = callChildOne("conv2", {h});
+    Value skip = hasChild("shortcut") ? callChildOne("shortcut", {pre}) : x;
+    return {nn::F::add(h, skip)};
+}
+
+ModulePtr
+WideResNetBlock::clone() const
+{
+    auto m = std::make_shared<WideResNetBlock>(in_channels_, out_channels_,
+                                               stride_);
+    cloneInto(m.get());
+    return m;
+}
+
+WideResNet::WideResNet(const WideResNetConfig& config)
+    : Module("WideResNet"), config_(config)
+{
+    SLAPO_CHECK((config.depth - 4) % 6 == 0,
+                "WideResNet: depth must be 6n + 4, got " << config.depth);
+    const int64_t n = (config.depth - 4) / 6;
+    const int64_t widths[3] = {16 * config.width, 32 * config.width,
+                               64 * config.width};
+
+    registerChild("stem", std::make_shared<nn::Conv2d>(3, 16, 3, 2, 1));
+    int64_t channels = 16;
+    for (int g = 0; g < 3; ++g) {
+        auto group = std::make_shared<nn::Sequential>();
+        for (int64_t b = 0; b < n; ++b) {
+            const int64_t stride = b == 0 ? 2 : 1;
+            group->append(std::make_shared<WideResNetBlock>(channels,
+                                                            widths[g], stride));
+            channels = widths[g];
+        }
+        registerChild("group" + std::to_string(g + 1), group);
+    }
+    registerChild("bn_final", std::make_shared<nn::BatchNorm2d>(channels));
+    registerChild("relu_final",
+                  std::make_shared<nn::Activation>(nn::Activation::Kind::Relu));
+    registerChild("classifier", std::make_shared<nn::Linear>(
+                                    channels, config.num_classes));
+}
+
+std::vector<Value>
+WideResNet::forward(const std::vector<Value>& inputs)
+{
+    Value h = callChildOne("stem", {inputs[0]});
+    h = callChildOne("group1", {h});
+    h = callChildOne("group2", {h});
+    h = callChildOne("group3", {h});
+    h = callChildOne("bn_final", {h});
+    h = callChildOne("relu_final", {h});
+    h = nn::F::globalAvgPool(h);
+    return {callChildOne("classifier", {h})};
+}
+
+ModulePtr
+WideResNet::clone() const
+{
+    auto m = std::make_shared<WideResNet>(config_);
+    cloneInto(m.get());
+    return m;
+}
+
+} // namespace models
+} // namespace slapo

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * WideResNet (Zagoruyko & Komodakis) — the image-classification entry of
+ * Table 2 (~250M params, 3x224x224, FP32). Built from Conv2d/BatchNorm2d
+ * leaves so module-level schedule primitives (replace, checkpoint, shard)
+ * apply; vision kernels are forward/simulation-only in this repo.
+ */
+#pragma once
+
+#include "nn/layers.h"
+
+namespace slapo {
+namespace models {
+
+/** WRN configuration: depth = 6n + 4, width multiplier k. */
+struct WideResNetConfig
+{
+    std::string name = "wideresnet";
+    int64_t depth = 28;       ///< total conv depth (28 -> n = 4 per group)
+    int64_t width = 26;       ///< widening factor k (~250M params)
+    int64_t num_classes = 1000;
+    int64_t image_size = 224; ///< Table 2 input resolution
+    int64_t batch_image_size = 224;
+};
+
+/** One pre-activation residual block: BN-ReLU-Conv x2 (+1x1 shortcut). */
+class WideResNetBlock : public nn::Module
+{
+  public:
+    WideResNetBlock(int64_t in_channels, int64_t out_channels, int64_t stride);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+    int64_t inChannels() const { return in_channels_; }
+
+  private:
+    int64_t in_channels_;
+    int64_t out_channels_;
+    int64_t stride_;
+};
+
+/** The full WRN-depth-width model: stem conv, 3 groups, GAP + classifier. */
+class WideResNet : public nn::Module
+{
+  public:
+    explicit WideResNet(const WideResNetConfig& config);
+    std::vector<nn::Value> forward(const std::vector<nn::Value>& inputs) override;
+    nn::ModulePtr clone() const override;
+
+    const WideResNetConfig& config() const { return config_; }
+
+  private:
+    WideResNetConfig config_;
+};
+
+} // namespace models
+} // namespace slapo

@@ -1,0 +1,180 @@
+#include "nn/interpreter.h"
+
+#include "nn/context.h"
+#include "nn/functional.h"
+#include "nn/module.h"
+
+namespace slapo {
+namespace nn {
+
+Value
+interpretOp(const graph::Node& node, const std::vector<Value>& in)
+{
+    using graph::OpKind;
+    switch (node.op()) {
+      case OpKind::Add: return F::add(in[0], in[1]);
+      case OpKind::Sub: return F::sub(in[0], in[1]);
+      case OpKind::Mul: return F::mul(in[0], in[1]);
+      case OpKind::Div: return F::div(in[0], in[1]);
+      case OpKind::Scale: return F::scale(in[0], node.attrFloat("factor"));
+      case OpKind::AddScalar:
+        return F::addScalar(in[0], node.attrFloat("value"));
+      case OpKind::Gelu: return F::gelu(in[0]);
+      case OpKind::Relu: return F::relu(in[0]);
+      case OpKind::Tanh: return F::tanh(in[0]);
+      case OpKind::Clamp:
+        return F::clampScalar(in[0], node.attrFloat("lo"),
+                              node.attrFloat("hi"));
+      case OpKind::RangeMask:
+        return F::rangeMask(in[0], node.attrFloat("lo"), node.attrFloat("hi"));
+      case OpKind::CausalMask: return F::causalMask(in[0]);
+      case OpKind::RelPosBias: return F::relPosBias(in[0], in[1]);
+      case OpKind::Softmax: return F::softmax(in[0]);
+      case OpKind::LayerNormOp:
+        return F::layerNorm(in[0], in[1], in[2], node.attrFloat("eps"));
+      case OpKind::Dropout:
+        return F::dropout(in[0], node.attrFloat("p"), node.attrInt("seed"));
+      case OpKind::Matmul: return F::matmul(in[0], in[1]);
+      case OpKind::LinearOp:
+        return F::linear(in[0], in[1], in.size() > 2 ? in[2] : Value());
+      case OpKind::TransposeLast2: return F::transposeLast2(in[0]);
+      case OpKind::Reshape: return F::reshape(in[0], node.attrInts("shape"));
+      case OpKind::Permute: return F::permute(in[0], node.attrInts("perm"));
+      case OpKind::Concat: return F::concat(in, node.attrInt("axis"));
+      case OpKind::Narrow:
+        return F::narrow(in[0], node.attrInt("axis"), node.attrInt("start"),
+                         node.attrInt("length"));
+      case OpKind::EmbeddingOp: return F::embedding(in[0], in[1]);
+      case OpKind::CrossEntropyOp: return F::crossEntropy(in[0], in[1]);
+      case OpKind::MseLossOp: return F::mseLoss(in[0], in[1]);
+      case OpKind::Conv2dOp:
+        return F::conv2d(in[0], in[1], node.attrInt("stride"),
+                         node.attrInt("pad"));
+      case OpKind::BatchNormOp:
+        return F::batchNorm2d(in[0], in[1], in[2], node.attrFloat("eps"));
+      case OpKind::GlobalAvgPoolOp: return F::globalAvgPool(in[0]);
+      case OpKind::AllReduce: return F::allReduce(in[0]);
+      case OpKind::AllGather: return F::allGather(in[0], node.attrInt("axis"));
+      case OpKind::ReduceScatter:
+        return F::reduceScatter(in[0], node.attrInt("axis"));
+      case OpKind::Identity: return F::identity(in[0]);
+    }
+    SLAPO_THROW("interpretOp: unhandled op " << opKindName(node.op()));
+}
+
+std::vector<Value>
+interpretGraph(const graph::Graph& graph, Module* self,
+               const std::vector<Value>& inputs)
+{
+    SLAPO_CHECK(TracingState::current() == nullptr,
+                "cannot interpret a traced graph while tracing; re-trace the "
+                "module instead of nesting");
+    std::map<const graph::Node*, std::vector<Value>> env;
+
+    const auto placeholders = graph.placeholders();
+    SLAPO_CHECK(placeholders.size() == inputs.size(),
+                "graph expects " << placeholders.size() << " inputs, got "
+                                 << inputs.size());
+    for (size_t i = 0; i < placeholders.size(); ++i) {
+        env[placeholders[i]] = {inputs[i]};
+    }
+
+    auto first = [&](const graph::Node* n) -> const Value& {
+        auto it = env.find(n);
+        SLAPO_ASSERT(it != env.end(), "interpret: undefined node " << n->name());
+        return it->second[0];
+    };
+
+    Profiler* prof = Profiler::current();
+
+    for (graph::Node* node : graph.nodes()) {
+        switch (node->kind()) {
+          case graph::NodeKind::Placeholder:
+            break;
+          case graph::NodeKind::GetParam: {
+            SLAPO_ASSERT(node->module() != nullptr,
+                         "get_param without module binding");
+            env[node] = {Value(node->module()->paramTensor(node->target()))};
+            break;
+          }
+          case graph::NodeKind::CallOp: {
+            std::vector<Value> ins;
+            ins.reserve(node->inputs().size());
+            for (graph::Node* in : node->inputs()) {
+                ins.push_back(first(in));
+            }
+            // A .checkpoint(subgraph) node: flag its kernel record (the
+            // memory model drops it from activations) and account the
+            // region boundary once, at entry nodes.
+            const bool ckpt_scope = node->checkpointed() && prof != nullptr;
+            if (ckpt_scope) {
+                bool region_entry = true;
+                double boundary_elems = 0;
+                for (graph::Node* in : node->inputs()) {
+                    region_entry &= !in->checkpointed();
+                    boundary_elems +=
+                        static_cast<double>(numelOf(in->shape()));
+                }
+                if (region_entry) {
+                    prof->recordCheckpointBoundary(boundary_elems);
+                }
+                prof->beginModule("ckpt_subgraph", /*checkpointed=*/true);
+            }
+            env[node] = {interpretOp(*node, ins)};
+            if (ckpt_scope) {
+                prof->endModule();
+            }
+            break;
+          }
+          case graph::NodeKind::CallModule: {
+            Module* target = node->module();
+            SLAPO_ASSERT(target != nullptr, "call_module without module");
+            std::vector<Value> ins;
+            for (graph::Node* in : node->inputs()) {
+                ins.push_back(first(in));
+            }
+            if (prof) prof->beginModule(node->target(), false);
+            std::vector<Value> outs = target->call(ins);
+            if (prof) prof->endModule();
+            env[node] = std::move(outs);
+            break;
+          }
+          case graph::NodeKind::FusedOp: {
+            std::vector<Value> ins;
+            for (graph::Node* in : node->inputs()) {
+                ins.push_back(first(in));
+            }
+            // A fused kernel is one launch: collapse its inner ops into a
+            // single profiler record, then run the encapsulated subgraph.
+            if (prof) {
+                prof->beginKernelScope(node->name(), /*recompute_free=*/true);
+            }
+            std::vector<Value> outs =
+                interpretGraph(*node->subgraph(), self, ins);
+            if (prof) prof->endKernelScope();
+            env[node] = std::move(outs);
+            break;
+          }
+          case graph::NodeKind::TupleGet: {
+            const auto& producer = env.at(node->inputs()[0]);
+            const int64_t index = node->attrInt("index");
+            SLAPO_ASSERT(index >= 0 &&
+                             index < static_cast<int64_t>(producer.size()),
+                         "tuple_get index out of range");
+            env[node] = {producer[index]};
+            break;
+          }
+          case graph::NodeKind::Output: {
+            std::vector<Value> outs;
+            for (graph::Node* in : node->inputs()) {
+                outs.push_back(first(in));
+            }
+            return outs;
+          }
+        }
+    }
+    SLAPO_THROW("interpretGraph: graph has no output node");
+}
+
+} // namespace nn
+} // namespace slapo

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Forward interpreter for traced graphs.
+ *
+ * Once a module has been `.trace()`d (and possibly rewritten by fuse /
+ * replace / checkpoint primitives), Module::call executes the graph by
+ * re-dispatching every node through nn::F — so eager numerics, meta
+ * shape propagation, and cost profiling all keep working on scheduled
+ * graphs exactly as they do on unscheduled forwards.
+ */
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/value.h"
+
+namespace slapo {
+namespace nn {
+
+class Module;
+
+/** Execute `graph` (owned by `self`) on `inputs`, returning outputs. */
+std::vector<Value> interpretGraph(const graph::Graph& graph, Module* self,
+                                  const std::vector<Value>& inputs);
+
+/**
+ * Execute a single CallOp node given its input values (shared by the
+ * interpreter and the autograd engine).
+ */
+Value interpretOp(const graph::Node& node, const std::vector<Value>& inputs);
+
+} // namespace nn
+} // namespace slapo

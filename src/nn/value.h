@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The dual eager/symbolic value handle flowing through module forwards.
+ *
+ * A `Value` is what a PyTorch tensor is to a PyTorch model: module
+ * `forward` methods are written once against `nn::F` ops and behave in
+ * three ways depending on ambient context:
+ *  - eager, materialized: the op computes numerically (verifier, tests);
+ *  - eager, meta: the op only propagates shapes (paper-scale models);
+ *  - tracing: the op appends a node to the active graph (torch.fx-style
+ *    symbolic tracing; the "trace by need" mechanism of §3.3).
+ */
+#pragma once
+
+#include "graph/node.h"
+#include "tensor/tensor.h"
+
+namespace slapo {
+namespace nn {
+
+/** Eager-or-symbolic tensor handle. */
+class Value
+{
+  public:
+    Value() = default;
+
+    /** Eager value (materialized or meta tensor). */
+    explicit Value(Tensor tensor) : tensor_(std::move(tensor)) {}
+
+    /** Symbolic value produced by `node` (tensor carries the shape). */
+    Value(Tensor meta, graph::Node* node)
+        : tensor_(std::move(meta)), node_(node) {}
+
+    const Shape& shape() const { return tensor_.shape(); }
+    const Tensor& tensor() const { return tensor_; }
+    Tensor& tensor() { return tensor_; }
+
+    /** True when this value is a node of a graph being traced. */
+    bool symbolic() const { return node_ != nullptr; }
+    graph::Node* node() const { return node_; }
+
+  private:
+    Tensor tensor_;
+    graph::Node* node_ = nullptr;
+};
+
+} // namespace nn
+} // namespace slapo

@@ -1,0 +1,128 @@
+#include "runtime/dist_executor.h"
+
+#include <exception>
+#include <thread>
+
+#include "tensor/ops.h"
+
+namespace slapo {
+namespace runtime {
+
+DistExecutor::DistExecutor(int world_size)
+    : world_size_(world_size), group_(world_size)
+{
+    SLAPO_CHECK(world_size >= 1, "DistExecutor: world size must be >= 1");
+}
+
+void
+DistExecutor::shardParamsForRank(nn::Module& replica, int rank, int world_size)
+{
+    for (auto& [path, module] : replica.namedModules()) {
+        for (const auto& [pname, spec] : module->meta().sharded_params) {
+            SLAPO_CHECK(spec.world_size == world_size,
+                        "shard spec world size " << spec.world_size
+                                                 << " != executor world "
+                                                 << world_size);
+            Tensor& param = module->paramTensor(pname);
+            if (param.isMeta()) {
+                Shape s = param.shape();
+                s[spec.axis] /= world_size;
+                module->setParamTensor(pname, Tensor::meta(s));
+                continue;
+            }
+            const int64_t extent = param.size(spec.axis);
+            const int64_t groups = spec.interleave;
+            SLAPO_CHECK(extent % (groups * world_size) == 0,
+                        "cannot shard axis extent " << extent << " into "
+                                                    << groups << "x"
+                                                    << world_size);
+            const int64_t group_len = extent / groups;
+            const int64_t shard_len = group_len / world_size;
+            std::vector<Tensor> pieces;
+            for (int64_t g = 0; g < groups; ++g) {
+                pieces.push_back(ops::narrow(param, spec.axis,
+                                             g * group_len + rank * shard_len,
+                                             shard_len));
+            }
+            module->setParamTensor(
+                pname, pieces.size() == 1 ? pieces[0]
+                                          : ops::concat(pieces, spec.axis));
+        }
+        // Row-parallel Linear: an unsharded bias would be summed
+        // world_size times by the output all-reduce; pre-scale it.
+        auto wit = module->meta().sharded_params.find("weight");
+        if (module->typeName() == "Linear" && wit != module->meta().sharded_params.end() &&
+            wit->second.axis == 1 && module->hasParam("bias") &&
+            module->meta().sharded_params.count("bias") == 0) {
+            Tensor& bias = module->paramTensor("bias");
+            if (bias.materialized()) {
+                bias.scaleInPlace(1.0f / static_cast<float>(world_size));
+            }
+        }
+    }
+}
+
+std::vector<nn::ModulePtr>
+DistExecutor::replicate(const nn::Module& model) const
+{
+    std::vector<nn::ModulePtr> replicas;
+    replicas.reserve(world_size_);
+    for (int r = 0; r < world_size_; ++r) {
+        nn::ModulePtr replica = model.clone();
+        shardParamsForRank(*replica, r, world_size_);
+        replicas.push_back(std::move(replica));
+    }
+    return replicas;
+}
+
+void
+DistExecutor::run(const std::vector<nn::ModulePtr>& replicas, const RankFn& fn)
+{
+    SLAPO_CHECK(static_cast<int>(replicas.size()) == world_size_,
+                "run: need one replica per rank");
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(world_size_);
+    for (int r = 0; r < world_size_; ++r) {
+        threads.emplace_back([this, r, &replicas, &fn, &errors] {
+            nn::DistContext context;
+            context.rank = r;
+            context.world_size = world_size_;
+            context.group = &group_;
+            nn::DistGuard guard(&context);
+            try {
+                fn(r, *replicas[r], group_);
+            } catch (...) {
+                errors[r] = std::current_exception();
+            }
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    for (auto& e : errors) {
+        if (e) {
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+std::vector<std::vector<Tensor>>
+DistExecutor::forward(const nn::Module& model, const std::vector<Tensor>& inputs)
+{
+    auto replicas = replicate(model);
+    std::vector<std::vector<Tensor>> outputs(world_size_);
+    run(replicas, [&](int rank, nn::Module& m, ProcessGroup&) {
+        std::vector<nn::Value> values;
+        values.reserve(inputs.size());
+        for (const Tensor& t : inputs) {
+            values.emplace_back(t);
+        }
+        for (nn::Value& v : m.call(values)) {
+            outputs[rank].push_back(v.tensor());
+        }
+    });
+    return outputs;
+}
+
+} // namespace runtime
+} // namespace slapo

@@ -1,0 +1,147 @@
+#include "runtime/pipeline_runtime.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+namespace slapo {
+namespace runtime {
+
+namespace {
+
+/** Bounded MPSC queue of micro-batch tuples between two stages. */
+class TupleQueue
+{
+  public:
+    explicit TupleQueue(size_t capacity) : capacity_(capacity) {}
+
+    void
+    push(std::vector<Tensor> tuple)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock, [&] { return items_.size() < capacity_; });
+        items_.push_back(std::move(tuple));
+        not_empty_.notify_one();
+    }
+
+    /** Returns nullopt once closed and drained. */
+    std::optional<std::vector<Tensor>>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+        if (items_.empty()) {
+            return std::nullopt;
+        }
+        std::vector<Tensor> tuple = std::move(items_.front());
+        items_.pop_front();
+        not_full_.notify_one();
+        return tuple;
+    }
+
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        not_empty_.notify_all();
+    }
+
+  private:
+    size_t capacity_;
+    std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<std::vector<Tensor>> items_;
+    bool closed_ = false;
+};
+
+} // namespace
+
+PipelineRuntime::PipelineRuntime(std::vector<nn::ModulePtr> stages,
+                                 size_t queue_capacity)
+    : stages_(std::move(stages)), queue_capacity_(queue_capacity)
+{
+    SLAPO_CHECK(!stages_.empty(), "PipelineRuntime: no stages");
+    SLAPO_CHECK(queue_capacity_ >= 1, "PipelineRuntime: bad queue capacity");
+}
+
+PipelineRunResult
+PipelineRuntime::forward(const std::vector<std::vector<Tensor>>& micro_batches)
+{
+    const size_t num_stages = stages_.size();
+    // Queue i feeds stage i; queue num_stages collects outputs.
+    std::vector<std::unique_ptr<TupleQueue>> queues;
+    for (size_t i = 0; i <= num_stages; ++i) {
+        queues.push_back(std::make_unique<TupleQueue>(queue_capacity_));
+    }
+
+    std::atomic<int> in_flight{0};
+    std::atomic<int> peak{0};
+    std::vector<std::exception_ptr> errors(num_stages);
+
+    std::vector<std::thread> workers;
+    for (size_t s = 0; s < num_stages; ++s) {
+        workers.emplace_back([&, s] {
+            try {
+                while (auto tuple = queues[s]->pop()) {
+                    if (s == 0) {
+                        const int now = in_flight.fetch_add(1) + 1;
+                        int expected = peak.load();
+                        while (now > expected &&
+                               !peak.compare_exchange_weak(expected, now)) {
+                        }
+                    }
+                    std::vector<nn::Value> values;
+                    values.reserve(tuple->size());
+                    for (Tensor& t : *tuple) {
+                        values.emplace_back(std::move(t));
+                    }
+                    std::vector<nn::Value> outputs = stages_[s]->call(values);
+                    std::vector<Tensor> next;
+                    next.reserve(outputs.size());
+                    for (nn::Value& v : outputs) {
+                        next.push_back(v.tensor());
+                    }
+                    if (s + 1 == num_stages) {
+                        in_flight.fetch_sub(1);
+                    }
+                    queues[s + 1]->push(std::move(next));
+                }
+                queues[s + 1]->close();
+            } catch (...) {
+                errors[s] = std::current_exception();
+                queues[s + 1]->close();
+            }
+        });
+    }
+
+    // Feed micro-batches (bounded queues apply GPipe back-pressure).
+    for (const auto& micro : micro_batches) {
+        queues[0]->push(micro);
+    }
+    queues[0]->close();
+
+    PipelineRunResult result;
+    while (auto tuple = queues[num_stages]->pop()) {
+        result.outputs.push_back(std::move(*tuple));
+    }
+    for (auto& worker : workers) {
+        worker.join();
+    }
+    for (auto& error : errors) {
+        if (error) {
+            std::rethrow_exception(error);
+        }
+    }
+    SLAPO_CHECK(result.outputs.size() == micro_batches.size(),
+                "PipelineRuntime: lost micro-batches (stage failure?)");
+    result.peak_in_flight = peak.load();
+    return result;
+}
+
+} // namespace runtime
+} // namespace slapo

@@ -1,0 +1,97 @@
+#include "runtime/process_group.h"
+
+#include "tensor/ops.h"
+
+namespace slapo {
+namespace runtime {
+
+ProcessGroup::ProcessGroup(int world_size)
+    : world_size_(world_size), slots_(world_size), results_(world_size)
+{
+    SLAPO_CHECK(world_size >= 1, "ProcessGroup: world size must be >= 1");
+}
+
+Tensor
+ProcessGroup::rendezvous(int rank, const Tensor& tensor,
+                         const ComputeFn& compute)
+{
+    SLAPO_CHECK(rank >= 0 && rank < world_size_,
+                "ProcessGroup: bad rank " << rank);
+    if (world_size_ == 1) {
+        return compute({tensor})[0];
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    slots_[rank] = tensor;
+    const int64_t my_generation = generation_;
+    if (++arrived_ == world_size_) {
+        results_ = compute(slots_);
+        arrived_ = 0;
+        ++generation_;
+        cv_.notify_all();
+    } else {
+        cv_.wait(lock, [&] { return generation_ != my_generation; });
+    }
+    // Read under the lock: the next collective cannot overwrite results_
+    // until every rank of this one has re-entered rendezvous, which
+    // requires having returned from here first. Clone so ranks never
+    // share storage — an in-place update on one rank's result must not
+    // leak into (or race with) another rank's copy, exactly as separate
+    // processes behave.
+    return results_[rank].clone();
+}
+
+Tensor
+ProcessGroup::allReduce(int rank, const Tensor& tensor)
+{
+    return rendezvous(rank, tensor, [this](const std::vector<Tensor>& slots) {
+        Tensor sum = slots[0].clone();
+        for (int r = 1; r < world_size_; ++r) {
+            sum.addInPlace(slots[r]);
+        }
+        return std::vector<Tensor>(world_size_, sum);
+    });
+}
+
+Tensor
+ProcessGroup::allGather(int rank, const Tensor& tensor, int64_t axis)
+{
+    return rendezvous(rank, tensor,
+                      [this, axis](const std::vector<Tensor>& slots) {
+                          Tensor gathered = ops::concat(slots, axis);
+                          return std::vector<Tensor>(world_size_, gathered);
+                      });
+}
+
+Tensor
+ProcessGroup::reduceScatter(int rank, const Tensor& tensor, int64_t axis)
+{
+    return rendezvous(rank, tensor,
+                      [this, axis](const std::vector<Tensor>& slots) {
+                          Tensor sum = slots[0].clone();
+                          for (int r = 1; r < world_size_; ++r) {
+                              sum.addInPlace(slots[r]);
+                          }
+                          return ops::chunk(sum, world_size_, axis);
+                      });
+}
+
+Tensor
+ProcessGroup::broadcast(int rank, const Tensor& tensor, int root)
+{
+    return rendezvous(rank, tensor,
+                      [this, root](const std::vector<Tensor>& slots) {
+                          return std::vector<Tensor>(world_size_, slots[root]);
+                      });
+}
+
+void
+ProcessGroup::barrier()
+{
+    rendezvous(0 /*unused*/, Tensor::zeros({1}),
+               [this](const std::vector<Tensor>&) {
+                   return std::vector<Tensor>(world_size_, Tensor::zeros({1}));
+               });
+}
+
+} // namespace runtime
+} // namespace slapo

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Software collectives over threads — the reproduction's NCCL.
+ *
+ * The paper's distributed runs launch one process per device; here each
+ * simulated rank is a thread executing its own replica of the scheduled
+ * model (see runtime/dist_executor.h). A ProcessGroup is a rendezvous
+ * point: every rank deposits its tensor, the last arrival computes the
+ * collective, and all ranks pick up their result. Determinism: reductions
+ * always sum in rank order.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace slapo {
+namespace runtime {
+
+/** A fixed-size group of ranks exchanging collectives. */
+class ProcessGroup
+{
+  public:
+    explicit ProcessGroup(int world_size);
+
+    int worldSize() const { return world_size_; }
+
+    /** Elementwise sum across ranks; every rank gets the full result. */
+    Tensor allReduce(int rank, const Tensor& tensor);
+
+    /** Concatenate rank shards along `axis`; every rank gets the result. */
+    Tensor allGather(int rank, const Tensor& tensor, int64_t axis);
+
+    /** Sum across ranks, then return this rank's slice along `axis`. */
+    Tensor reduceScatter(int rank, const Tensor& tensor, int64_t axis);
+
+    /** Every rank receives root's tensor. */
+    Tensor broadcast(int rank, const Tensor& tensor, int root);
+
+    /** Synchronize all ranks without exchanging data. */
+    void barrier();
+
+  private:
+    using ComputeFn =
+        std::function<std::vector<Tensor>(const std::vector<Tensor>&)>;
+
+    /** Deposit, wait for all ranks, return this rank's result. */
+    Tensor rendezvous(int rank, const Tensor& tensor, const ComputeFn& compute);
+
+    int world_size_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<Tensor> slots_;
+    std::vector<Tensor> results_;
+    int arrived_ = 0;
+    int64_t generation_ = 0;
+};
+
+} // namespace runtime
+} // namespace slapo

@@ -1,0 +1,124 @@
+#include "runtime/trainer.h"
+
+#include <algorithm>
+
+namespace slapo {
+namespace runtime {
+
+Trainer::Trainer(nn::ModulePtr model, AdamWConfig config)
+    : model_(std::move(model)), optimizer_(config)
+{
+    SLAPO_CHECK(model_ != nullptr, "Trainer: null model");
+    params_ = model_->namedParams();
+    for (auto& [path, tensor] : params_) {
+        SLAPO_CHECK(tensor->materialized(),
+                    "Trainer: parameter '" << path
+                                           << "' is meta; call "
+                                              "initializeParams first");
+        optimizer_.addParam(*tensor);
+    }
+}
+
+TrainStepStats
+Trainer::step(const std::vector<std::vector<Tensor>>& micro_batches)
+{
+    SLAPO_CHECK(!micro_batches.empty(), "Trainer: no micro-batches");
+    TrainStepStats stats;
+    stats.micro_batches = static_cast<int64_t>(micro_batches.size());
+
+    std::vector<Tensor> grads;
+    for (const std::vector<Tensor>& inputs : micro_batches) {
+        AutogradEngine engine;
+        GradResult result = engine.run(*model_, inputs);
+        stats.loss += result.outputs[0].at(0);
+        stats.stored_activation_bytes =
+            std::max(stats.stored_activation_bytes,
+                     result.stored_activation_bytes);
+        stats.recomputed_nodes += result.recomputed_nodes;
+        if (grads.empty()) {
+            for (auto& [path, tensor] : params_) {
+                grads.push_back(AutogradEngine::gradFor(result, *tensor));
+            }
+        } else {
+            for (size_t i = 0; i < params_.size(); ++i) {
+                grads[i].addInPlace(
+                    AutogradEngine::gradFor(result, *params_[i].second));
+            }
+        }
+    }
+    const float inv = 1.0f / static_cast<float>(micro_batches.size());
+    for (Tensor& g : grads) {
+        g.scaleInPlace(inv);
+    }
+    optimizer_.step(grads);
+    stats.loss /= static_cast<double>(micro_batches.size());
+    return stats;
+}
+
+DataParallelTrainer::DataParallelTrainer(const nn::Module& model,
+                                         int world_size, AdamWConfig config)
+    : executor_(world_size)
+{
+    // Pure data parallelism: every rank holds the full model. Combining
+    // with tensor parallelism needs distinct DP/TP process groups, which
+    // the performance simulator models; the numeric TP path is covered
+    // by DistExecutor + AutogradEngine directly.
+    for (auto& [path, m] : const_cast<nn::Module&>(model).namedModules()) {
+        SLAPO_CHECK(m->meta().sharded_params.empty(),
+                    "DataParallelTrainer: model has tensor-parallel shards "
+                    "('" << path << "'); use DistExecutor for TP training");
+    }
+    replicas_ = executor_.replicate(model);
+    for (int r = 0; r < world_size; ++r) {
+        params_.push_back(replicas_[r]->namedParams());
+        optimizers_.push_back(std::make_unique<AdamW>(config));
+        for (auto& [path, tensor] : params_.back()) {
+            SLAPO_CHECK(tensor->materialized(),
+                        "DataParallelTrainer: parameter '"
+                            << path << "' is meta; initialize before "
+                                       "replicating");
+            optimizers_.back()->addParam(*tensor);
+        }
+    }
+}
+
+TrainStepStats
+DataParallelTrainer::step(
+    const std::vector<std::vector<Tensor>>& per_rank_inputs)
+{
+    const int world = executor_.worldSize();
+    SLAPO_CHECK(static_cast<int>(per_rank_inputs.size()) == world,
+                "DataParallelTrainer: need one input tuple per rank");
+    std::vector<double> losses(world);
+    std::vector<int64_t> recomputed(world);
+
+    executor_.run(replicas_, [&](int rank, nn::Module& replica,
+                                 ProcessGroup& group) {
+        AutogradEngine engine;
+        GradResult result = engine.run(replica, per_rank_inputs[rank]);
+        losses[rank] = result.outputs[0].at(0);
+        recomputed[rank] = result.recomputed_nodes;
+        // Average data-parallel gradients, then step this rank's
+        // optimizer; identical updates keep the replicas in lock-step.
+        std::vector<Tensor> grads;
+        for (auto& [path, tensor] : params_[rank]) {
+            Tensor g = AutogradEngine::gradFor(result, *tensor);
+            g = group.allReduce(rank, g);
+            g.scaleInPlace(1.0f / static_cast<float>(world));
+            grads.push_back(std::move(g));
+        }
+        optimizers_[rank]->step(grads);
+    });
+
+    TrainStepStats stats;
+    stats.micro_batches = world;
+    for (int r = 0; r < world; ++r) {
+        stats.loss += losses[r];
+        stats.recomputed_nodes += recomputed[r];
+    }
+    stats.loss /= world;
+    return stats;
+}
+
+} // namespace runtime
+} // namespace slapo

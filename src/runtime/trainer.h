@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A complete training loop over scheduled models — the harness a Slapo
+ * user runs after scheduling (§5 setups: AdamW, mixed data-parallel /
+ * tensor-parallel execution, gradient accumulation).
+ *
+ * Single-process mode drives the autograd engine + AdamW directly;
+ * distributed mode runs one replica per rank on the DistExecutor,
+ * all-reducing data-parallel gradients through the ProcessGroup before
+ * every optimizer step — so a data-parallel run is *bitwise comparable*
+ * to a single-process run on the concatenated batch (tests assert this).
+ */
+#pragma once
+
+#include <functional>
+
+#include "nn/module.h"
+#include "runtime/autograd.h"
+#include "runtime/dist_executor.h"
+#include "tensor/optim.h"
+
+namespace slapo {
+namespace runtime {
+
+/** Statistics of one optimizer step. */
+struct TrainStepStats
+{
+    double loss = 0;               ///< mean loss over micro-batches/ranks
+    int64_t micro_batches = 0;     ///< gradient-accumulation count
+    int64_t stored_activation_bytes = 0;
+    int64_t recomputed_nodes = 0;
+};
+
+/** Single-process trainer: model must end in a scalar loss. */
+class Trainer
+{
+  public:
+    /** @param model a loss-headed model (see withCrossEntropyLoss). */
+    Trainer(nn::ModulePtr model, AdamWConfig config = {});
+
+    /**
+     * One optimizer step over `micro_batches` input tuples (gradients
+     * are accumulated and averaged across them).
+     */
+    TrainStepStats step(const std::vector<std::vector<Tensor>>& micro_batches);
+
+    nn::Module& model() { return *model_; }
+
+  private:
+    nn::ModulePtr model_;
+    AdamW optimizer_;
+    std::vector<std::pair<std::string, Tensor*>> params_;
+};
+
+/**
+ * Data-parallel trainer: replicates the scheduled model across
+ * `world_size` rank threads, feeds each rank its own micro-batch,
+ * all-reduces (averages) gradients, and steps every rank's optimizer
+ * identically — the replicas stay synchronized by construction.
+ */
+class DataParallelTrainer
+{
+  public:
+    DataParallelTrainer(const nn::Module& model, int world_size,
+                        AdamWConfig config = {});
+
+    /**
+     * One step; `per_rank_inputs[r]` is rank r's input tuple.
+     * @return mean loss across ranks.
+     */
+    TrainStepStats step(
+        const std::vector<std::vector<Tensor>>& per_rank_inputs);
+
+    /** Rank r's replica (for inspection/tests). */
+    nn::Module& replica(int rank) { return *replicas_[rank]; }
+    int worldSize() const { return executor_.worldSize(); }
+
+  private:
+    DistExecutor executor_;
+    std::vector<nn::ModulePtr> replicas_;
+    std::vector<std::unique_ptr<AdamW>> optimizers_;
+    std::vector<std::vector<std::pair<std::string, Tensor*>>> params_;
+};
+
+} // namespace runtime
+} // namespace slapo

@@ -1,0 +1,113 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+namespace slapo {
+namespace sim {
+
+CostModel::CostModel(const ClusterSpec& cluster, double bytes_per_element)
+    : cluster_(cluster), bytes_per_element_(bytes_per_element)
+{
+    const DeviceSpec& d = cluster.device;
+    const double peak =
+        bytes_per_element <= 2.0 ? d.peak_flops_fp16 : d.peak_flops_fp32;
+    effective_flops_ = peak * d.compute_efficiency;
+    effective_bw_ = d.mem_bandwidth * d.bandwidth_efficiency;
+}
+
+double
+CostModel::kernelTime(const nn::KernelRecord& kernel) const
+{
+    // Small kernels under-utilize the compute units (see DeviceSpec).
+    const double ramp = cluster_.device.gemm_ramp_flops;
+    const double utilization =
+        kernel.flops > 0 ? kernel.flops / (kernel.flops + ramp) : 1.0;
+    const double compute = kernel.flops / (effective_flops_ * utilization);
+    const double traffic = (kernel.bytes_in + kernel.bytes_out) / effective_bw_;
+    return cluster_.device.kernel_launch_overhead + std::max(compute, traffic);
+}
+
+double
+CostModel::kernelBackwardTime(const nn::KernelRecord& kernel) const
+{
+    nn::KernelRecord bwd = kernel;
+    bwd.flops *= 2.0;
+    bwd.bytes_in *= 2.0;
+    bwd.bytes_out *= 2.0;
+    return kernelTime(bwd);
+}
+
+double
+CostModel::collectiveTime(const std::string& kind, double bytes,
+                          int group_size, bool cross_node) const
+{
+    if (group_size <= 1 || bytes <= 0) {
+        return 0;
+    }
+    const double n = static_cast<double>(group_size);
+    // Within a node every GPU has its NVLink share; across nodes the
+    // ring's slowest hop is each node's network link divided among the
+    // group members placed on it.
+    double bottleneck = cluster_.intra_node_bw;
+    if (cross_node) {
+        const int per_node =
+            std::min(group_size, cluster_.gpus_per_node);
+        bottleneck = cluster_.inter_node_bw / std::max(1, per_node);
+    }
+    const double latency = cluster_.comm_latency * 2.0 * (n - 1.0);
+    double volume_factor;
+    if (kind == "all_reduce") {
+        volume_factor = 2.0 * (n - 1.0) / n;
+    } else if (kind == "all_gather" || kind == "reduce_scatter") {
+        volume_factor = (n - 1.0) / n;
+    } else {
+        SLAPO_THROW("collectiveTime: unknown collective '" << kind << "'");
+    }
+    return latency + volume_factor * bytes / bottleneck;
+}
+
+double
+CostModel::forwardComputeTime(const nn::Profile& profile) const
+{
+    double total = 0;
+    for (const nn::KernelRecord& k : profile.kernels) {
+        total += kernelTime(k);
+    }
+    return total;
+}
+
+double
+CostModel::backwardComputeTime(const nn::Profile& profile,
+                               double* recompute_out) const
+{
+    double total = 0;
+    double recompute = 0;
+    for (const nn::KernelRecord& k : profile.kernels) {
+        total += kernelBackwardTime(k);
+        // Checkpointed regions re-run their forward before the backward;
+        // fused/flash kernels recompute inside the kernel for free.
+        if (k.checkpointed && !k.recompute_free) {
+            recompute += kernelTime(k);
+        }
+    }
+    if (recompute_out != nullptr) {
+        *recompute_out = recompute;
+    }
+    return total + recompute;
+}
+
+double
+CostModel::commTime(const nn::Profile& profile, int group_size,
+                    bool cross_node, bool backward) const
+{
+    double total = 0;
+    for (const nn::CommRecord& c : profile.comms) {
+        if (c.backward == backward) {
+            total += collectiveTime(c.kind, c.bytes, group_size, cross_node);
+        }
+    }
+    return total;
+}
+
+} // namespace sim
+} // namespace slapo

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Kernel and collective cost formulas over a forward Profile.
+ *
+ * Kernel: t = launch_overhead + max(flops / (peak * eff),
+ *                                   bytes / (bw * eff))
+ * Ring all-reduce over n ranks: t = 2(n-1) * latency
+ *                                   + 2(n-1)/n * bytes / bottleneck_bw
+ * (all-gather / reduce-scatter use the (n-1)/n single-pass volume).
+ * The bottleneck bandwidth is the NVLink share within a node or the
+ * per-GPU slice of the node's network link when the group spans nodes.
+ */
+#pragma once
+
+#include "nn/context.h"
+#include "sim/device.h"
+
+namespace slapo {
+namespace sim {
+
+/** Aggregated timings of one training step's phases (seconds). */
+struct PhaseTimes
+{
+    double forward = 0;
+    double backward = 0;       ///< includes checkpoint recompute
+    double recompute = 0;      ///< checkpoint recompute share (informational)
+    double tp_comm = 0;        ///< tensor-parallel collectives (fwd+bwd)
+    double dp_comm = 0;        ///< gradient / ZeRO collectives (post-overlap)
+    double optimizer = 0;
+
+    double total() const
+    {
+        return forward + backward + tp_comm + dp_comm + optimizer;
+    }
+};
+
+/** Roofline + ring-collective evaluator for one cluster. */
+class CostModel
+{
+  public:
+    /**
+     * @param bytes_per_element model precision (2 = FP16, 4 = FP32); FP32
+     *        models also use the FP32 compute peak.
+     */
+    CostModel(const ClusterSpec& cluster, double bytes_per_element);
+
+    /** Time of one kernel launch described by a profiler record. */
+    double kernelTime(const nn::KernelRecord& kernel) const;
+
+    /**
+     * Backward time of the same kernel: twice the math and traffic (the
+     * two grad GEMMs of a linear; activation + weight grads).
+     */
+    double kernelBackwardTime(const nn::KernelRecord& kernel) const;
+
+    /**
+     * Ring collective over `group_size` ranks.
+     * @param kind "all_reduce" | "all_gather" | "reduce_scatter"
+     * @param cross_node whether the group spans multiple nodes.
+     */
+    double collectiveTime(const std::string& kind, double bytes,
+                          int group_size, bool cross_node) const;
+
+    /** Sum of forward kernel times of a profile. */
+    double forwardComputeTime(const nn::Profile& profile) const;
+
+    /**
+     * Sum of backward kernel times, including re-running the forward of
+     * checkpointed kernels (recompute), reported separately too.
+     */
+    double backwardComputeTime(const nn::Profile& profile,
+                               double* recompute_out = nullptr) const;
+
+    /** Sum of collective times of the profile's comm records. */
+    double commTime(const nn::Profile& profile, int group_size,
+                    bool cross_node, bool backward) const;
+
+    const ClusterSpec& cluster() const { return cluster_; }
+    double bytesPerElement() const { return bytes_per_element_; }
+
+  private:
+    ClusterSpec cluster_;
+    double bytes_per_element_;
+    double effective_flops_;
+    double effective_bw_;
+};
+
+} // namespace sim
+} // namespace slapo

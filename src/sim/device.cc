@@ -1,0 +1,52 @@
+#include "sim/device.h"
+
+namespace slapo {
+namespace sim {
+
+DeviceSpec
+DeviceSpec::v100_16gb()
+{
+    return DeviceSpec{};
+}
+
+DeviceSpec
+DeviceSpec::v100_32gb()
+{
+    DeviceSpec spec;
+    spec.name = "V100-32GB";
+    spec.mem_capacity = 32e9;
+    return spec;
+}
+
+ClusterSpec
+ClusterSpec::p3_16xlarge()
+{
+    ClusterSpec cluster;
+    cluster.device = DeviceSpec::v100_16gb();
+    cluster.gpus_per_node = 8;
+    cluster.num_nodes = 1;
+    return cluster;
+}
+
+ClusterSpec
+ClusterSpec::p3dn_24xlarge(int nodes)
+{
+    ClusterSpec cluster;
+    cluster.device = DeviceSpec::v100_32gb();
+    cluster.gpus_per_node = 8;
+    cluster.num_nodes = nodes;
+    return cluster;
+}
+
+ClusterSpec
+ClusterSpec::singleV100()
+{
+    ClusterSpec cluster;
+    cluster.device = DeviceSpec::v100_16gb();
+    cluster.gpus_per_node = 1;
+    cluster.num_nodes = 1;
+    return cluster;
+}
+
+} // namespace sim
+} // namespace slapo

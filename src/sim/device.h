@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Analytical device and cluster models — the substitution for the
+ * paper's Amazon EC2 p3 testbed (see DESIGN.md §2).
+ *
+ * A device is a roofline: kernels cost max(compute, traffic) plus a
+ * launch overhead; a cluster adds hierarchical interconnect (NVLink
+ * within a node, 100 Gbps across nodes) with ring-collective cost
+ * formulas. Constants approximate a V100; absolute numbers are not
+ * calibrated to the paper's testbed — only the relative effects
+ * (launch overhead, memory traffic, collective volume, capacity limits)
+ * that drive every figure's shape.
+ */
+#pragma once
+
+#include <string>
+
+namespace slapo {
+namespace sim {
+
+/** One accelerator (defaults approximate an NVIDIA V100). */
+struct DeviceSpec
+{
+    std::string name = "V100-16GB";
+    double peak_flops_fp16 = 112e12;  ///< tensor-core peak, FLOP/s
+    double peak_flops_fp32 = 15.7e12; ///< FP32 peak, FLOP/s
+    double mem_bandwidth = 900e9;     ///< HBM2, B/s
+    double mem_capacity = 16e9;       ///< B
+    double kernel_launch_overhead = 8e-6; ///< s per kernel
+    /** Achievable fraction of peak for large GEMMs. */
+    double compute_efficiency = 0.45;
+    /** Achievable fraction of peak memory bandwidth. */
+    double bandwidth_efficiency = 0.75;
+    /**
+     * GEMM-efficiency ramp: a kernel of F FLOPs runs at
+     * compute_efficiency * F / (F + gemm_ramp_flops), modeling how small
+     * per-kernel work under-utilizes the tensor cores. This is what
+     * makes larger micro-batches genuinely faster — the effect the
+     * paper's checkpoint-ratio and embedding-sharding tuning exploits.
+     */
+    double gemm_ramp_flops = 4e9;
+
+    static DeviceSpec v100_16gb();
+    static DeviceSpec v100_32gb();
+};
+
+/** A homogeneous GPU cluster (p3.16xlarge / p3dn.24xlarge instances). */
+struct ClusterSpec
+{
+    DeviceSpec device;
+    int gpus_per_node = 8;
+    int num_nodes = 1;
+    /** Effective per-GPU NVLink bandwidth within a node, B/s. */
+    double intra_node_bw = 130e9;
+    /** Effective per-node network bandwidth (100 Gbps), B/s. */
+    double inter_node_bw = 10e9;
+    /** Per-hop collective latency, s. */
+    double comm_latency = 8e-6;
+
+    int worldSize() const { return gpus_per_node * num_nodes; }
+
+    /** p3.16xlarge: 8x V100 16GB, NVLink (single-node evaluations). */
+    static ClusterSpec p3_16xlarge();
+    /** p3dn.24xlarge x nodes: 8x V100 32GB each, 100 Gbps network. */
+    static ClusterSpec p3dn_24xlarge(int nodes);
+    /** A single V100 16GB (Fig. 7). */
+    static ClusterSpec singleV100();
+};
+
+} // namespace sim
+} // namespace slapo

@@ -1,0 +1,70 @@
+#include "sim/memory_model.h"
+
+namespace slapo {
+namespace sim {
+
+MemoryModel::MemoryModel(double bytes_per_element, int zero_stage, int dp_size)
+    : bytes_per_element_(bytes_per_element),
+      zero_stage_(zero_stage),
+      dp_size_(dp_size)
+{
+    SLAPO_CHECK(zero_stage >= 0 && zero_stage <= 3,
+                "MemoryModel: bad ZeRO stage " << zero_stage);
+    SLAPO_CHECK(dp_size >= 1, "MemoryModel: bad dp size " << dp_size);
+}
+
+MemoryBreakdown
+MemoryModel::stateMemory(const nn::Module& replica) const
+{
+    const double params = static_cast<double>(replica.numParams());
+    const double n = static_cast<double>(dp_size_);
+
+    MemoryBreakdown mem;
+    mem.weights = params * bytes_per_element_;
+    mem.gradients = params * bytes_per_element_;
+    // FP32 master copy + Adam first/second moments.
+    mem.optimizer_states = params * 12.0;
+
+    if (zero_stage_ >= 1) {
+        mem.optimizer_states /= n;
+    }
+    if (zero_stage_ >= 2) {
+        mem.gradients /= n;
+    }
+    if (zero_stage_ >= 3) {
+        mem.weights /= n;
+        // Stage 3 keeps one layer's gathered weights live at a time; a
+        // small working set on top of the sharded storage.
+        mem.weights += params * bytes_per_element_ * 0.04;
+    }
+    return mem;
+}
+
+double
+MemoryModel::activationMemory(const nn::Profile& profile, int in_flight) const
+{
+    double per_micro = 0;
+    for (const nn::KernelRecord& k : profile.kernels) {
+        if (!k.checkpointed) {
+            per_micro += k.activation_bytes;
+        }
+    }
+    per_micro += profile.checkpoint_boundary_bytes;
+    // Caching-allocator fragmentation plus autograd bookkeeping
+    // (PyTorch retains dropout masks, attention indices, etc. beyond
+    // the op outputs the profiler counts).
+    constexpr double kFragmentation = 1.3;
+    return per_micro * kFragmentation * static_cast<double>(in_flight);
+}
+
+MemoryBreakdown
+MemoryModel::trainingMemory(const nn::Module& replica,
+                            const nn::Profile& profile, int in_flight) const
+{
+    MemoryBreakdown mem = stateMemory(replica);
+    mem.activations = activationMemory(profile, in_flight);
+    return mem;
+}
+
+} // namespace sim
+} // namespace slapo

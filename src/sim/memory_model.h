@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-device memory accounting under mixed-precision AdamW training.
+ *
+ * Per parameter (FP16 training): 2 B weight + 2 B gradient + 12 B
+ * optimizer state (FP32 master weight + Adam m/v) = 16 B — the standard
+ * breakdown the ZeRO paper optimizes. ZeRO stages shard the state across
+ * the data-parallel group:
+ *   stage 1: optimizer states / N;  stage 2: + gradients / N;
+ *   stage 3: + weights / N.
+ * Activations come from the forward Profile: full activations of
+ * non-checkpointed kernels plus the boundary inputs of checkpointed
+ * modules — which is exactly what the selective-checkpoint schedules
+ * trade against recompute time (Figs. 10/11).
+ */
+#pragma once
+
+#include "nn/context.h"
+#include "nn/module.h"
+
+namespace slapo {
+namespace sim {
+
+/** Per-device memory breakdown in bytes. */
+struct MemoryBreakdown
+{
+    double weights = 0;
+    double gradients = 0;
+    double optimizer_states = 0;
+    double activations = 0;
+
+    double total() const
+    {
+        return weights + gradients + optimizer_states + activations;
+    }
+};
+
+/** Memory accountant for one training configuration. */
+class MemoryModel
+{
+  public:
+    /**
+     * @param bytes_per_element model precision.
+     * @param zero_stage ZeRO stage applied to the data-parallel group
+     *        (0 = plain DDP replication).
+     * @param dp_size data-parallel group size the ZeRO stages shard over.
+     */
+    MemoryModel(double bytes_per_element, int zero_stage, int dp_size);
+
+    /**
+     * State memory (weights + grads + optimizer) of one rank's model
+     * replica. The replica's parameter shapes already reflect any tensor
+     * or pipeline parallel sharding (DistExecutor::replicate narrowed
+     * them), so only ZeRO's data-parallel sharding is applied here.
+     */
+    MemoryBreakdown stateMemory(const nn::Module& replica) const;
+
+    /**
+     * Activation memory of `in_flight` micro-batches of the profiled
+     * forward (1 for plain training; up to the stage count for 1F1B
+     * pipelining).
+     */
+    double activationMemory(const nn::Profile& profile,
+                            int in_flight = 1) const;
+
+    /** stateMemory + activationMemory. */
+    MemoryBreakdown trainingMemory(const nn::Module& replica,
+                                   const nn::Profile& profile,
+                                   int in_flight = 1) const;
+
+  private:
+    double bytes_per_element_;
+    int zero_stage_;
+    int dp_size_;
+};
+
+} // namespace sim
+} // namespace slapo

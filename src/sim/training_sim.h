@@ -1,0 +1,131 @@
+/**
+ * @file
+ * End-to-end training-step simulator: combines the cost model, the
+ * memory model, and the parallelism runtimes (DDP, ZeRO-1/2/3, tensor
+ * parallelism, GPipe/1F1B pipelining) into throughput and peak-memory
+ * estimates for a *scheduled* model on a cluster — the engine behind
+ * every figure reproduction (Figs. 7-11).
+ */
+#pragma once
+
+#include <functional>
+
+#include "nn/module.h"
+#include "sim/cost_model.h"
+#include "sim/memory_model.h"
+
+namespace slapo {
+namespace sim {
+
+/** Pipeline schedule flavour. */
+enum class PipeSchedule
+{
+    GPipe,   ///< all forwards then all backwards; activations x m
+    OneFOneB ///< interleaved; activations x stage count
+};
+
+/** Parallelization of one training run. tp * pp * dp must equal the
+ * cluster world size; ranks are placed TP-innermost (Megatron layout). */
+struct ParallelConfig
+{
+    int tp = 1;
+    int pp = 1;
+    int dp = 1;
+    int zero_stage = 0; ///< over the DP group; 3 = full ZeRO-3
+    int micro_batch = 8;
+    int grad_accum = 1; ///< micro-batches per step per DP rank
+    PipeSchedule pipe_schedule = PipeSchedule::OneFOneB;
+
+    int worldSize() const { return tp * pp * dp; }
+    double globalBatch() const
+    {
+        return static_cast<double>(micro_batch) * grad_accum * dp;
+    }
+};
+
+/** Outcome of one simulated training step. */
+struct StepStats
+{
+    bool oom = false;
+    double step_time = 0;  ///< seconds
+    double throughput = 0; ///< samples / second (global)
+    PhaseTimes phases;
+    MemoryBreakdown memory;
+    double capacity = 0; ///< device memory capacity for reference
+    ParallelConfig config;
+};
+
+/** Builds the model-input shapes for a given micro-batch size. */
+using ShapeFn = std::function<std::vector<Shape>(int micro_batch)>;
+
+/**
+ * Optional post-processing of the forward profile before costing — the
+ * hook whole-graph compiler baselines use (TorchScript/nvFuser merges
+ * elementwise chains it finds in the full graph).
+ */
+using ProfileTransform = std::function<nn::Profile(nn::Profile)>;
+
+/** The simulator. */
+class TrainingSimulator
+{
+  public:
+    /**
+     * @param bytes_per_element 2 for the FP16 models of Table 2, 4 for
+     *        the FP32 WideResNet.
+     */
+    TrainingSimulator(const ClusterSpec& cluster, double bytes_per_element);
+
+    /**
+     * Meta-profile one forward of the scheduled model at the given input
+     * shapes under a tensor-parallel context of size `tp` (rank 0's
+     * replica, parameters narrowed per the schedule's shard specs).
+     */
+    nn::Profile profileModel(const nn::Module& model,
+                             const std::vector<Shape>& input_shapes,
+                             int tp) const;
+
+    /**
+     * Simulate one training step.
+     *
+     * Pipeline handling: with pp > 1, if the model carries
+     * `.pipeline_split()` annotations they are honored — the model is
+     * partitioned (core::partitionPipeline), every stage is profiled
+     * separately, and the *bottleneck* stage paces the pipeline.
+     * Without annotations an even 1/pp split is assumed.
+     */
+    StepStats simulate(const nn::Module& model, const ShapeFn& shapes,
+                       const ParallelConfig& config,
+                       const ProfileTransform& transform = {}) const;
+
+    /**
+     * Paper methodology (§5): "the micro-batch size is selected based on
+     * the memory footprint maximizing the system performance". Scans
+     * powers of two up to `max_micro_batch` and returns the best
+     * non-OOM configuration (all-OOM -> stats.oom = true).
+     *
+     * @param fixed_global_batch when > 0, grad_accum is derived so the
+     *        global batch stays constant (the strong-scaling setup of
+     *        Fig. 9); micro batches that do not divide it are skipped.
+     */
+    StepStats tuneMicroBatch(const nn::Module& model, const ShapeFn& shapes,
+                             ParallelConfig config, int max_micro_batch = 256,
+                             int fixed_global_batch = 0,
+                             const ProfileTransform& transform = {}) const;
+
+    const CostModel& costModel() const { return cost_model_; }
+    const ClusterSpec& cluster() const { return cluster_; }
+
+  private:
+    /** Annotation-aware pipeline path (see simulate docs). */
+    StepStats simulateAnnotatedPipeline(const nn::Module& model,
+                                        const ShapeFn& shapes,
+                                        const ParallelConfig& config,
+                                        const ProfileTransform& transform) const;
+
+    ClusterSpec cluster_;
+    double bytes_per_element_;
+    CostModel cost_model_;
+};
+
+} // namespace sim
+} // namespace slapo

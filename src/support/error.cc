@@ -1,0 +1,25 @@
+#include "support/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace slapo {
+namespace detail {
+
+void
+throwError(const std::string& msg)
+{
+    throw SlapoError(msg);
+}
+
+void
+assertFail(const char* expr, const char* file, int line,
+           const std::string& msg)
+{
+    std::fprintf(stderr, "slapo internal assertion failed: %s\n  at %s:%d\n  %s\n",
+                 expr, file, line, msg.c_str());
+    std::abort();
+}
+
+} // namespace detail
+} // namespace slapo

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error handling utilities shared across all slapo-cc libraries.
+ *
+ * Two severities, following the gem5 fatal/panic convention:
+ *  - SlapoError (thrown by SLAPO_CHECK / raise): a *user* mistake — an
+ *    invalid schedule, a malformed search space, an impossible shard axis.
+ *    The schedule verifier and primitive validators rely on these being
+ *    catchable so they can report the offending primitive.
+ *  - SLAPO_ASSERT: an *internal* invariant violation (a slapo-cc bug);
+ *    aborts via assert semantics even in release builds.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace slapo {
+
+/** Exception carrying a user-facing schedule/validation error message. */
+class SlapoError : public std::runtime_error
+{
+  public:
+    explicit SlapoError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+/** Stream-style message builder used by the error macros. */
+class MessageBuilder
+{
+  public:
+    template <typename T>
+    MessageBuilder&
+    operator<<(const T& v)
+    {
+        stream_ << v;
+        return *this;
+    }
+
+    std::string str() const { return stream_.str(); }
+
+  private:
+    std::ostringstream stream_;
+};
+
+[[noreturn]] void throwError(const std::string& msg);
+[[noreturn]] void assertFail(const char* expr, const char* file, int line,
+                             const std::string& msg);
+
+} // namespace detail
+
+} // namespace slapo
+
+/** Throw SlapoError if `cond` is false. Message is stream-composable. */
+#define SLAPO_CHECK(cond, msg)                                             \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::slapo::detail::throwError(                                   \
+                (::slapo::detail::MessageBuilder() << msg).str());         \
+        }                                                                  \
+    } while (0)
+
+/** Unconditionally throw SlapoError with a stream-composable message. */
+#define SLAPO_THROW(msg)                                                   \
+    ::slapo::detail::throwError(                                           \
+        (::slapo::detail::MessageBuilder() << msg).str())
+
+/** Abort on internal invariant violation (slapo-cc bug, not user error). */
+#define SLAPO_ASSERT(cond, msg)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::slapo::detail::assertFail(                                   \
+                #cond, __FILE__, __LINE__,                                 \
+                (::slapo::detail::MessageBuilder() << msg).str());         \
+        }                                                                  \
+    } while (0)

@@ -1,0 +1,963 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace slapo {
+namespace ops {
+
+namespace {
+
+/** Strides (in elements) of a row-major contiguous shape. */
+std::vector<int64_t>
+stridesOf(const Shape& shape)
+{
+    std::vector<int64_t> strides(shape.size(), 1);
+    for (int64_t i = static_cast<int64_t>(shape.size()) - 2; i >= 0; --i) {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    return strides;
+}
+
+/** Apply an elementwise binary functor with numpy broadcasting. */
+template <typename F>
+Tensor
+broadcastBinary(const Tensor& a, const Tensor& b, F&& f)
+{
+    const Shape out_shape = broadcastShapes(a.shape(), b.shape());
+    Tensor out = Tensor::zeros(out_shape);
+
+    const size_t rank = out_shape.size();
+    // Right-align input shapes against the output rank.
+    auto aligned = [&](const Shape& s) {
+        Shape r(rank, 1);
+        std::copy(s.begin(), s.end(), r.begin() + (rank - s.size()));
+        return r;
+    };
+    const Shape sa = aligned(a.shape());
+    const Shape sb = aligned(b.shape());
+    const auto stra = stridesOf(sa);
+    const auto strb = stridesOf(sb);
+    const auto stro = stridesOf(out_shape);
+
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+
+    const int64_t n = out.numel();
+    for (int64_t flat = 0; flat < n; ++flat) {
+        int64_t rem = flat;
+        int64_t ia = 0;
+        int64_t ib = 0;
+        for (size_t d = 0; d < rank; ++d) {
+            const int64_t idx = rem / stro[d];
+            rem %= stro[d];
+            if (sa[d] != 1) ia += idx * stra[d];
+            if (sb[d] != 1) ib += idx * strb[d];
+        }
+        po[flat] = f(pa[ia], pb[ib]);
+    }
+    return out;
+}
+
+template <typename F>
+Tensor
+unary(const Tensor& a, F&& f)
+{
+    Tensor out = Tensor::zeros(a.shape());
+    const float* pa = a.data();
+    float* po = out.data();
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        po[i] = f(pa[i]);
+    }
+    return out;
+}
+
+constexpr float kGeluC = 0.7978845608028654f; // sqrt(2/pi)
+
+} // namespace
+
+Tensor
+add(const Tensor& a, const Tensor& b)
+{
+    return broadcastBinary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor
+sub(const Tensor& a, const Tensor& b)
+{
+    return broadcastBinary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor
+mul(const Tensor& a, const Tensor& b)
+{
+    return broadcastBinary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor
+div(const Tensor& a, const Tensor& b)
+{
+    return broadcastBinary(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor
+scale(const Tensor& a, float factor)
+{
+    return unary(a, [factor](float x) { return x * factor; });
+}
+
+Tensor
+addScalar(const Tensor& a, float value)
+{
+    return unary(a, [value](float x) { return x + value; });
+}
+
+Tensor
+gelu(const Tensor& a)
+{
+    return unary(a, [](float x) {
+        return 0.5f * x * (1.0f + std::tanh(kGeluC * (x + 0.044715f * x * x * x)));
+    });
+}
+
+Tensor
+geluBackward(const Tensor& grad, const Tensor& a)
+{
+    SLAPO_CHECK(grad.shape() == a.shape(), "geluBackward: shape mismatch");
+    Tensor out = Tensor::zeros(a.shape());
+    const float* pg = grad.data();
+    const float* pa = a.data();
+    float* po = out.data();
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        const float x = pa[i];
+        const float inner = kGeluC * (x + 0.044715f * x * x * x);
+        const float t = std::tanh(inner);
+        const float dinner = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+        const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+        po[i] = pg[i] * d;
+    }
+    return out;
+}
+
+Tensor
+relu(const Tensor& a)
+{
+    return unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor
+reluBackward(const Tensor& grad, const Tensor& a)
+{
+    SLAPO_CHECK(grad.shape() == a.shape(), "reluBackward: shape mismatch");
+    return broadcastBinary(grad, a,
+                           [](float g, float x) { return x > 0.0f ? g : 0.0f; });
+}
+
+Tensor
+tanhOp(const Tensor& a)
+{
+    return unary(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor
+tanhBackward(const Tensor& grad, const Tensor& y)
+{
+    return broadcastBinary(grad, y,
+                           [](float g, float t) { return g * (1.0f - t * t); });
+}
+
+Tensor
+clampScalar(const Tensor& a, float lo, float hi)
+{
+    return unary(a, [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+}
+
+Tensor
+rangeMask(const Tensor& a, float lo, float hi)
+{
+    return unary(a, [lo, hi](float x) { return x >= lo && x < hi ? 1.0f : 0.0f; });
+}
+
+Tensor
+causalMask(const Tensor& scores)
+{
+    SLAPO_CHECK(scores.dim() >= 2, "causalMask: needs at least 2-D");
+    const int64_t sq = scores.size(-2);
+    const int64_t sk = scores.size(-1);
+    Tensor out = scores.clone();
+    float* po = out.data();
+    const int64_t batch = scores.numel() / (sq * sk);
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t i = 0; i < sq; ++i) {
+            for (int64_t j = i + 1; j < sk; ++j) {
+                po[(b * sq + i) * sk + j] += -1e9f;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Clipped-relative-distance bucket index for relPosBias. */
+int64_t
+relBucket(int64_t i, int64_t j, int64_t buckets)
+{
+    int64_t rel = j - i;
+    rel = std::min(std::max(rel, -(buckets - 1)), buckets - 1);
+    return rel + buckets - 1;
+}
+
+} // namespace
+
+Tensor
+relPosBias(const Tensor& scores, const Tensor& table)
+{
+    SLAPO_CHECK(scores.dim() == 4 && table.dim() == 2,
+                "relPosBias: expects [B,h,Sq,Sk] scores and [h, 2b-1] table");
+    const int64_t B = scores.size(0), H = scores.size(1);
+    const int64_t Sq = scores.size(2), Sk = scores.size(3);
+    SLAPO_CHECK(table.size(0) == H,
+                "relPosBias: table heads " << table.size(0) << " != scores "
+                                           << H);
+    SLAPO_CHECK(table.size(1) % 2 == 1, "relPosBias: table width must be odd");
+    const int64_t buckets = (table.size(1) + 1) / 2;
+
+    Tensor out = scores.clone();
+    float* po = out.data();
+    const float* pt = table.data();
+    for (int64_t b = 0; b < B; ++b) {
+        for (int64_t h = 0; h < H; ++h) {
+            for (int64_t i = 0; i < Sq; ++i) {
+                for (int64_t j = 0; j < Sk; ++j) {
+                    po[((b * H + h) * Sq + i) * Sk + j] +=
+                        pt[h * table.size(1) + relBucket(i, j, buckets)];
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+relPosBiasTableBackward(const Tensor& grad, const Shape& table_shape)
+{
+    SLAPO_CHECK(grad.dim() == 4 && table_shape.size() == 2,
+                "relPosBiasTableBackward: bad shapes");
+    Tensor table_grad = Tensor::zeros(table_shape);
+    const int64_t B = grad.size(0), H = grad.size(1);
+    const int64_t Sq = grad.size(2), Sk = grad.size(3);
+    const int64_t buckets = (table_shape[1] + 1) / 2;
+    const float* pg = grad.data();
+    float* pt = table_grad.data();
+    for (int64_t b = 0; b < B; ++b) {
+        for (int64_t h = 0; h < H; ++h) {
+            for (int64_t i = 0; i < Sq; ++i) {
+                for (int64_t j = 0; j < Sk; ++j) {
+                    pt[h * table_shape[1] + relBucket(i, j, buckets)] +=
+                        pg[((b * H + h) * Sq + i) * Sk + j];
+                }
+            }
+        }
+    }
+    return table_grad;
+}
+
+Tensor
+sumAll(const Tensor& a)
+{
+    double acc = 0.0;
+    const float* pa = a.data();
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        acc += pa[i];
+    }
+    return Tensor::fromValues({1}, {static_cast<float>(acc)});
+}
+
+Tensor
+meanAll(const Tensor& a)
+{
+    Tensor s = sumAll(a);
+    s.scaleInPlace(1.0f / static_cast<float>(a.numel()));
+    return s;
+}
+
+Tensor
+reduceToShape(const Tensor& grad_out, const Shape& shape)
+{
+    if (grad_out.shape() == shape) {
+        return grad_out.clone();
+    }
+    const size_t rank = grad_out.dim();
+    Shape aligned(rank, 1);
+    std::copy(shape.begin(), shape.end(), aligned.begin() + (rank - shape.size()));
+
+    Tensor out = Tensor::zeros(aligned);
+    const auto stro = stridesOf(grad_out.shape());
+    const auto stra = stridesOf(aligned);
+    const float* pg = grad_out.data();
+    float* po = out.data();
+    for (int64_t flat = 0; flat < grad_out.numel(); ++flat) {
+        int64_t rem = flat;
+        int64_t ia = 0;
+        for (size_t d = 0; d < rank; ++d) {
+            const int64_t idx = rem / stro[d];
+            rem %= stro[d];
+            if (aligned[d] != 1) ia += idx * stra[d];
+        }
+        po[ia] += pg[flat];
+    }
+    return out.reshape(shape);
+}
+
+Tensor
+matmul(const Tensor& a, const Tensor& b)
+{
+    SLAPO_CHECK(a.dim() >= 2 && b.dim() >= 2,
+                "matmul: operands must be at least 2-D, got "
+                    << shapeToString(a.shape()) << " @ " << shapeToString(b.shape()));
+    const int64_t m = a.size(-2);
+    const int64_t k = a.size(-1);
+    const int64_t k2 = b.size(-2);
+    const int64_t n = b.size(-1);
+    SLAPO_CHECK(k == k2, "matmul: inner dims mismatch "
+                             << shapeToString(a.shape()) << " @ "
+                             << shapeToString(b.shape()));
+
+    Shape batch_a(a.shape().begin(), a.shape().end() - 2);
+    Shape batch_b(b.shape().begin(), b.shape().end() - 2);
+    Shape batch = broadcastShapes(batch_a, batch_b);
+    const int64_t n_batch = numelOf(batch);
+
+    Shape out_shape = batch;
+    out_shape.push_back(m);
+    out_shape.push_back(n);
+    Tensor out = Tensor::zeros(out_shape);
+
+    // Per-batch flat offsets honoring broadcast on batch dims.
+    const size_t rank = batch.size();
+    auto aligned = [&](const Shape& s) {
+        Shape r(rank, 1);
+        std::copy(s.begin(), s.end(), r.begin() + (rank - s.size()));
+        return r;
+    };
+    const Shape ba = aligned(batch_a);
+    const Shape bb = aligned(batch_b);
+    const auto stra = stridesOf(ba);
+    const auto strb = stridesOf(bb);
+    const auto strc = stridesOf(batch);
+
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+
+    for (int64_t bi = 0; bi < n_batch; ++bi) {
+        int64_t rem = bi;
+        int64_t off_a = 0;
+        int64_t off_b = 0;
+        for (size_t d = 0; d < rank; ++d) {
+            const int64_t idx = rem / strc[d];
+            rem %= strc[d];
+            if (ba[d] != 1) off_a += idx * stra[d];
+            if (bb[d] != 1) off_b += idx * strb[d];
+        }
+        const float* A = pa + off_a * m * k;
+        const float* B = pb + off_b * k * n;
+        float* C = po + bi * m * n;
+        for (int64_t i = 0; i < m; ++i) {
+            for (int64_t kk = 0; kk < k; ++kk) {
+                const float av = A[i * k + kk];
+                if (av == 0.0f) continue;
+                const float* Brow = B + kk * n;
+                float* Crow = C + i * n;
+                for (int64_t j = 0; j < n; ++j) {
+                    Crow[j] += av * Brow[j];
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+transposeLast2(const Tensor& a)
+{
+    SLAPO_CHECK(a.dim() >= 2, "transposeLast2: needs at least 2-D");
+    std::vector<int64_t> perm(a.dim());
+    for (int64_t i = 0; i < a.dim(); ++i) perm[i] = i;
+    std::swap(perm[a.dim() - 1], perm[a.dim() - 2]);
+    return permute(a, perm);
+}
+
+Tensor
+linear(const Tensor& x, const Tensor& weight, const Tensor& bias)
+{
+    SLAPO_CHECK(weight.dim() == 2, "linear: weight must be 2-D");
+    const int64_t in = weight.size(1);
+    const int64_t out_f = weight.size(0);
+    SLAPO_CHECK(x.size(-1) == in,
+                "linear: input features " << x.size(-1) << " != weight in "
+                                          << in);
+    const int64_t rows = x.numel() / in;
+    Tensor x2 = x.reshape({rows, in});
+
+    Tensor out = Tensor::zeros({rows, out_f});
+    const float* px = x2.data();
+    const float* pw = weight.data();
+    float* po = out.data();
+    for (int64_t r = 0; r < rows; ++r) {
+        const float* xr = px + r * in;
+        float* orow = po + r * out_f;
+        for (int64_t o = 0; o < out_f; ++o) {
+            const float* wrow = pw + o * in;
+            double acc = 0.0;
+            for (int64_t i = 0; i < in; ++i) {
+                acc += xr[i] * wrow[i];
+            }
+            orow[o] = static_cast<float>(acc);
+        }
+    }
+    if (bias.numel() > 0) {
+        SLAPO_CHECK(bias.numel() == out_f, "linear: bias size mismatch");
+        const float* pb = bias.data();
+        for (int64_t r = 0; r < rows; ++r) {
+            float* orow = po + r * out_f;
+            for (int64_t o = 0; o < out_f; ++o) {
+                orow[o] += pb[o];
+            }
+        }
+    }
+    Shape out_shape = x.shape();
+    out_shape.back() = out_f;
+    return out.reshape(out_shape);
+}
+
+LinearGrads
+linearBackward(const Tensor& grad_out, const Tensor& x, const Tensor& weight,
+               bool has_bias)
+{
+    const int64_t in = weight.size(1);
+    const int64_t out_f = weight.size(0);
+    const int64_t rows = x.numel() / in;
+    Tensor g2 = grad_out.reshape({rows, out_f});
+    Tensor x2 = x.reshape({rows, in});
+
+    LinearGrads grads;
+    grads.grad_x = matmul(g2, weight).reshape(x.shape());
+    grads.grad_weight = matmul(transposeLast2(g2), x2);
+    if (has_bias) {
+        Tensor gb = Tensor::zeros({out_f});
+        const float* pg = g2.data();
+        float* pb = gb.data();
+        for (int64_t r = 0; r < rows; ++r) {
+            for (int64_t o = 0; o < out_f; ++o) {
+                pb[o] += pg[r * out_f + o];
+            }
+        }
+        grads.grad_bias = gb;
+    }
+    return grads;
+}
+
+Tensor
+softmax(const Tensor& a)
+{
+    const int64_t d = a.size(-1);
+    const int64_t rows = a.numel() / d;
+    Tensor out = Tensor::zeros(a.shape());
+    const float* pa = a.data();
+    float* po = out.data();
+    for (int64_t r = 0; r < rows; ++r) {
+        const float* row = pa + r * d;
+        float* orow = po + r * d;
+        float max_v = row[0];
+        for (int64_t i = 1; i < d; ++i) max_v = std::max(max_v, row[i]);
+        double sum = 0.0;
+        for (int64_t i = 0; i < d; ++i) {
+            orow[i] = std::exp(row[i] - max_v);
+            sum += orow[i];
+        }
+        const float inv = static_cast<float>(1.0 / sum);
+        for (int64_t i = 0; i < d; ++i) orow[i] *= inv;
+    }
+    return out;
+}
+
+Tensor
+softmaxBackward(const Tensor& grad, const Tensor& y)
+{
+    const int64_t d = y.size(-1);
+    const int64_t rows = y.numel() / d;
+    Tensor out = Tensor::zeros(y.shape());
+    const float* pg = grad.data();
+    const float* py = y.data();
+    float* po = out.data();
+    for (int64_t r = 0; r < rows; ++r) {
+        const float* gr = pg + r * d;
+        const float* yr = py + r * d;
+        float* orow = po + r * d;
+        double dot = 0.0;
+        for (int64_t i = 0; i < d; ++i) dot += gr[i] * yr[i];
+        for (int64_t i = 0; i < d; ++i) {
+            orow[i] = yr[i] * (gr[i] - static_cast<float>(dot));
+        }
+    }
+    return out;
+}
+
+Tensor
+layerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps)
+{
+    const int64_t d = x.size(-1);
+    SLAPO_CHECK(gamma.numel() == d && beta.numel() == d,
+                "layerNorm: affine param size mismatch");
+    const int64_t rows = x.numel() / d;
+    Tensor out = Tensor::zeros(x.shape());
+    const float* px = x.data();
+    const float* pg = gamma.data();
+    const float* pb = beta.data();
+    float* po = out.data();
+    for (int64_t r = 0; r < rows; ++r) {
+        const float* row = px + r * d;
+        float* orow = po + r * d;
+        double mean = 0.0;
+        for (int64_t i = 0; i < d; ++i) mean += row[i];
+        mean /= d;
+        double var = 0.0;
+        for (int64_t i = 0; i < d; ++i) {
+            const double c = row[i] - mean;
+            var += c * c;
+        }
+        var /= d;
+        const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps));
+        for (int64_t i = 0; i < d; ++i) {
+            orow[i] = (row[i] - static_cast<float>(mean)) * inv_std * pg[i] + pb[i];
+        }
+    }
+    return out;
+}
+
+LayerNormGrads
+layerNormBackward(const Tensor& grad_out, const Tensor& x, const Tensor& gamma,
+                  float eps)
+{
+    const int64_t d = x.size(-1);
+    const int64_t rows = x.numel() / d;
+    LayerNormGrads grads;
+    grads.grad_x = Tensor::zeros(x.shape());
+    grads.grad_gamma = Tensor::zeros({d});
+    grads.grad_beta = Tensor::zeros({d});
+
+    const float* px = x.data();
+    const float* pgo = grad_out.data();
+    const float* pg = gamma.data();
+    float* pdx = grads.grad_x.data();
+    float* pdg = grads.grad_gamma.data();
+    float* pdb = grads.grad_beta.data();
+
+    for (int64_t r = 0; r < rows; ++r) {
+        const float* row = px + r * d;
+        const float* go = pgo + r * d;
+        float* dx = pdx + r * d;
+        double mean = 0.0;
+        for (int64_t i = 0; i < d; ++i) mean += row[i];
+        mean /= d;
+        double var = 0.0;
+        for (int64_t i = 0; i < d; ++i) {
+            const double c = row[i] - mean;
+            var += c * c;
+        }
+        var /= d;
+        const double inv_std = 1.0 / std::sqrt(var + eps);
+
+        double sum_gxhat = 0.0;
+        double sum_g = 0.0;
+        for (int64_t i = 0; i < d; ++i) {
+            const double xhat = (row[i] - mean) * inv_std;
+            const double g = go[i] * pg[i];
+            sum_gxhat += g * xhat;
+            sum_g += g;
+            pdg[i] += static_cast<float>(go[i] * xhat);
+            pdb[i] += go[i];
+        }
+        for (int64_t i = 0; i < d; ++i) {
+            const double xhat = (row[i] - mean) * inv_std;
+            const double g = go[i] * pg[i];
+            dx[i] = static_cast<float>(
+                inv_std * (g - sum_g / d - xhat * sum_gxhat / d));
+        }
+    }
+    return grads;
+}
+
+Tensor
+dropout(const Tensor& a, float p, uint64_t seed)
+{
+    if (p <= 0.0f) {
+        return a.clone();
+    }
+    SLAPO_CHECK(p < 1.0f, "dropout: p must be in [0, 1), got " << p);
+    Tensor out = Tensor::zeros(a.shape());
+    Rng rng(seed);
+    const float inv_keep = 1.0f / (1.0f - p);
+    const float* pa = a.data();
+    float* po = out.data();
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        po[i] = rng.uniform() < p ? 0.0f : pa[i] * inv_keep;
+    }
+    return out;
+}
+
+Tensor
+dropoutBackward(const Tensor& grad, float p, uint64_t seed)
+{
+    // The mask is a deterministic function of the seed, so backward simply
+    // reapplies the forward transformation to the upstream gradient.
+    return dropout(grad, p, seed);
+}
+
+Tensor
+concat(const std::vector<Tensor>& parts, int64_t axis)
+{
+    SLAPO_CHECK(!parts.empty(), "concat: no inputs");
+    const Tensor& first = parts.front();
+    int64_t ax = axis < 0 ? axis + first.dim() : axis;
+    SLAPO_CHECK(ax >= 0 && ax < first.dim(), "concat: bad axis " << axis);
+
+    Shape out_shape = first.shape();
+    int64_t total = 0;
+    for (const Tensor& t : parts) {
+        SLAPO_CHECK(t.dim() == first.dim(), "concat: rank mismatch");
+        for (int64_t d = 0; d < t.dim(); ++d) {
+            if (d != ax) {
+                SLAPO_CHECK(t.size(d) == first.size(d),
+                            "concat: shape mismatch on axis " << d);
+            }
+        }
+        total += t.size(ax);
+    }
+    out_shape[ax] = total;
+    Tensor out = Tensor::zeros(out_shape);
+
+    // outer = product of dims before axis; inner = product after.
+    int64_t outer = 1;
+    for (int64_t d = 0; d < ax; ++d) outer *= first.size(d);
+    int64_t inner = 1;
+    for (int64_t d = ax + 1; d < first.dim(); ++d) inner *= first.size(d);
+
+    float* po = out.data();
+    int64_t axis_offset = 0;
+    for (const Tensor& t : parts) {
+        const int64_t a_len = t.size(ax);
+        const float* pt = t.data();
+        for (int64_t o = 0; o < outer; ++o) {
+            std::copy(pt + o * a_len * inner, pt + (o + 1) * a_len * inner,
+                      po + (o * total + axis_offset) * inner);
+        }
+        axis_offset += a_len;
+    }
+    return out;
+}
+
+std::vector<Tensor>
+chunk(const Tensor& a, int64_t n, int64_t axis)
+{
+    int64_t ax = axis < 0 ? axis + a.dim() : axis;
+    SLAPO_CHECK(ax >= 0 && ax < a.dim(), "chunk: bad axis " << axis);
+    SLAPO_CHECK(a.size(ax) % n == 0,
+                "chunk: axis extent " << a.size(ax) << " not divisible by " << n);
+    const int64_t step = a.size(ax) / n;
+    std::vector<Tensor> out;
+    out.reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+        out.push_back(narrow(a, ax, i * step, step));
+    }
+    return out;
+}
+
+Tensor
+narrow(const Tensor& a, int64_t axis, int64_t start, int64_t length)
+{
+    int64_t ax = axis < 0 ? axis + a.dim() : axis;
+    SLAPO_CHECK(ax >= 0 && ax < a.dim(), "narrow: bad axis " << axis);
+    SLAPO_CHECK(start >= 0 && start + length <= a.size(ax),
+                "narrow: slice [" << start << ", " << start + length
+                                  << ") out of range for axis extent "
+                                  << a.size(ax));
+    Shape out_shape = a.shape();
+    out_shape[ax] = length;
+    Tensor out = Tensor::zeros(out_shape);
+
+    int64_t outer = 1;
+    for (int64_t d = 0; d < ax; ++d) outer *= a.size(d);
+    int64_t inner = 1;
+    for (int64_t d = ax + 1; d < a.dim(); ++d) inner *= a.size(d);
+
+    const float* pa = a.data();
+    float* po = out.data();
+    const int64_t full = a.size(ax);
+    for (int64_t o = 0; o < outer; ++o) {
+        std::copy(pa + (o * full + start) * inner,
+                  pa + (o * full + start + length) * inner,
+                  po + o * length * inner);
+    }
+    return out;
+}
+
+Tensor
+narrowBackward(const Tensor& grad, const Shape& in_shape, int64_t axis,
+               int64_t start)
+{
+    int64_t ax = axis < 0 ? axis + static_cast<int64_t>(in_shape.size()) : axis;
+    Tensor out = Tensor::zeros(in_shape);
+    const int64_t length = grad.size(ax);
+
+    int64_t outer = 1;
+    for (int64_t d = 0; d < ax; ++d) outer *= in_shape[d];
+    int64_t inner = 1;
+    for (size_t d = ax + 1; d < in_shape.size(); ++d) inner *= in_shape[d];
+
+    const float* pg = grad.data();
+    float* po = out.data();
+    const int64_t full = in_shape[ax];
+    for (int64_t o = 0; o < outer; ++o) {
+        std::copy(pg + o * length * inner, pg + (o + 1) * length * inner,
+                  po + (o * full + start) * inner);
+    }
+    return out;
+}
+
+Tensor
+permute(const Tensor& a, const std::vector<int64_t>& perm)
+{
+    SLAPO_CHECK(static_cast<int64_t>(perm.size()) == a.dim(),
+                "permute: perm rank mismatch");
+    Shape out_shape(a.dim());
+    for (int64_t d = 0; d < a.dim(); ++d) {
+        out_shape[d] = a.size(perm[d]);
+    }
+    Tensor out = Tensor::zeros(out_shape);
+    const auto in_strides = stridesOf(a.shape());
+    const auto out_strides = stridesOf(out_shape);
+    const float* pa = a.data();
+    float* po = out.data();
+    for (int64_t flat = 0; flat < a.numel(); ++flat) {
+        int64_t rem = flat;
+        int64_t src = 0;
+        for (int64_t d = 0; d < a.dim(); ++d) {
+            const int64_t idx = rem / out_strides[d];
+            rem %= out_strides[d];
+            src += idx * in_strides[perm[d]];
+        }
+        po[flat] = pa[src];
+    }
+    return out;
+}
+
+Tensor
+embedding(const Tensor& ids, const Tensor& table)
+{
+    SLAPO_CHECK(table.dim() == 2, "embedding: table must be 2-D");
+    const int64_t vocab = table.size(0);
+    const int64_t dim = table.size(1);
+    Shape out_shape = ids.shape();
+    out_shape.push_back(dim);
+    Tensor out = Tensor::zeros(out_shape);
+    const float* pi = ids.data();
+    const float* pt = table.data();
+    float* po = out.data();
+    for (int64_t i = 0; i < ids.numel(); ++i) {
+        const int64_t id = static_cast<int64_t>(pi[i]);
+        SLAPO_CHECK(id >= 0 && id < vocab,
+                    "embedding: id " << id << " out of vocab " << vocab);
+        std::copy(pt + id * dim, pt + (id + 1) * dim, po + i * dim);
+    }
+    return out;
+}
+
+Tensor
+embeddingBackward(const Tensor& grad_out, const Tensor& ids, int64_t vocab)
+{
+    const int64_t dim = grad_out.size(-1);
+    Tensor grad_table = Tensor::zeros({vocab, dim});
+    const float* pg = grad_out.data();
+    const float* pi = ids.data();
+    float* pt = grad_table.data();
+    for (int64_t i = 0; i < ids.numel(); ++i) {
+        const int64_t id = static_cast<int64_t>(pi[i]);
+        for (int64_t d = 0; d < dim; ++d) {
+            pt[id * dim + d] += pg[i * dim + d];
+        }
+    }
+    return grad_table;
+}
+
+Tensor
+mseLoss(const Tensor& pred, const Tensor& target)
+{
+    SLAPO_CHECK(pred.shape() == target.shape(), "mseLoss: shape mismatch");
+    double acc = 0.0;
+    const float* pp = pred.data();
+    const float* pt = target.data();
+    for (int64_t i = 0; i < pred.numel(); ++i) {
+        const double d = pp[i] - pt[i];
+        acc += d * d;
+    }
+    return Tensor::fromValues({1}, {static_cast<float>(acc / pred.numel())});
+}
+
+Tensor
+mseLossBackward(const Tensor& pred, const Tensor& target)
+{
+    Tensor out = Tensor::zeros(pred.shape());
+    const float* pp = pred.data();
+    const float* pt = target.data();
+    float* po = out.data();
+    const float s = 2.0f / static_cast<float>(pred.numel());
+    for (int64_t i = 0; i < pred.numel(); ++i) {
+        po[i] = s * (pp[i] - pt[i]);
+    }
+    return out;
+}
+
+Tensor
+crossEntropy(const Tensor& logits, const Tensor& targets)
+{
+    const int64_t vocab = logits.size(-1);
+    const int64_t rows = logits.numel() / vocab;
+    SLAPO_CHECK(targets.numel() == rows, "crossEntropy: target count mismatch");
+    Tensor probs = softmax(logits);
+    const float* pp = probs.data();
+    const float* pt = targets.data();
+    double acc = 0.0;
+    for (int64_t r = 0; r < rows; ++r) {
+        const int64_t t = static_cast<int64_t>(pt[r]);
+        SLAPO_CHECK(t >= 0 && t < vocab, "crossEntropy: bad target " << t);
+        acc -= std::log(std::max(pp[r * vocab + t], 1e-12f));
+    }
+    return Tensor::fromValues({1}, {static_cast<float>(acc / rows)});
+}
+
+Tensor
+crossEntropyBackward(const Tensor& logits, const Tensor& targets)
+{
+    const int64_t vocab = logits.size(-1);
+    const int64_t rows = logits.numel() / vocab;
+    Tensor grad = softmax(logits);
+    float* pg = grad.data();
+    const float* pt = targets.data();
+    const float inv = 1.0f / static_cast<float>(rows);
+    for (int64_t r = 0; r < rows; ++r) {
+        const int64_t t = static_cast<int64_t>(pt[r]);
+        pg[r * vocab + t] -= 1.0f;
+    }
+    for (int64_t i = 0; i < grad.numel(); ++i) {
+        pg[i] *= inv;
+    }
+    return grad;
+}
+
+Tensor
+conv2d(const Tensor& x, const Tensor& w, int64_t stride, int64_t pad)
+{
+    SLAPO_CHECK(x.dim() == 4 && w.dim() == 4, "conv2d: expects NCHW x and OIHW w");
+    const int64_t B = x.size(0), Cin = x.size(1), H = x.size(2), W = x.size(3);
+    const int64_t Cout = w.size(0), kh = w.size(2), kw = w.size(3);
+    SLAPO_CHECK(w.size(1) == Cin, "conv2d: channel mismatch");
+    const int64_t Ho = (H + 2 * pad - kh) / stride + 1;
+    const int64_t Wo = (W + 2 * pad - kw) / stride + 1;
+    Tensor out = Tensor::zeros({B, Cout, Ho, Wo});
+    const float* px = x.data();
+    const float* pw = w.data();
+    float* po = out.data();
+    for (int64_t b = 0; b < B; ++b) {
+        for (int64_t co = 0; co < Cout; ++co) {
+            for (int64_t ho = 0; ho < Ho; ++ho) {
+                for (int64_t wo = 0; wo < Wo; ++wo) {
+                    double acc = 0.0;
+                    for (int64_t ci = 0; ci < Cin; ++ci) {
+                        for (int64_t i = 0; i < kh; ++i) {
+                            const int64_t hi = ho * stride + i - pad;
+                            if (hi < 0 || hi >= H) continue;
+                            for (int64_t j = 0; j < kw; ++j) {
+                                const int64_t wi = wo * stride + j - pad;
+                                if (wi < 0 || wi >= W) continue;
+                                acc += px[((b * Cin + ci) * H + hi) * W + wi] *
+                                       pw[((co * Cin + ci) * kh + i) * kw + j];
+                            }
+                        }
+                    }
+                    po[((b * Cout + co) * Ho + ho) * Wo + wo] =
+                        static_cast<float>(acc);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+batchNorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps)
+{
+    SLAPO_CHECK(x.dim() == 4, "batchNorm2d: expects NCHW");
+    const int64_t B = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
+    SLAPO_CHECK(gamma.numel() == C && beta.numel() == C,
+                "batchNorm2d: affine size mismatch");
+    Tensor out = Tensor::zeros(x.shape());
+    const float* px = x.data();
+    const float* pg = gamma.data();
+    const float* pb = beta.data();
+    float* po = out.data();
+    const int64_t per_c = B * H * W;
+    for (int64_t c = 0; c < C; ++c) {
+        double mean = 0.0;
+        for (int64_t b = 0; b < B; ++b) {
+            for (int64_t i = 0; i < H * W; ++i) {
+                mean += px[(b * C + c) * H * W + i];
+            }
+        }
+        mean /= per_c;
+        double var = 0.0;
+        for (int64_t b = 0; b < B; ++b) {
+            for (int64_t i = 0; i < H * W; ++i) {
+                const double d = px[(b * C + c) * H * W + i] - mean;
+                var += d * d;
+            }
+        }
+        var /= per_c;
+        const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps));
+        for (int64_t b = 0; b < B; ++b) {
+            for (int64_t i = 0; i < H * W; ++i) {
+                const int64_t idx = (b * C + c) * H * W + i;
+                po[idx] = (px[idx] - static_cast<float>(mean)) * inv_std * pg[c] +
+                          pb[c];
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+globalAvgPool(const Tensor& x)
+{
+    SLAPO_CHECK(x.dim() == 4, "globalAvgPool: expects NCHW");
+    const int64_t B = x.size(0), C = x.size(1), HW = x.size(2) * x.size(3);
+    Tensor out = Tensor::zeros({B, C});
+    const float* px = x.data();
+    float* po = out.data();
+    for (int64_t b = 0; b < B; ++b) {
+        for (int64_t c = 0; c < C; ++c) {
+            double acc = 0.0;
+            for (int64_t i = 0; i < HW; ++i) {
+                acc += px[(b * C + c) * HW + i];
+            }
+            po[b * C + c] = static_cast<float>(acc / HW);
+        }
+    }
+    return out;
+}
+
+} // namespace ops
+} // namespace slapo

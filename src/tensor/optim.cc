@@ -1,0 +1,48 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+namespace slapo {
+
+size_t
+AdamW::addParam(Tensor param)
+{
+    SLAPO_CHECK(param.materialized(), "AdamW: cannot optimize meta tensors");
+    params_.push_back(param);
+    m_.push_back(Tensor::zeros(param.shape()));
+    v_.push_back(Tensor::zeros(param.shape()));
+    return params_.size() - 1;
+}
+
+void
+AdamW::step(const std::vector<Tensor>& grads)
+{
+    SLAPO_CHECK(grads.size() == params_.size(),
+                "AdamW: expected " << params_.size() << " gradients, got "
+                                   << grads.size());
+    ++step_count_;
+    const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(step_count_));
+    const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(step_count_));
+
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Tensor& p = params_[i];
+        const Tensor& g = grads[i];
+        SLAPO_CHECK(g.shape() == p.shape(),
+                    "AdamW: gradient shape mismatch at param " << i);
+        float* pp = p.data();
+        const float* pg = g.data();
+        float* pm = m_[i].data();
+        float* pv = v_[i].data();
+        for (int64_t j = 0; j < p.numel(); ++j) {
+            pm[j] = config_.beta1 * pm[j] + (1.0f - config_.beta1) * pg[j];
+            pv[j] = config_.beta2 * pv[j] + (1.0f - config_.beta2) * pg[j] * pg[j];
+            const float m_hat = pm[j] / bc1;
+            const float v_hat = pv[j] / bc2;
+            pp[j] -= config_.lr *
+                     (m_hat / (std::sqrt(v_hat) + config_.eps) +
+                      config_.weight_decay * pp[j]);
+        }
+    }
+}
+
+} // namespace slapo

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * AdamW optimizer over raw tensors.
+ *
+ * The paper trains every model with AdamW in mixed precision (§5); the
+ * numeric substrate implements the fp32 reference update, and the
+ * performance simulator separately accounts for the mixed-precision
+ * optimizer-state memory (see sim/memory_model.h).
+ */
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace slapo {
+
+/** Hyper-parameters of the AdamW update. */
+struct AdamWConfig
+{
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.01f;
+};
+
+/**
+ * Decoupled-weight-decay Adam (Loshchilov & Hutter). Parameters are
+ * registered once; each step consumes one gradient tensor per parameter
+ * in registration order.
+ */
+class AdamW
+{
+  public:
+    explicit AdamW(AdamWConfig config = {}) : config_(config) {}
+
+    /** Register a parameter; returns its slot index. */
+    size_t addParam(Tensor param);
+
+    /** Number of registered parameters. */
+    size_t numParams() const { return params_.size(); }
+
+    /** Access a registered parameter tensor (shared storage). */
+    Tensor& param(size_t i) { return params_[i]; }
+
+    /** Apply one AdamW step given per-parameter gradients. */
+    void step(const std::vector<Tensor>& grads);
+
+    /** Steps taken so far (bias-correction counter). */
+    int64_t stepCount() const { return step_count_; }
+
+  private:
+    AdamWConfig config_;
+    std::vector<Tensor> params_;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+    int64_t step_count_ = 0;
+};
+
+} // namespace slapo

@@ -1,0 +1,290 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace slapo {
+
+int64_t
+numelOf(const Shape& shape)
+{
+    int64_t n = 1;
+    for (int64_t d : shape) {
+        n *= d;
+    }
+    return n;
+}
+
+std::string
+shapeToString(const Shape& shape)
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < shape.size(); ++i) {
+        if (i) os << ", ";
+        os << shape[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+Shape
+broadcastShapes(const Shape& a, const Shape& b)
+{
+    const size_t rank = std::max(a.size(), b.size());
+    Shape out(rank, 1);
+    for (size_t i = 0; i < rank; ++i) {
+        const int64_t da = i < rank - a.size() ? 1 : a[i - (rank - a.size())];
+        const int64_t db = i < rank - b.size() ? 1 : b[i - (rank - b.size())];
+        SLAPO_CHECK(da == db || da == 1 || db == 1,
+                    "cannot broadcast shapes " << shapeToString(a) << " and "
+                                               << shapeToString(b));
+        out[i] = std::max(da, db);
+    }
+    return out;
+}
+
+Tensor
+Tensor::meta(Shape shape)
+{
+    return Tensor(std::move(shape), nullptr);
+}
+
+Tensor
+Tensor::zeros(Shape shape)
+{
+    auto storage = std::make_shared<std::vector<float>>(numelOf(shape), 0.0f);
+    return Tensor(std::move(shape), std::move(storage));
+}
+
+Tensor
+Tensor::full(Shape shape, float value)
+{
+    auto storage = std::make_shared<std::vector<float>>(numelOf(shape), value);
+    return Tensor(std::move(shape), std::move(storage));
+}
+
+Tensor
+Tensor::fromValues(Shape shape, std::vector<float> values)
+{
+    SLAPO_CHECK(numelOf(shape) == static_cast<int64_t>(values.size()),
+                "fromValues: shape " << shapeToString(shape) << " needs "
+                                     << numelOf(shape) << " values, got "
+                                     << values.size());
+    auto storage = std::make_shared<std::vector<float>>(std::move(values));
+    return Tensor(std::move(shape), std::move(storage));
+}
+
+Tensor
+Tensor::uniform(Shape shape, float bound, uint64_t seed)
+{
+    Tensor t = zeros(std::move(shape));
+    Rng rng(seed);
+    float* p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        p[i] = rng.uniform(-bound, bound);
+    }
+    return t;
+}
+
+Tensor
+Tensor::randn(Shape shape, float std_dev, uint64_t seed)
+{
+    Tensor t = zeros(std::move(shape));
+    Rng rng(seed);
+    float* p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        p[i] = rng.normal() * std_dev;
+    }
+    return t;
+}
+
+Tensor
+Tensor::randint(Shape shape, int64_t high, uint64_t seed)
+{
+    SLAPO_CHECK(high > 0, "randint: high must be positive, got " << high);
+    Tensor t = zeros(std::move(shape));
+    Rng rng(seed);
+    float* p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+        p[i] = static_cast<float>(rng.next() % static_cast<uint64_t>(high));
+    }
+    return t;
+}
+
+int64_t
+Tensor::size(int64_t axis) const
+{
+    if (axis < 0) axis += dim();
+    SLAPO_CHECK(axis >= 0 && axis < dim(),
+                "size: axis " << axis << " out of range for shape "
+                              << shapeToString(shape_));
+    return shape_[axis];
+}
+
+float*
+Tensor::data()
+{
+    SLAPO_CHECK(materialized(), "data() called on meta tensor "
+                                    << shapeToString(shape_));
+    return storage_->data();
+}
+
+const float*
+Tensor::data() const
+{
+    SLAPO_CHECK(materialized(), "data() called on meta tensor "
+                                    << shapeToString(shape_));
+    return storage_->data();
+}
+
+float
+Tensor::at(int64_t flat_index) const
+{
+    SLAPO_ASSERT(flat_index >= 0 && flat_index < numel(),
+                 "at: index " << flat_index << " out of range");
+    return data()[flat_index];
+}
+
+void
+Tensor::set(int64_t flat_index, float value)
+{
+    SLAPO_ASSERT(flat_index >= 0 && flat_index < numel(),
+                 "set: index " << flat_index << " out of range");
+    data()[flat_index] = value;
+}
+
+Tensor
+Tensor::reshape(Shape new_shape) const
+{
+    SLAPO_CHECK(numelOf(new_shape) == numel(),
+                "reshape: cannot view " << shapeToString(shape_) << " as "
+                                        << shapeToString(new_shape));
+    return Tensor(std::move(new_shape), storage_);
+}
+
+Tensor
+Tensor::clone() const
+{
+    if (isMeta()) {
+        return meta(shape_);
+    }
+    auto storage = std::make_shared<std::vector<float>>(*storage_);
+    return Tensor(shape_, std::move(storage));
+}
+
+void
+Tensor::materializeZeros()
+{
+    if (!storage_) {
+        storage_ = std::make_shared<std::vector<float>>(numel(), 0.0f);
+    }
+}
+
+void
+Tensor::fill_(float value)
+{
+    std::fill(storage_->begin(), storage_->end(), value);
+}
+
+void
+Tensor::addInPlace(const Tensor& other)
+{
+    SLAPO_CHECK(shape_ == other.shape_,
+                "addInPlace: shape mismatch " << shapeToString(shape_) << " vs "
+                                              << shapeToString(other.shape_));
+    float* dst = data();
+    const float* src = other.data();
+    for (int64_t i = 0; i < numel(); ++i) {
+        dst[i] += src[i];
+    }
+}
+
+void
+Tensor::scaleInPlace(float factor)
+{
+    float* dst = data();
+    for (int64_t i = 0; i < numel(); ++i) {
+        dst[i] *= factor;
+    }
+}
+
+float
+Tensor::maxAbsDiff(const Tensor& a, const Tensor& b)
+{
+    SLAPO_CHECK(a.shape() == b.shape(),
+                "maxAbsDiff: shape mismatch " << shapeToString(a.shape())
+                                              << " vs " << shapeToString(b.shape()));
+    float max_diff = 0.0f;
+    const float* pa = a.data();
+    const float* pb = b.data();
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        max_diff = std::max(max_diff, std::fabs(pa[i] - pb[i]));
+    }
+    return max_diff;
+}
+
+bool
+Tensor::allClose(const Tensor& a, const Tensor& b, float tol)
+{
+    if (a.shape() != b.shape()) {
+        return false;
+    }
+    return maxAbsDiff(a, b) <= tol;
+}
+
+std::string
+Tensor::toString(int64_t max_elems) const
+{
+    std::ostringstream os;
+    os << "Tensor" << shapeToString(shape_);
+    if (isMeta()) {
+        os << " (meta)";
+        return os.str();
+    }
+    os << " {";
+    const int64_t n = std::min(numel(), max_elems);
+    for (int64_t i = 0; i < n; ++i) {
+        if (i) os << ", ";
+        os << at(i);
+    }
+    if (numel() > n) os << ", ...";
+    os << "}";
+    return os.str();
+}
+
+uint64_t
+Rng::next()
+{
+    // xorshift64*
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+}
+
+float
+Rng::uniform()
+{
+    return static_cast<float>((next() >> 40) / 16777216.0); // 24-bit mantissa
+}
+
+float
+Rng::uniform(float lo, float hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+float
+Rng::normal()
+{
+    // Box-Muller; avoid log(0).
+    float u1 = uniform();
+    if (u1 < 1e-9f) u1 = 1e-9f;
+    const float u2 = uniform();
+    return std::sqrt(-2.0f * std::log(u1)) *
+           std::cos(2.0f * static_cast<float>(M_PI) * u2);
+}
+
+} // namespace slapo

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Minimal dense CPU tensor used by the slapo-cc numeric substrate.
+ *
+ * Tensors are row-major, contiguous, float32. Two flavours exist:
+ *  - *materialized* tensors own storage and support arithmetic; they back
+ *    the verifier, the distributed numeric runtime, and small-scale
+ *    training in the examples/tests.
+ *  - *meta* tensors carry only a shape. Model-zoo models at paper scale
+ *    (up to 10B parameters) are built on meta tensors so the performance
+ *    simulator can reason about shapes and byte counts without allocating
+ *    tens of gigabytes.
+ *
+ * This mirrors the PyTorch "meta device" trick the paper's tooling relies
+ * on for deferred initialization of large models.
+ */
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace slapo {
+
+/** Tensor shape: a list of non-negative extents. */
+using Shape = std::vector<int64_t>;
+
+/** Number of elements described by a shape. */
+int64_t numelOf(const Shape& shape);
+
+/** Render a shape as "[2, 3, 4]" for error messages and dumps. */
+std::string shapeToString(const Shape& shape);
+
+/** Numpy-style broadcast of two shapes; throws SlapoError on mismatch. */
+Shape broadcastShapes(const Shape& a, const Shape& b);
+
+/**
+ * Dense float32 CPU tensor with optional (meta) storage.
+ *
+ * Copying a Tensor is cheap: storage is shared. Mutating ops are explicit
+ * (fill_, addInPlace, ...); all functional ops in ops.h allocate fresh
+ * outputs.
+ */
+class Tensor
+{
+  public:
+    /** Default: empty 0-d meta tensor. */
+    Tensor() = default;
+
+    /** Construct a meta tensor (shape only, no storage). */
+    static Tensor meta(Shape shape);
+
+    /** Construct a zero-filled materialized tensor. */
+    static Tensor zeros(Shape shape);
+
+    /** Construct a materialized tensor filled with `value`. */
+    static Tensor full(Shape shape, float value);
+
+    /** Construct from explicit values (row-major); sizes must agree. */
+    static Tensor fromValues(Shape shape, std::vector<float> values);
+
+    /** Uniform(-bound, bound) init with a deterministic seed. */
+    static Tensor uniform(Shape shape, float bound, uint64_t seed);
+
+    /** Normal(0, std) init with a deterministic seed. */
+    static Tensor randn(Shape shape, float std_dev, uint64_t seed);
+
+    /** Integer-valued tensor with entries in [0, high). */
+    static Tensor randint(Shape shape, int64_t high, uint64_t seed);
+
+    const Shape& shape() const { return shape_; }
+    int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+    int64_t size(int64_t axis) const;
+    int64_t numel() const { return numelOf(shape_); }
+
+    /** True when this tensor has no storage (shape-only). */
+    bool isMeta() const { return storage_ == nullptr; }
+
+    /** True when the tensor owns element storage. */
+    bool materialized() const { return storage_ != nullptr; }
+
+    /** Raw element access; requires materialized(). */
+    float* data();
+    const float* data() const;
+
+    float at(int64_t flat_index) const;
+    void set(int64_t flat_index, float value);
+
+    /** View with a different shape over the same storage. */
+    Tensor reshape(Shape new_shape) const;
+
+    /** Deep copy (meta stays meta). */
+    Tensor clone() const;
+
+    /** Materialize a meta tensor as zeros in place; no-op if materialized. */
+    void materializeZeros();
+
+    /** In-place fill; requires materialized(). */
+    void fill_(float value);
+
+    /** In-place elementwise add of an identically-shaped tensor. */
+    void addInPlace(const Tensor& other);
+
+    /** In-place multiply by scalar. */
+    void scaleInPlace(float factor);
+
+    /** Max |a - b| over all elements; both must be materialized. */
+    static float maxAbsDiff(const Tensor& a, const Tensor& b);
+
+    /** True if shapes match and elements agree within `tol`. */
+    static bool allClose(const Tensor& a, const Tensor& b, float tol = 1e-5f);
+
+    /** Bytes this tensor would occupy at the given element width. */
+    int64_t bytes(int64_t element_size = 4) const { return numel() * element_size; }
+
+    /**
+     * Stable identity of the underlying storage (null for meta tensors).
+     * Used to key per-parameter gradients across module-tree views.
+     */
+    const void* storageKey() const { return storage_.get(); }
+
+    std::string toString(int64_t max_elems = 16) const;
+
+  private:
+    Tensor(Shape shape, std::shared_ptr<std::vector<float>> storage)
+        : shape_(std::move(shape)), storage_(std::move(storage)) {}
+
+    Shape shape_;
+    std::shared_ptr<std::vector<float>> storage_;
+};
+
+/**
+ * Deterministic xorshift RNG used for all stochastic numerics (init,
+ * dropout masks, verifier inputs) so every test and example is exactly
+ * reproducible.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform float in [0, 1). */
+    float uniform();
+
+    /** Uniform float in [lo, hi). */
+    float uniform(float lo, float hi);
+
+    /** Standard normal via Box-Muller. */
+    float normal();
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace slapo

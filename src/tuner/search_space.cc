@@ -1,0 +1,83 @@
+#include "tuner/search_space.h"
+
+#include <algorithm>
+
+namespace slapo {
+namespace tuner {
+
+void
+SearchSpace::addVar(const std::string& name, std::vector<double> candidates)
+{
+    SLAPO_CHECK(!candidates.empty(),
+                "search space: variable '" << name << "' has no candidates");
+    for (const SymbolicVar& v : vars_) {
+        SLAPO_CHECK(v.name != name,
+                    "search space: duplicate variable '" << name << "'");
+    }
+    vars_.push_back({name, std::move(candidates)});
+}
+
+void
+SearchSpace::addConstraint(Constraint constraint)
+{
+    constraints_.push_back(std::move(constraint));
+}
+
+bool
+SearchSpace::valid(const Config& config) const
+{
+    for (const SymbolicVar& v : vars_) {
+        auto it = config.find(v.name);
+        if (it == config.end()) {
+            return false;
+        }
+        if (std::find(v.candidates.begin(), v.candidates.end(), it->second) ==
+            v.candidates.end()) {
+            return false;
+        }
+    }
+    for (const Constraint& c : constraints_) {
+        if (!c(config)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<Config>
+SearchSpace::enumerate() const
+{
+    std::vector<Config> result;
+    Config current;
+    std::function<void(size_t)> recurse = [&](size_t i) {
+        if (i == vars_.size()) {
+            for (const Constraint& c : constraints_) {
+                if (!c(current)) {
+                    return;
+                }
+            }
+            result.push_back(current);
+            return;
+        }
+        for (double value : vars_[i].candidates) {
+            current[vars_[i].name] = value;
+            recurse(i + 1);
+        }
+        current.erase(vars_[i].name);
+    };
+    recurse(0);
+    return result;
+}
+
+size_t
+SearchSpace::cartesianSize() const
+{
+    size_t size = 1;
+    for (const SymbolicVar& v : vars_) {
+        size *= v.candidates.size();
+    }
+    return size;
+}
+
+} // namespace tuner
+} // namespace slapo

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Symbolic search-space construction (§3.4, Fig. 6).
+ *
+ * Developers declare tunable variables with candidate values and add
+ * constraints encoding domain knowledge — e.g. "checkpoint ratio
+ * candidates depend on the batch size", which prunes the gray/white
+ * regions of Fig. 6 and leaves a polygon instead of a rectangle. The
+ * tuner algorithms (tuner.h) then explore only valid configurations.
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace slapo {
+namespace tuner {
+
+/** One point of the search space: variable name -> chosen value. */
+using Config = std::map<std::string, double>;
+
+/** A tunable variable with its ordered candidate values. */
+struct SymbolicVar
+{
+    std::string name;
+    std::vector<double> candidates;
+};
+
+/** Predicate over a (complete) assignment; false prunes the config. */
+using Constraint = std::function<bool(const Config&)>;
+
+/** Declarative space of tunable schedule hyper-parameters. */
+class SearchSpace
+{
+  public:
+    /** Declare a variable with explicit candidates (kept in order). */
+    void addVar(const std::string& name, std::vector<double> candidates);
+
+    /** Add a validity constraint (evaluated on complete assignments). */
+    void addConstraint(Constraint constraint);
+
+    const std::vector<SymbolicVar>& vars() const { return vars_; }
+
+    /** True if `config` assigns every variable a candidate value and
+     * satisfies all constraints. */
+    bool valid(const Config& config) const;
+
+    /** All valid configurations (cartesian product minus pruned). */
+    std::vector<Config> enumerate() const;
+
+    /** Total cartesian size before pruning (Fig. 6 "rectangle"). */
+    size_t cartesianSize() const;
+
+  private:
+    std::vector<SymbolicVar> vars_;
+    std::vector<Constraint> constraints_;
+};
+
+} // namespace tuner
+} // namespace slapo

@@ -1,0 +1,113 @@
+#include "tuner/tuner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "tensor/tensor.h"
+
+namespace slapo {
+namespace tuner {
+
+namespace {
+
+/** Memoizing evaluation wrapper shared by both algorithms. */
+class Evaluator
+{
+  public:
+    explicit Evaluator(const EvalFn& eval) : eval_(eval) {}
+
+    double
+    operator()(const Config& config, TuneResult& result)
+    {
+        auto it = cache_.find(config);
+        if (it != cache_.end()) {
+            return it->second;
+        }
+        const double value = eval_(config);
+        cache_.emplace(config, value);
+        ++result.evaluated;
+        result.history.emplace_back(config, value);
+        if (value > result.best_value) {
+            result.best_value = value;
+            result.best = config;
+        }
+        return value;
+    }
+
+  private:
+    const EvalFn& eval_;
+    std::map<Config, double> cache_;
+};
+
+} // namespace
+
+TuneResult
+exhaustiveSearch(const SearchSpace& space, const EvalFn& eval)
+{
+    TuneResult result;
+    Evaluator evaluate(eval);
+    for (const Config& config : space.enumerate()) {
+        evaluate(config, result);
+    }
+    return result;
+}
+
+TuneResult
+coordinateDescent(const SearchSpace& space, const EvalFn& eval,
+                  const CoordinateDescentOptions& options)
+{
+    const std::vector<Config> valid = space.enumerate();
+    TuneResult result;
+    if (valid.empty()) {
+        return result;
+    }
+    Evaluator evaluate(eval);
+    Rng rng(options.seed);
+
+    for (int restart = 0; restart < options.restarts; ++restart) {
+        Config current = valid[rng.next() % valid.size()];
+        double current_value = evaluate(current, result);
+
+        for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+            bool improved = false;
+            // Random coordinate order each sweep.
+            std::vector<size_t> order(space.vars().size());
+            for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+            for (size_t i = order.size(); i > 1; --i) {
+                std::swap(order[i - 1], order[rng.next() % i]);
+            }
+            for (size_t coord : order) {
+                const SymbolicVar& var = space.vars()[coord];
+                Config best_move = current;
+                double best_value = current_value;
+                for (double candidate : var.candidates) {
+                    if (candidate == current.at(var.name)) {
+                        continue;
+                    }
+                    Config trial = current;
+                    trial[var.name] = candidate;
+                    if (!space.valid(trial)) {
+                        continue;
+                    }
+                    const double value = evaluate(trial, result);
+                    if (value > best_value) {
+                        best_value = value;
+                        best_move = std::move(trial);
+                    }
+                }
+                if (best_value > current_value) {
+                    current = std::move(best_move);
+                    current_value = best_value;
+                    improved = true;
+                }
+            }
+            if (!improved) {
+                break;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace tuner
+} // namespace slapo

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The Slapo auto-tuner (§3.4): explores a SearchSpace by launching the
+ * developer-provided evaluation function (in the paper, a training
+ * benchmark script; here, typically sim::TrainingSimulator) for each
+ * candidate schedule configuration.
+ *
+ * Two algorithms, as in the paper:
+ *  - ExhaustiveSearch (the default): evaluates every valid config.
+ *  - CoordinateDescent: randomized coordinate descent that explores a
+ *    small fraction of the space (Fig. 11: 17 of 91 configs) while
+ *    still finding the optimum on well-behaved spaces.
+ */
+#pragma once
+
+#include "tuner/search_space.h"
+
+namespace slapo {
+namespace tuner {
+
+/**
+ * Objective: higher is better; return <= 0 for infeasible configurations
+ * (OOM). The tuner memoizes, so repeated configs cost nothing.
+ */
+using EvalFn = std::function<double(const Config&)>;
+
+/** Outcome of a tuning run. */
+struct TuneResult
+{
+    Config best;
+    double best_value = 0;
+    /** Unique configurations actually evaluated. */
+    int evaluated = 0;
+    /** Evaluation trajectory in call order (the purple stars of Fig. 11). */
+    std::vector<std::pair<Config, double>> history;
+
+    bool found() const { return best_value > 0; }
+};
+
+/** Evaluate every valid configuration. */
+TuneResult exhaustiveSearch(const SearchSpace& space, const EvalFn& eval);
+
+/** Options of the randomized coordinate-descent tuner. */
+struct CoordinateDescentOptions
+{
+    uint64_t seed = 1;
+    /** Random restarts (fresh start point after convergence). */
+    int restarts = 2;
+    /** Max coordinate sweeps per start. */
+    int max_sweeps = 8;
+};
+
+/**
+ * Randomized coordinate descent over the valid-config grid: from a
+ * random valid start, repeatedly pick a coordinate order at random and
+ * move each coordinate to its best valid candidate (holding the others
+ * fixed) until a full sweep makes no progress.
+ */
+TuneResult coordinateDescent(const SearchSpace& space, const EvalFn& eval,
+                             const CoordinateDescentOptions& options = {});
+
+} // namespace tuner
+} // namespace slapo

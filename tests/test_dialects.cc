@@ -1,0 +1,284 @@
+/** @file Tests of the framework dialects, the threaded pipeline runtime,
+ * and the auto-scheduler (shard/sync generation). */
+#include <gtest/gtest.h>
+
+#include "baselines/slapo_schedules.h"
+#include "core/auto_shard.h"
+#include "core/pipeline.h"
+#include "core/verify.h"
+#include "dialects/deepspeed_dialect.h"
+#include "dialects/megatron_dialect.h"
+#include "models/registry.h"
+#include "runtime/pipeline_runtime.h"
+
+#include <chrono>
+#include <thread>
+
+namespace slapo {
+namespace {
+
+using nn::ModulePtr;
+
+std::vector<Tensor>
+runModel(nn::Module& m, const std::vector<Tensor>& inputs)
+{
+    std::vector<nn::Value> values;
+    for (const Tensor& t : inputs) values.emplace_back(t);
+    std::vector<Tensor> out;
+    for (nn::Value& v : m.call(values)) out.push_back(v.tensor());
+    return out;
+}
+
+// --- DeepSpeed dialect ---------------------------------------------------
+
+TEST(DeepSpeedDialect, StagePacksAndUnpacksTuples)
+{
+    core::PipelineStage stage;
+    auto lin = std::make_shared<nn::Linear>(4, 4);
+    lin->initializeParams(1);
+    stage.modules.emplace_back("lin", lin);
+    dialects::DeepSpeedStage wrapped(stage, /*bypass_count=*/1);
+
+    Tensor x = Tensor::uniform({2, 4}, 1.0f, 3);
+    Tensor live = Tensor::uniform({7}, 1.0f, 5);
+    auto out = wrapped.call({nn::Value(x), nn::Value(live)});
+    ASSERT_EQ(out.size(), 2u); // activation + bypassed tensor
+    EXPECT_EQ(out[0].shape(), (Shape{2, 4}));
+    // Liveness bypass: the second tuple entry passes through untouched.
+    EXPECT_TRUE(Tensor::allClose(live, out[1].tensor()));
+}
+
+TEST(DeepSpeedDialect, RejectsEmptyInputTuple)
+{
+    core::PipelineStage stage;
+    stage.modules.emplace_back("lin", std::make_shared<nn::Linear>(2, 2));
+    dialects::DeepSpeedStage wrapped(stage, 0);
+    EXPECT_THROW(wrapped.call({}), SlapoError);
+}
+
+TEST(DeepSpeedDialect, WrapRejectsEmptyStages)
+{
+    EXPECT_THROW(dialects::wrapForDeepSpeedPipeline({}), SlapoError);
+    core::PipelineStage empty;
+    EXPECT_THROW(dialects::wrapForDeepSpeedPipeline({empty}), SlapoError);
+}
+
+// --- Megatron dialect -----------------------------------------------------
+
+TEST(MegatronDialect, AcceptsWellFormedTpSchedule)
+{
+    auto sch = baselines::applyRecipe(
+        models::buildTinyModel("bert"),
+        baselines::ScheduleRecipe::tensorParallel(2, 0.0, true));
+    auto config = dialects::toMegatron(*sch->module(), 2);
+    EXPECT_FALSE(config.column_parallel.empty());
+    EXPECT_FALSE(config.row_parallel.empty());
+    EXPECT_EQ(config.vocab_parallel.size(), 1u);
+}
+
+TEST(MegatronDialect, RejectsRowParallelWithoutSync)
+{
+    auto model = models::buildTinyModel("bert");
+    auto sch = core::Schedule::create(model, 2);
+    (*sch)["encoder.layer.0.ffn.fc2"].shard("weight", 1);
+    // No forward sync: the output would remain a partial sum.
+    EXPECT_THROW(dialects::toMegatron(*model, 2), SlapoError);
+}
+
+TEST(MegatronDialect, RejectsWorldSizeMismatch)
+{
+    auto sch = baselines::applyRecipe(
+        models::buildTinyModel("bert"),
+        baselines::ScheduleRecipe::tensorParallel(2, 0.0));
+    EXPECT_THROW(dialects::toMegatron(*sch->module(), 4), SlapoError);
+}
+
+TEST(MegatronDialect, RejectsEmbeddingShardedOnWrongAxis)
+{
+    auto model = models::buildTinyModel("bert");
+    auto sch = core::Schedule::create(model, 2);
+    (*sch)["embeddings.word"].shard("weight", 1);
+    (*sch)["embeddings.word"].sync(nn::SyncDirection::Forward);
+    EXPECT_THROW(dialects::toMegatron(*model, 2), SlapoError);
+}
+
+// --- threaded pipeline runtime ---------------------------------------------
+
+TEST(PipelineRuntime, MatchesSequentialExecution)
+{
+    auto model = models::buildTinyModel("bert");
+    model->initializeParams(7);
+    ModulePtr reference = model->clone();
+
+    auto sch = core::Schedule::create(model, 2);
+    (*sch)["encoder.layer.0"].pipelineSplit();
+    auto stages = core::partitionPipeline(*sch, {{2, 8}});
+    auto wrapped = dialects::wrapForDeepSpeedPipeline(stages);
+
+    runtime::PipelineRuntime pipeline(wrapped);
+    std::vector<std::vector<Tensor>> micros;
+    for (int m = 0; m < 6; ++m) {
+        micros.push_back({Tensor::randint({2, 8}, 64, 100 + m)});
+    }
+    runtime::PipelineRunResult result = pipeline.forward(micros);
+    ASSERT_EQ(result.outputs.size(), micros.size());
+    for (size_t m = 0; m < micros.size(); ++m) {
+        auto expected = runModel(*reference, micros[m]);
+        ASSERT_EQ(result.outputs[m].size(), 1u);
+        EXPECT_TRUE(Tensor::allClose(expected[0], result.outputs[m][0], 1e-4f))
+            << "micro-batch " << m;
+    }
+}
+
+namespace {
+
+/** Identity stage that dwells long enough to make overlap deterministic. */
+class SlowIdentity : public nn::Module
+{
+  public:
+    SlowIdentity() : Module("SlowIdentity") {}
+
+    std::vector<nn::Value>
+    forward(const std::vector<nn::Value>& inputs) override
+    {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return inputs;
+    }
+
+    ModulePtr
+    clone() const override
+    {
+        auto m = std::make_shared<SlowIdentity>();
+        cloneInto(m.get());
+        return m;
+    }
+};
+
+} // namespace
+
+TEST(PipelineRuntime, StagesActuallyOverlap)
+{
+    // Two slow stages + several micro-batches: more than one micro-batch
+    // must be in flight at some point (otherwise it's not a pipeline).
+    std::vector<ModulePtr> stages = {std::make_shared<SlowIdentity>(),
+                                     std::make_shared<SlowIdentity>()};
+    runtime::PipelineRuntime pipeline(stages);
+    std::vector<std::vector<Tensor>> micros;
+    for (int m = 0; m < 6; ++m) {
+        micros.push_back({Tensor::full({4}, static_cast<float>(m))});
+    }
+    auto result = pipeline.forward(micros);
+    EXPECT_GT(result.peak_in_flight, 1);
+    // Order preserved through the queues.
+    for (int m = 0; m < 6; ++m) {
+        EXPECT_FLOAT_EQ(result.outputs[m][0].at(0), static_cast<float>(m));
+    }
+}
+
+TEST(PipelineRuntime, PropagatesStageErrors)
+{
+    // A stage with mismatched dimensions must surface its SlapoError.
+    core::PipelineStage s1;
+    s1.modules.emplace_back("a", std::make_shared<nn::Linear>(4, 4));
+    core::PipelineStage s2;
+    s2.modules.emplace_back("b", std::make_shared<nn::Linear>(8, 4)); // wrong
+    auto wrapped = dialects::wrapForDeepSpeedPipeline({s1, s2});
+    wrapped[0]->initializeParams(1);
+    wrapped[1]->initializeParams(2);
+    runtime::PipelineRuntime pipeline(wrapped);
+    EXPECT_THROW(pipeline.forward({{Tensor::uniform({2, 4}, 1.0f, 3)}}),
+                 SlapoError);
+}
+
+// --- auto-scheduler ----------------------------------------------------------
+
+TEST(AutoShard, RequiresDistributedSchedule)
+{
+    auto sch = core::Schedule::create(models::buildTinyModel("bert"), 1);
+    EXPECT_THROW(core::autoShard(*sch), SlapoError);
+}
+
+TEST(AutoShard, GeneratesMegatronStylePlan)
+{
+    auto sch = core::Schedule::create(models::buildTinyModel("bert"), 2);
+    core::AutoShardReport report = core::autoShard(*sch);
+    // 2 layers: attention pair + FFN pair each, plus the pooler pair.
+    EXPECT_GE(report.sharded_pairs.size(), 5u);
+    EXPECT_EQ(report.sharded_embeddings.size(), 1u);
+    EXPECT_FALSE(report.forward_syncs.empty());
+    EXPECT_FALSE(report.backward_syncs.empty());
+    // The result is in Megatron-accepted form.
+    dialects::toMegatron(*sch->module(), 2);
+}
+
+TEST(AutoShard, GeneratedScheduleIsNumericallyCorrect)
+{
+    for (const char* name : {"bert", "opt", "t5"}) {
+        auto model = models::buildTinyModel(name);
+        model->initializeParams(11);
+        ModulePtr reference = model->clone();
+
+        auto sch = core::Schedule::create(model, 2);
+        core::autoShard(*sch);
+
+        core::VerifyOptions vopts;
+        const bool is_t5 = std::string(name) == "t5";
+        vopts.input_gen = [is_t5](int trial) {
+            std::vector<Tensor> inputs = {
+                Tensor::randint({2, 8}, 64, 300 + trial)};
+            if (is_t5) {
+                inputs.push_back(Tensor::randint({2, 8}, 64, 400 + trial));
+            }
+            return inputs;
+        };
+        core::verifyEndToEnd(*reference, *sch, vopts) /* throws on error */;
+    }
+}
+
+TEST(AutoShard, IdempotentOnAlreadyShardedModel)
+{
+    auto sch = core::Schedule::create(models::buildTinyModel("bert"), 2);
+    core::AutoShardReport first = core::autoShard(*sch);
+    core::AutoShardReport second = core::autoShard(*sch);
+    EXPECT_FALSE(first.sharded_pairs.empty());
+    EXPECT_TRUE(second.sharded_pairs.empty());
+    EXPECT_TRUE(second.sharded_embeddings.empty());
+}
+
+TEST(AutoShard, MinPairParamsFiltersSmallPairs)
+{
+    auto sch = core::Schedule::create(models::buildTinyModel("bert"), 2);
+    core::AutoShardOptions options;
+    options.shard_embeddings = false;
+    options.min_pair_params = 1'000'000'000; // nothing qualifies
+    core::AutoShardReport report = core::autoShard(*sch, options);
+    // Attention pairs are type-guided (not size-filtered); FFN/pooler
+    // structural pairs must all be dropped.
+    for (const auto& [a, b] : report.sharded_pairs) {
+        EXPECT_EQ(a.find("ffn"), std::string::npos) << a;
+        EXPECT_EQ(a.find("pooler"), std::string::npos) << a;
+    }
+}
+
+TEST(AutoShard, WorksAfterKernelOptimizationRecipe)
+{
+    // Auto-shard composes with the fused-QKV/flash/fusion schedule.
+    auto model = models::buildTinyModel("bert");
+    model->initializeParams(13);
+    ModulePtr reference = model->clone();
+    auto sch = baselines::applyRecipe(
+        model, baselines::ScheduleRecipe::kernelOptimized());
+    // Rebuild the schedule tree at world 2, then auto-shard.
+    auto dist_sch = core::Schedule::create(sch->module(), 2);
+    core::AutoShardReport report = core::autoShard(*dist_sch);
+    EXPECT_FALSE(report.sharded_pairs.empty());
+
+    core::VerifyOptions vopts;
+    vopts.input_gen = [](int trial) {
+        return std::vector<Tensor>{Tensor::randint({2, 8}, 64, 500 + trial)};
+    };
+    core::verifyEndToEnd(*reference, *dist_sch, vopts);
+}
+
+} // namespace
+} // namespace slapo

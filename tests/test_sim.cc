@@ -1,0 +1,446 @@
+/** @file Tests of the performance simulator: roofline costs, collective
+ * formulas, memory accounting, and directional properties of the
+ * parallelism runtimes. */
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "core/schedule.h"
+#include "models/registry.h"
+#include "sim/training_sim.h"
+
+namespace slapo {
+namespace sim {
+namespace {
+
+using baselines::ScheduleRecipe;
+
+nn::KernelRecord
+kernel(double flops, double bytes_in, double bytes_out)
+{
+    nn::KernelRecord k;
+    k.flops = flops;
+    k.bytes_in = bytes_in;
+    k.bytes_out = bytes_out;
+    k.activation_bytes = bytes_out;
+    return k;
+}
+
+TEST(CostModel, RooflineRegimes)
+{
+    CostModel cm(ClusterSpec::singleV100(), 2.0);
+    const DeviceSpec& d = ClusterSpec::singleV100().device;
+    // Compute-bound: huge FLOPs, tiny traffic (utilization ramp ~1).
+    const double t_compute = cm.kernelTime(kernel(1e12, 1e3, 1e3));
+    const double utilization = 1e12 / (1e12 + d.gemm_ramp_flops);
+    EXPECT_NEAR(t_compute,
+                d.kernel_launch_overhead +
+                    1e12 /
+                        (d.peak_flops_fp16 * d.compute_efficiency * utilization),
+                1e-6);
+    // Memory-bound: tiny FLOPs, big traffic.
+    const double t_mem = cm.kernelTime(kernel(1e3, 1e9, 1e9));
+    EXPECT_NEAR(t_mem,
+                d.kernel_launch_overhead +
+                    2e9 / (d.mem_bandwidth * d.bandwidth_efficiency),
+                1e-5);
+    // Launch-bound: a zero-FLOP copy kernel costs about the launch
+    // overhead (tiny-FLOP kernels additionally pay the utilization ramp).
+    const double t_launch = cm.kernelTime(kernel(0, 1e3, 1e3));
+    EXPECT_NEAR(t_launch, d.kernel_launch_overhead, 1e-6);
+}
+
+TEST(CostModel, Fp32UsesFp32Peak)
+{
+    CostModel fp16(ClusterSpec::singleV100(), 2.0);
+    CostModel fp32(ClusterSpec::singleV100(), 4.0);
+    const auto k = kernel(1e12, 1e3, 1e3);
+    EXPECT_GT(fp32.kernelTime(k), fp16.kernelTime(k));
+}
+
+TEST(CostModel, BackwardIsRoughlyTwiceForward)
+{
+    CostModel cm(ClusterSpec::singleV100(), 2.0);
+    const auto k = kernel(1e12, 1e6, 1e6);
+    EXPECT_NEAR(cm.kernelBackwardTime(k) / cm.kernelTime(k), 2.0, 0.1);
+}
+
+TEST(CostModel, BiggerKernelsRunMoreEfficiently)
+{
+    // FLOP/s throughput of one kernel must grow with per-kernel work
+    // (the GEMM utilization ramp — what makes batch sizes matter).
+    CostModel cm(ClusterSpec::singleV100(), 2.0);
+    const double t_small = cm.kernelTime(kernel(1e9, 1e3, 1e3));
+    const double t_big = cm.kernelTime(kernel(16e9, 1e3, 1e3));
+    EXPECT_GT((16e9 / t_big) / (1e9 / t_small), 1.5);
+}
+
+TEST(CostModel, RingAllReduceScalesWithGroup)
+{
+    CostModel cm(ClusterSpec::p3_16xlarge(), 2.0);
+    const double t2 = cm.collectiveTime("all_reduce", 1e9, 2, false);
+    const double t8 = cm.collectiveTime("all_reduce", 1e9, 8, false);
+    // Volume factor 2(n-1)/n: 1.0 at n=2 vs 1.75 at n=8.
+    EXPECT_GT(t8, t2);
+    EXPECT_LT(t8, 2.0 * t2);
+    EXPECT_DOUBLE_EQ(cm.collectiveTime("all_reduce", 1e9, 1, false), 0.0);
+}
+
+TEST(CostModel, CrossNodeCollectivesAreSlower)
+{
+    CostModel cm(ClusterSpec::p3dn_24xlarge(2), 2.0);
+    EXPECT_GT(cm.collectiveTime("all_reduce", 1e9, 8, true),
+              cm.collectiveTime("all_reduce", 1e9, 8, false));
+}
+
+TEST(CostModel, AllGatherIsHalfAnAllReduce)
+{
+    CostModel cm(ClusterSpec::p3_16xlarge(), 2.0);
+    const double ar = cm.collectiveTime("all_reduce", 1e9, 8, false);
+    const double ag = cm.collectiveTime("all_gather", 1e9, 8, false);
+    EXPECT_NEAR(ar / ag, 2.0, 0.1);
+    EXPECT_THROW(cm.collectiveTime("bogus", 1e9, 8, false), SlapoError);
+}
+
+TEST(MemoryModel, MixedPrecisionAdamWIs16BytesPerParam)
+{
+    nn::Linear lin(1000, 1000, /*bias=*/false);
+    MemoryModel mm(2.0, /*zero=*/0, /*dp=*/1);
+    MemoryBreakdown mem = mm.stateMemory(lin);
+    EXPECT_DOUBLE_EQ(mem.weights, 2e6);
+    EXPECT_DOUBLE_EQ(mem.gradients, 2e6);
+    EXPECT_DOUBLE_EQ(mem.optimizer_states, 12e6);
+    EXPECT_DOUBLE_EQ(mem.total(), 16e6);
+}
+
+TEST(MemoryModel, ZeroStagesShardProgressively)
+{
+    nn::Linear lin(1000, 1000, false);
+    const double dp = 8;
+    MemoryBreakdown m0 = MemoryModel(2.0, 0, 8).stateMemory(lin);
+    MemoryBreakdown m1 = MemoryModel(2.0, 1, 8).stateMemory(lin);
+    MemoryBreakdown m2 = MemoryModel(2.0, 2, 8).stateMemory(lin);
+    MemoryBreakdown m3 = MemoryModel(2.0, 3, 8).stateMemory(lin);
+    EXPECT_DOUBLE_EQ(m1.optimizer_states, m0.optimizer_states / dp);
+    EXPECT_DOUBLE_EQ(m2.gradients, m0.gradients / dp);
+    EXPECT_LT(m3.weights, m0.weights); // sharded + small working set
+    EXPECT_LT(m3.total(), m2.total());
+    EXPECT_LT(m2.total(), m1.total());
+    EXPECT_LT(m1.total(), m0.total());
+}
+
+TEST(MemoryModel, CheckpointedKernelsDropFromActivations)
+{
+    nn::Profile profile;
+    auto k1 = kernel(0, 0, 0);
+    k1.activation_bytes = 100;
+    profile.kernels.push_back(k1);
+    auto k2 = k1;
+    k2.checkpointed = true;
+    profile.kernels.push_back(k2);
+    profile.checkpoint_boundary_bytes = 10;
+    MemoryModel mm(2.0, 0, 1);
+    // Checkpointed kernel excluded; (100 + 10 boundary) x fragmentation.
+    const double one = mm.activationMemory(profile);
+    EXPECT_GT(one, 110.0 - 1e-9);   // at least the raw bytes
+    EXPECT_LT(one, 2.0 * 110.0);    // fragmentation factor is modest
+    EXPECT_DOUBLE_EQ(mm.activationMemory(profile, 4), 4.0 * one);
+    // The checkpointed kernel's bytes are really excluded.
+    profile.kernels[1].checkpointed = false;
+    EXPECT_GT(mm.activationMemory(profile), one * 1.5);
+}
+
+TEST(Simulator, ProfileReflectsBatchSize)
+{
+    TrainingSimulator simulator(ClusterSpec::singleV100(), 2.0);
+    auto model = models::buildModel("bert", 0);
+    auto p1 = simulator.profileModel(*model, {{1, 512}}, 1);
+    auto p4 = simulator.profileModel(*model, {{4, 512}}, 1);
+    EXPECT_NEAR(p4.totalFlops() / p1.totalFlops(), 4.0, 0.2);
+    EXPECT_EQ(p1.kernels.size(), p4.kernels.size());
+}
+
+TEST(Simulator, TensorParallelShrinksPerRankFlopsAndAddsComm)
+{
+    TrainingSimulator simulator(ClusterSpec::p3_16xlarge(), 2.0);
+    auto full = baselines::applyRecipe(models::buildModel("bert", 0),
+                                       ScheduleRecipe::kernelOptimized());
+    auto tp = baselines::applyRecipe(models::buildModel("bert", 0),
+                                     ScheduleRecipe::tensorParallel(8, 0.0));
+    auto p_full = simulator.profileModel(*full->module(), {{4, 512}}, 1);
+    auto p_tp = simulator.profileModel(*tp->module(), {{4, 512}}, 8);
+    EXPECT_LT(p_tp.totalFlops(), p_full.totalFlops() * 0.3);
+    EXPECT_TRUE(p_full.comms.empty());
+    EXPECT_FALSE(p_tp.comms.empty());
+}
+
+TEST(Simulator, OomDetectedAtHugeBatch)
+{
+    TrainingSimulator simulator(ClusterSpec::singleV100(), 2.0);
+    auto model = models::buildModel("bert", 0);
+    ParallelConfig config;
+    config.micro_batch = 512;
+    StepStats stats = simulator.simulate(
+        *model, [](int mb) { return std::vector<Shape>{{mb, 512}}; }, config);
+    EXPECT_TRUE(stats.oom);
+    EXPECT_DOUBLE_EQ(stats.throughput, 0.0);
+}
+
+TEST(Simulator, TuneMicroBatchPicksFeasibleBest)
+{
+    TrainingSimulator simulator(ClusterSpec::singleV100(), 2.0);
+    auto model = models::buildModel("bert", 0);
+    ParallelConfig config;
+    StepStats best = simulator.tuneMicroBatch(
+        *model, [](int mb) { return std::vector<Shape>{{mb, 512}}; }, config,
+        256);
+    EXPECT_FALSE(best.oom);
+    EXPECT_GE(best.config.micro_batch, 1);
+    // Doubling once more must be OOM or slower.
+    ParallelConfig next = best.config;
+    next.micro_batch *= 2;
+    StepStats doubled = simulator.simulate(
+        *model, [](int mb) { return std::vector<Shape>{{mb, 512}}; }, next);
+    EXPECT_TRUE(doubled.oom || doubled.throughput <= best.throughput + 1e-9);
+}
+
+TEST(Simulator, FixedGlobalBatchKeepsProduct)
+{
+    TrainingSimulator simulator(ClusterSpec::p3_16xlarge(), 2.0);
+    auto model = models::buildModel("bert", 0);
+    ParallelConfig config;
+    config.dp = 8;
+    StepStats best = simulator.tuneMicroBatch(
+        *model, [](int mb) { return std::vector<Shape>{{mb, 512}}; }, config,
+        64, /*fixed_global_batch=*/256);
+    ASSERT_FALSE(best.oom);
+    EXPECT_DOUBLE_EQ(best.config.globalBatch(), 256.0);
+}
+
+// --- directional properties the figures rely on ------------------------------
+
+TEST(Property, FlashAttentionReducesActivationMemory)
+{
+    TrainingSimulator simulator(ClusterSpec::singleV100(), 2.0);
+    ScheduleRecipe flash;
+    flash.flash_attention = true;
+    auto vanilla = baselines::applyRecipe(models::buildModel("bert", 0),
+                                          ScheduleRecipe::vanilla());
+    auto efficient =
+        baselines::applyRecipe(models::buildModel("bert", 0), flash);
+    auto p_vanilla =
+        simulator.profileModel(*vanilla->module(), {{4, 512}}, 1);
+    auto p_flash =
+        simulator.profileModel(*efficient->module(), {{4, 512}}, 1);
+    MemoryModel mm(2.0, 0, 1);
+    EXPECT_LT(mm.activationMemory(p_flash),
+              0.8 * mm.activationMemory(p_vanilla));
+    EXPECT_LT(p_flash.kernels.size(), p_vanilla.kernels.size());
+}
+
+TEST(Property, CheckpointingTradesMemoryForRecompute)
+{
+    TrainingSimulator simulator(ClusterSpec::singleV100(), 2.0);
+    auto none = baselines::applyRecipe(models::buildModel("bert", 0),
+                                       ScheduleRecipe::kernelOptimized(0.0));
+    auto full = baselines::applyRecipe(models::buildModel("bert", 0),
+                                       ScheduleRecipe::kernelOptimized(1.0));
+    ParallelConfig config;
+    config.micro_batch = 4;
+    auto shapes = [](int mb) { return std::vector<Shape>{{mb, 512}}; };
+    StepStats s_none = simulator.simulate(*none->module(), shapes, config);
+    StepStats s_full = simulator.simulate(*full->module(), shapes, config);
+    EXPECT_LT(s_full.memory.activations, s_none.memory.activations);
+    EXPECT_GT(s_full.phases.recompute, 0.0);
+    EXPECT_DOUBLE_EQ(s_none.phases.recompute, 0.0);
+    EXPECT_GT(s_full.step_time, s_none.step_time);
+}
+
+TEST(Property, SelectiveCheckpointBeatsAllOrNothingSomewhere)
+{
+    // The Fig. 10/11 premise: at the memory edge, a fractional ratio
+    // allows a batch the no-checkpoint schedule cannot fit while paying
+    // less recompute than full checkpointing.
+    TrainingSimulator simulator(ClusterSpec::singleV100(), 2.0);
+    auto shapes = [](int mb) { return std::vector<Shape>{{mb, 512}}; };
+    double best_fractional = 0;
+    double at_zero = 0;
+    double at_full = 0;
+    for (double ratio : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        auto sch = baselines::applyRecipe(
+            models::buildModel("bert", 0),
+            baselines::ScheduleRecipe::kernelOptimized(ratio));
+        ParallelConfig config;
+        StepStats s =
+            simulator.tuneMicroBatch(*sch->module(), shapes, config, 128);
+        const double thr = s.oom ? 0 : s.throughput;
+        if (ratio == 0.0) at_zero = thr;
+        if (ratio == 1.0) at_full = thr;
+        if (ratio > 0.0 && ratio < 1.0) {
+            best_fractional = std::max(best_fractional, thr);
+        }
+    }
+    EXPECT_GE(best_fractional, std::min(at_zero, at_full));
+}
+
+TEST(Property, PipelineBubbleShrinksWithMoreMicroBatches)
+{
+    TrainingSimulator simulator(ClusterSpec::p3dn_24xlarge(2), 2.0);
+    auto sch = baselines::applyRecipe(
+        models::buildGpt10B(), baselines::ScheduleRecipe::tensorParallel(8, 1.0));
+    auto shapes = [](int mb) { return std::vector<Shape>{{mb, 1024}}; };
+    ParallelConfig config;
+    config.tp = 8;
+    config.pp = 2;
+    config.micro_batch = 1;
+    config.grad_accum = 4;
+    StepStats few = simulator.simulate(*sch->module(), shapes, config);
+    config.grad_accum = 32;
+    StepStats many = simulator.simulate(*sch->module(), shapes, config);
+    // Throughput per sample improves as the bubble amortizes.
+    const double thr_few = 4.0 * config.tp * 0 + few.throughput;
+    EXPECT_GT(many.throughput, thr_few);
+}
+
+TEST(Property, AnnotatedPipelineUsesBottleneckStage)
+{
+    // With real .pipeline_split() annotations, the simulator profiles
+    // each stage and the slowest one paces the pipeline — never faster
+    // than the idealized even split.
+    auto cluster = ClusterSpec::p3dn_24xlarge(2);
+    TrainingSimulator simulator(cluster, 2.0);
+    auto shapes = baselines::modelShapeFn("gpt-10b", 0);
+
+    ParallelConfig config;
+    config.tp = 8;
+    config.pp = 2;
+    config.micro_batch = 2;
+    config.grad_accum = 16;
+
+    auto even = baselines::applyRecipe(
+        models::buildGpt10B(), ScheduleRecipe::tensorParallel(8, 1.0));
+    StepStats even_stats =
+        simulator.simulate(*even->module(), shapes, config);
+
+    auto annotated = baselines::applyRecipe(
+        models::buildGpt10B(), ScheduleRecipe::tensorParallel(8, 1.0));
+    auto sch = core::Schedule::create(annotated->module(), 16);
+    // Split after decoder layer 23: stage 0 = embeddings + 24 layers,
+    // stage 1 = 24 layers + the (vocab-heavy) head.
+    (*sch)["decoder.layer.23"].pipelineSplit();
+    StepStats annotated_stats =
+        simulator.simulate(*sch->module(), shapes, config);
+
+    ASSERT_FALSE(even_stats.oom);
+    ASSERT_FALSE(annotated_stats.oom);
+    EXPECT_LE(annotated_stats.throughput, even_stats.throughput * 1.02);
+    EXPECT_GT(annotated_stats.throughput, even_stats.throughput * 0.5);
+}
+
+TEST(Property, AnnotatedPipelineRejectsStageCountMismatch)
+{
+    auto cluster = ClusterSpec::p3dn_24xlarge(2);
+    TrainingSimulator simulator(cluster, 2.0);
+    auto model = models::buildGpt10B();
+    auto sch = core::Schedule::create(model, 16);
+    (*sch)["decoder.layer.23"].pipelineSplit();
+    ParallelConfig config;
+    config.tp = 4;
+    config.pp = 4; // but only 2 annotated stages
+    EXPECT_THROW(simulator.simulate(
+                     *model, baselines::modelShapeFn("gpt-10b", 0), config),
+                 SlapoError);
+}
+
+TEST(Property, ZeroThreeTradesMemoryForComm)
+{
+    TrainingSimulator simulator(ClusterSpec::p3_16xlarge(), 2.0);
+    auto model = models::buildModel("bert", 0);
+    auto shapes = [](int mb) { return std::vector<Shape>{{mb, 512}}; };
+    ParallelConfig ddp;
+    ddp.dp = 8;
+    ddp.micro_batch = 2;
+    ParallelConfig z3 = ddp;
+    z3.zero_stage = 3;
+    StepStats s_ddp = simulator.simulate(*model, shapes, ddp);
+    StepStats s_z3 = simulator.simulate(*model, shapes, z3);
+    const double state_ddp = s_ddp.memory.weights + s_ddp.memory.gradients +
+                             s_ddp.memory.optimizer_states;
+    const double state_z3 = s_z3.memory.weights + s_z3.memory.gradients +
+                            s_z3.memory.optimizer_states;
+    EXPECT_LT(state_z3, state_ddp / 4);
+    EXPECT_GT(s_z3.phases.dp_comm + 1e-12, s_ddp.phases.dp_comm);
+}
+
+TEST(Property, StrongScalingIncreasesThroughput)
+{
+    // GPT-10B Megatron-style strong scaling must be monotone in GPUs.
+    double previous = 0;
+    for (int nodes : {2, 4, 8}) {
+        auto cluster = ClusterSpec::p3dn_24xlarge(nodes);
+        baselines::RunOptions options;
+        options.tp = 8;
+        options.pp = 2;
+        options.dp = cluster.worldSize() / 16;
+        options.fixed_global_batch = 256;
+        auto result = baselines::runMegatron("gpt-10b", 0, cluster, options);
+        ASSERT_FALSE(result.stats.oom) << nodes << " nodes";
+        EXPECT_GT(result.stats.throughput, previous);
+        previous = result.stats.throughput;
+    }
+}
+
+TEST(Baselines, TorchScriptRejectsGptNeo)
+{
+    auto cluster = ClusterSpec::singleV100();
+    auto gpt = baselines::runTorchScript("gpt", 0, cluster);
+    EXPECT_FALSE(gpt.supported);
+    auto bert = baselines::runTorchScript("bert", 0, cluster);
+    EXPECT_TRUE(bert.supported);
+}
+
+TEST(Baselines, MegatronRejectsUnsupportedModels)
+{
+    auto cluster = ClusterSpec::p3_16xlarge();
+    baselines::RunOptions options;
+    options.tp = 8;
+    for (const char* name : {"roberta", "albert", "opt", "wideresnet"}) {
+        auto result = baselines::runMegatron(name, 0, cluster, options);
+        EXPECT_FALSE(result.supported) << name;
+    }
+    EXPECT_TRUE(baselines::runMegatron("bert", 0, cluster, options).supported);
+}
+
+TEST(Baselines, FuseElementwiseReducesKernels)
+{
+    nn::Profile profile;
+    for (int i = 0; i < 3; ++i) {
+        auto k = kernel(100, 1000, 1000);
+        k.name = "add";
+        profile.kernels.push_back(k);
+    }
+    auto k = kernel(1e6, 1000, 1000);
+    k.name = "linear";
+    profile.kernels.push_back(k);
+    auto fused = baselines::fuseElementwiseChains(profile);
+    ASSERT_EQ(fused.kernels.size(), 2u);
+    EXPECT_EQ(fused.kernels[0].name, "nvfuser_pointwise");
+    EXPECT_DOUBLE_EQ(fused.kernels[0].flops, 300);
+    EXPECT_EQ(fused.kernels[1].name, "linear");
+}
+
+TEST(Baselines, SlapoBeatsEagerOnEveryTable2Model)
+{
+    auto cluster = ClusterSpec::singleV100();
+    for (const auto& info : models::table2()) {
+        auto eager = baselines::runEager(info.name, 0, cluster);
+        auto slapo = baselines::runSlapoSingleDevice(info.name, 0, cluster);
+        ASSERT_FALSE(eager.stats.oom) << info.name;
+        ASSERT_FALSE(slapo.stats.oom) << info.name;
+        EXPECT_GE(slapo.stats.throughput, eager.stats.throughput * 0.999)
+            << info.name;
+    }
+}
+
+} // namespace
+} // namespace sim
+} // namespace slapo

@@ -1,0 +1,132 @@
+/** @file Tests of the auto-tuner: search-space construction (Fig. 6) and
+ * the exhaustive / coordinate-descent algorithms (Fig. 11). */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tuner/tuner.h"
+
+namespace slapo {
+namespace tuner {
+namespace {
+
+/** The Fig. 6 polygon: batch sizes x checkpoint ratios with the
+ * high-batch/low-ratio corner pruned as invalid. */
+SearchSpace
+fig6Space()
+{
+    SearchSpace space;
+    space.addVar("batch", {4, 8, 16, 32});
+    space.addVar("ckpt", {0.0, 0.25, 0.5, 0.75, 1.0});
+    space.addConstraint([](const Config& c) {
+        // Big batches need at least some checkpointing to fit.
+        return c.at("batch") < 32 || c.at("ckpt") >= 0.5;
+    });
+    return space;
+}
+
+TEST(SearchSpace, RejectsEmptyAndDuplicateVars)
+{
+    SearchSpace space;
+    EXPECT_THROW(space.addVar("x", {}), SlapoError);
+    space.addVar("x", {1});
+    EXPECT_THROW(space.addVar("x", {2}), SlapoError);
+}
+
+TEST(SearchSpace, EnumeratePrunesConstraints)
+{
+    SearchSpace space = fig6Space();
+    EXPECT_EQ(space.cartesianSize(), 20u);
+    // batch=32 loses ckpt {0, 0.25}: 20 - 2 = 18 valid configs.
+    EXPECT_EQ(space.enumerate().size(), 18u);
+}
+
+TEST(SearchSpace, ValidChecksMembershipAndConstraints)
+{
+    SearchSpace space = fig6Space();
+    EXPECT_TRUE(space.valid({{"batch", 8.0}, {"ckpt", 0.0}}));
+    EXPECT_FALSE(space.valid({{"batch", 32.0}, {"ckpt", 0.0}})); // pruned
+    EXPECT_FALSE(space.valid({{"batch", 5.0}, {"ckpt", 0.0}}));  // not a cand
+    EXPECT_FALSE(space.valid({{"batch", 8.0}}));                 // incomplete
+}
+
+/** Smooth unimodal objective peaking at batch=16, ckpt=0.5. */
+double
+bowl(const Config& c)
+{
+    const double b = std::log2(c.at("batch"));
+    const double r = c.at("ckpt");
+    return 100.0 - (b - 4.0) * (b - 4.0) - 10.0 * (r - 0.5) * (r - 0.5);
+}
+
+TEST(Exhaustive, FindsGlobalOptimum)
+{
+    SearchSpace space = fig6Space();
+    TuneResult result = exhaustiveSearch(space, bowl);
+    EXPECT_TRUE(result.found());
+    EXPECT_EQ(result.evaluated, 18);
+    EXPECT_DOUBLE_EQ(result.best.at("batch"), 16.0);
+    EXPECT_DOUBLE_EQ(result.best.at("ckpt"), 0.5);
+}
+
+TEST(CoordinateDescent, FindsOptimumWithFewerEvals)
+{
+    SearchSpace space = fig6Space();
+    TuneResult exhaustive = exhaustiveSearch(space, bowl);
+    TuneResult cd = coordinateDescent(space, bowl);
+    EXPECT_TRUE(cd.found());
+    EXPECT_DOUBLE_EQ(cd.best_value, exhaustive.best_value);
+    EXPECT_LT(cd.evaluated, exhaustive.evaluated);
+}
+
+TEST(CoordinateDescent, HandlesOomRegions)
+{
+    SearchSpace space = fig6Space();
+    auto eval = [](const Config& c) {
+        if (c.at("batch") >= 16 && c.at("ckpt") < 0.5) {
+            return 0.0; // OOM
+        }
+        return bowl(c);
+    };
+    TuneResult result = coordinateDescent(space, eval, {.seed = 7, .restarts = 3});
+    EXPECT_TRUE(result.found());
+    EXPECT_GT(result.best_value, 0.0);
+    // The optimum moved to (16, 0.5) which is still feasible.
+    EXPECT_DOUBLE_EQ(result.best.at("batch"), 16.0);
+    EXPECT_DOUBLE_EQ(result.best.at("ckpt"), 0.5);
+}
+
+TEST(CoordinateDescent, MemoizesRepeatedConfigs)
+{
+    SearchSpace space = fig6Space();
+    int calls = 0;
+    auto eval = [&calls](const Config& c) {
+        ++calls;
+        return bowl(c);
+    };
+    TuneResult result = coordinateDescent(space, eval, {.seed = 3, .restarts = 4});
+    EXPECT_EQ(calls, result.evaluated);
+    EXPECT_EQ(result.history.size(), static_cast<size_t>(result.evaluated));
+}
+
+TEST(CoordinateDescent, DeterministicGivenSeed)
+{
+    SearchSpace space = fig6Space();
+    TuneResult a = coordinateDescent(space, bowl, {.seed = 11});
+    TuneResult b = coordinateDescent(space, bowl, {.seed = 11});
+    EXPECT_EQ(a.evaluated, b.evaluated);
+    EXPECT_EQ(a.best, b.best);
+}
+
+TEST(Tuner, EmptySpaceReturnsNotFound)
+{
+    SearchSpace space;
+    space.addVar("x", {1.0});
+    space.addConstraint([](const Config&) { return false; });
+    EXPECT_FALSE(exhaustiveSearch(space, bowl).found());
+    EXPECT_FALSE(coordinateDescent(space, bowl).found());
+}
+
+} // namespace
+} // namespace tuner
+} // namespace slapo
