@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_multi_machine.dir/bench_fig9_multi_machine.cc.o"
+  "CMakeFiles/bench_fig9_multi_machine.dir/bench_fig9_multi_machine.cc.o.d"
+  "bench_fig9_multi_machine"
+  "bench_fig9_multi_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_multi_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_opt.dir/autotune_opt.cpp.o"
+  "CMakeFiles/autotune_opt.dir/autotune_opt.cpp.o.d"
+  "autotune_opt"
+  "autotune_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bert_optimization.dir/bert_optimization.cpp.o"
+  "CMakeFiles/bert_optimization.dir/bert_optimization.cpp.o.d"
+  "bert_optimization"
+  "bert_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bert_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpt_3d_parallel.dir/gpt_3d_parallel.cpp.o"
+  "CMakeFiles/gpt_3d_parallel.dir/gpt_3d_parallel.cpp.o.d"
+  "gpt_3d_parallel"
+  "gpt_3d_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpt_3d_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

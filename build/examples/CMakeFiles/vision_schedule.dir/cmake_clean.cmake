@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_schedule.dir/vision_schedule.cpp.o"
+  "CMakeFiles/vision_schedule.dir/vision_schedule.cpp.o.d"
+  "vision_schedule"
+  "vision_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

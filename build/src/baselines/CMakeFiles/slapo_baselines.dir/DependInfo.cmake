@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/slapo_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/slapo_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/deepspeed.cc" "src/baselines/CMakeFiles/slapo_baselines.dir/deepspeed.cc.o" "gcc" "src/baselines/CMakeFiles/slapo_baselines.dir/deepspeed.cc.o.d"
+  "/root/repo/src/baselines/eager.cc" "src/baselines/CMakeFiles/slapo_baselines.dir/eager.cc.o" "gcc" "src/baselines/CMakeFiles/slapo_baselines.dir/eager.cc.o.d"
+  "/root/repo/src/baselines/megatron.cc" "src/baselines/CMakeFiles/slapo_baselines.dir/megatron.cc.o" "gcc" "src/baselines/CMakeFiles/slapo_baselines.dir/megatron.cc.o.d"
+  "/root/repo/src/baselines/slapo_schedules.cc" "src/baselines/CMakeFiles/slapo_baselines.dir/slapo_schedules.cc.o" "gcc" "src/baselines/CMakeFiles/slapo_baselines.dir/slapo_schedules.cc.o.d"
+  "/root/repo/src/baselines/torchscript.cc" "src/baselines/CMakeFiles/slapo_baselines.dir/torchscript.cc.o" "gcc" "src/baselines/CMakeFiles/slapo_baselines.dir/torchscript.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/slapo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/slapo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/slapo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialects/CMakeFiles/slapo_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/slapo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/slapo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/slapo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/slapo_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/slapo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

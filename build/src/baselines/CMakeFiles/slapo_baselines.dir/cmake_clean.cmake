@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slapo_baselines.dir/common.cc.o"
+  "CMakeFiles/slapo_baselines.dir/common.cc.o.d"
+  "CMakeFiles/slapo_baselines.dir/deepspeed.cc.o"
+  "CMakeFiles/slapo_baselines.dir/deepspeed.cc.o.d"
+  "CMakeFiles/slapo_baselines.dir/eager.cc.o"
+  "CMakeFiles/slapo_baselines.dir/eager.cc.o.d"
+  "CMakeFiles/slapo_baselines.dir/megatron.cc.o"
+  "CMakeFiles/slapo_baselines.dir/megatron.cc.o.d"
+  "CMakeFiles/slapo_baselines.dir/slapo_schedules.cc.o"
+  "CMakeFiles/slapo_baselines.dir/slapo_schedules.cc.o.d"
+  "CMakeFiles/slapo_baselines.dir/torchscript.cc.o"
+  "CMakeFiles/slapo_baselines.dir/torchscript.cc.o.d"
+  "libslapo_baselines.a"
+  "libslapo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slapo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

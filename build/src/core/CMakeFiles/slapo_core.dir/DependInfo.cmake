@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/auto_shard.cc" "src/core/CMakeFiles/slapo_core.dir/auto_shard.cc.o" "gcc" "src/core/CMakeFiles/slapo_core.dir/auto_shard.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/slapo_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/slapo_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/slapo_core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/slapo_core.dir/schedule.cc.o.d"
+  "/root/repo/src/core/verify.cc" "src/core/CMakeFiles/slapo_core.dir/verify.cc.o" "gcc" "src/core/CMakeFiles/slapo_core.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/slapo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/slapo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/slapo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/slapo_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/slapo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slapo_core.dir/auto_shard.cc.o"
+  "CMakeFiles/slapo_core.dir/auto_shard.cc.o.d"
+  "CMakeFiles/slapo_core.dir/pipeline.cc.o"
+  "CMakeFiles/slapo_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/slapo_core.dir/schedule.cc.o"
+  "CMakeFiles/slapo_core.dir/schedule.cc.o.d"
+  "CMakeFiles/slapo_core.dir/verify.cc.o"
+  "CMakeFiles/slapo_core.dir/verify.cc.o.d"
+  "libslapo_core.a"
+  "libslapo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slapo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dialects/deepspeed_dialect.cc" "src/dialects/CMakeFiles/slapo_dialects.dir/deepspeed_dialect.cc.o" "gcc" "src/dialects/CMakeFiles/slapo_dialects.dir/deepspeed_dialect.cc.o.d"
+  "/root/repo/src/dialects/megatron_dialect.cc" "src/dialects/CMakeFiles/slapo_dialects.dir/megatron_dialect.cc.o" "gcc" "src/dialects/CMakeFiles/slapo_dialects.dir/megatron_dialect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/slapo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/slapo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/slapo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/slapo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/slapo_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/slapo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

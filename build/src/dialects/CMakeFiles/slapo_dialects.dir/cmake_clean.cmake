@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slapo_dialects.dir/deepspeed_dialect.cc.o"
+  "CMakeFiles/slapo_dialects.dir/deepspeed_dialect.cc.o.d"
+  "CMakeFiles/slapo_dialects.dir/megatron_dialect.cc.o"
+  "CMakeFiles/slapo_dialects.dir/megatron_dialect.cc.o.d"
+  "libslapo_dialects.a"
+  "libslapo_dialects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slapo_dialects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for slapo_dialects.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/slapo_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/slapo_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/node.cc" "src/graph/CMakeFiles/slapo_graph.dir/node.cc.o" "gcc" "src/graph/CMakeFiles/slapo_graph.dir/node.cc.o.d"
+  "/root/repo/src/graph/pattern.cc" "src/graph/CMakeFiles/slapo_graph.dir/pattern.cc.o" "gcc" "src/graph/CMakeFiles/slapo_graph.dir/pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/slapo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slapo_graph.dir/graph.cc.o"
+  "CMakeFiles/slapo_graph.dir/graph.cc.o.d"
+  "CMakeFiles/slapo_graph.dir/node.cc.o"
+  "CMakeFiles/slapo_graph.dir/node.cc.o.d"
+  "CMakeFiles/slapo_graph.dir/pattern.cc.o"
+  "CMakeFiles/slapo_graph.dir/pattern.cc.o.d"
+  "libslapo_graph.a"
+  "libslapo_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slapo_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

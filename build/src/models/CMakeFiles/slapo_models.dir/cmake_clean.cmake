@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slapo_models.dir/dataset.cc.o"
+  "CMakeFiles/slapo_models.dir/dataset.cc.o.d"
+  "CMakeFiles/slapo_models.dir/registry.cc.o"
+  "CMakeFiles/slapo_models.dir/registry.cc.o.d"
+  "CMakeFiles/slapo_models.dir/transformer.cc.o"
+  "CMakeFiles/slapo_models.dir/transformer.cc.o.d"
+  "CMakeFiles/slapo_models.dir/wideresnet.cc.o"
+  "CMakeFiles/slapo_models.dir/wideresnet.cc.o.d"
+  "libslapo_models.a"
+  "libslapo_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slapo_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libslapo_models.a"
+)

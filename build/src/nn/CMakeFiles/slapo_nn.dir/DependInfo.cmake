@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/context.cc" "src/nn/CMakeFiles/slapo_nn.dir/context.cc.o" "gcc" "src/nn/CMakeFiles/slapo_nn.dir/context.cc.o.d"
+  "/root/repo/src/nn/functional.cc" "src/nn/CMakeFiles/slapo_nn.dir/functional.cc.o" "gcc" "src/nn/CMakeFiles/slapo_nn.dir/functional.cc.o.d"
+  "/root/repo/src/nn/interpreter.cc" "src/nn/CMakeFiles/slapo_nn.dir/interpreter.cc.o" "gcc" "src/nn/CMakeFiles/slapo_nn.dir/interpreter.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/slapo_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/slapo_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/slapo_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/slapo_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/tracer.cc" "src/nn/CMakeFiles/slapo_nn.dir/tracer.cc.o" "gcc" "src/nn/CMakeFiles/slapo_nn.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/slapo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/slapo_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/slapo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

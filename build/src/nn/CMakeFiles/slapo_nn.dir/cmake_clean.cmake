@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slapo_nn.dir/context.cc.o"
+  "CMakeFiles/slapo_nn.dir/context.cc.o.d"
+  "CMakeFiles/slapo_nn.dir/functional.cc.o"
+  "CMakeFiles/slapo_nn.dir/functional.cc.o.d"
+  "CMakeFiles/slapo_nn.dir/interpreter.cc.o"
+  "CMakeFiles/slapo_nn.dir/interpreter.cc.o.d"
+  "CMakeFiles/slapo_nn.dir/layers.cc.o"
+  "CMakeFiles/slapo_nn.dir/layers.cc.o.d"
+  "CMakeFiles/slapo_nn.dir/module.cc.o"
+  "CMakeFiles/slapo_nn.dir/module.cc.o.d"
+  "CMakeFiles/slapo_nn.dir/tracer.cc.o"
+  "CMakeFiles/slapo_nn.dir/tracer.cc.o.d"
+  "libslapo_nn.a"
+  "libslapo_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slapo_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

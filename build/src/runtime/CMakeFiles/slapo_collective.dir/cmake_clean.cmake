@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slapo_collective.dir/process_group.cc.o"
+  "CMakeFiles/slapo_collective.dir/process_group.cc.o.d"
+  "libslapo_collective.a"
+  "libslapo_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slapo_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

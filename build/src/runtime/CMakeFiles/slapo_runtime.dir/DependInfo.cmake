@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/autograd.cc" "src/runtime/CMakeFiles/slapo_runtime.dir/autograd.cc.o" "gcc" "src/runtime/CMakeFiles/slapo_runtime.dir/autograd.cc.o.d"
+  "/root/repo/src/runtime/dist_executor.cc" "src/runtime/CMakeFiles/slapo_runtime.dir/dist_executor.cc.o" "gcc" "src/runtime/CMakeFiles/slapo_runtime.dir/dist_executor.cc.o.d"
+  "/root/repo/src/runtime/pipeline_runtime.cc" "src/runtime/CMakeFiles/slapo_runtime.dir/pipeline_runtime.cc.o" "gcc" "src/runtime/CMakeFiles/slapo_runtime.dir/pipeline_runtime.cc.o.d"
+  "/root/repo/src/runtime/trainer.cc" "src/runtime/CMakeFiles/slapo_runtime.dir/trainer.cc.o" "gcc" "src/runtime/CMakeFiles/slapo_runtime.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/slapo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/slapo_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/slapo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/slapo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

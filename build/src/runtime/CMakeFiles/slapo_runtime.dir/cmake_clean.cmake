@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slapo_runtime.dir/autograd.cc.o"
+  "CMakeFiles/slapo_runtime.dir/autograd.cc.o.d"
+  "CMakeFiles/slapo_runtime.dir/dist_executor.cc.o"
+  "CMakeFiles/slapo_runtime.dir/dist_executor.cc.o.d"
+  "CMakeFiles/slapo_runtime.dir/pipeline_runtime.cc.o"
+  "CMakeFiles/slapo_runtime.dir/pipeline_runtime.cc.o.d"
+  "CMakeFiles/slapo_runtime.dir/trainer.cc.o"
+  "CMakeFiles/slapo_runtime.dir/trainer.cc.o.d"
+  "libslapo_runtime.a"
+  "libslapo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slapo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

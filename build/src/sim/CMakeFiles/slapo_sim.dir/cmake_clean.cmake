@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slapo_sim.dir/cost_model.cc.o"
+  "CMakeFiles/slapo_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/slapo_sim.dir/device.cc.o"
+  "CMakeFiles/slapo_sim.dir/device.cc.o.d"
+  "CMakeFiles/slapo_sim.dir/memory_model.cc.o"
+  "CMakeFiles/slapo_sim.dir/memory_model.cc.o.d"
+  "CMakeFiles/slapo_sim.dir/training_sim.cc.o"
+  "CMakeFiles/slapo_sim.dir/training_sim.cc.o.d"
+  "libslapo_sim.a"
+  "libslapo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slapo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slapo_tensor.dir/__/support/error.cc.o"
+  "CMakeFiles/slapo_tensor.dir/__/support/error.cc.o.d"
+  "CMakeFiles/slapo_tensor.dir/ops.cc.o"
+  "CMakeFiles/slapo_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/slapo_tensor.dir/optim.cc.o"
+  "CMakeFiles/slapo_tensor.dir/optim.cc.o.d"
+  "CMakeFiles/slapo_tensor.dir/tensor.cc.o"
+  "CMakeFiles/slapo_tensor.dir/tensor.cc.o.d"
+  "libslapo_tensor.a"
+  "libslapo_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slapo_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

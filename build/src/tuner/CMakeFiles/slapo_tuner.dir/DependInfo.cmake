@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/search_space.cc" "src/tuner/CMakeFiles/slapo_tuner.dir/search_space.cc.o" "gcc" "src/tuner/CMakeFiles/slapo_tuner.dir/search_space.cc.o.d"
+  "/root/repo/src/tuner/tuner.cc" "src/tuner/CMakeFiles/slapo_tuner.dir/tuner.cc.o" "gcc" "src/tuner/CMakeFiles/slapo_tuner.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/slapo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

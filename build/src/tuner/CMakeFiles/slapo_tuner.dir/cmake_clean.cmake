@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slapo_tuner.dir/search_space.cc.o"
+  "CMakeFiles/slapo_tuner.dir/search_space.cc.o.d"
+  "CMakeFiles/slapo_tuner.dir/tuner.cc.o"
+  "CMakeFiles/slapo_tuner.dir/tuner.cc.o.d"
+  "libslapo_tuner.a"
+  "libslapo_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slapo_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dialects.dir/test_dialects.cc.o"
+  "CMakeFiles/test_dialects.dir/test_dialects.cc.o.d"
+  "test_dialects"
+  "test_dialects.pdb"
+  "test_dialects[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dialects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

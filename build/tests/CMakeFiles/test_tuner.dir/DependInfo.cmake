@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tuner.cc" "tests/CMakeFiles/test_tuner.dir/test_tuner.cc.o" "gcc" "tests/CMakeFiles/test_tuner.dir/test_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/slapo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/slapo_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/slapo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/slapo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/slapo_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialects/CMakeFiles/slapo_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/slapo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/slapo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/slapo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/slapo_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/slapo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
