@@ -11,9 +11,21 @@
 #include <string>
 
 #include "baselines/baselines.h"
+#include "support/parallel.h"
 
 namespace slapo {
 namespace bench {
+
+/**
+ * Pin the kernel thread pool for a benchmark section; pass 0 to restore
+ * the SLAPO_NUM_THREADS / hardware default. Kernel results are
+ * bit-identical at any setting, so this only moves throughput.
+ */
+inline void
+setKernelThreads(int n)
+{
+    slapo::setNumThreads(n);
+}
 
 /** Render a throughput cell; unsupported systems print "x" (as in the
  * paper's figures) and OOM prints "OOM". */

@@ -8,6 +8,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "baselines/baselines.h"
 #include "models/registry.h"
 #include "nn/tracer.h"
@@ -33,7 +35,24 @@ BM_TensorMatmul(benchmark::State& state)
     }
     state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_TensorMatmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_TensorMatmulThreads(benchmark::State& state)
+{
+    const int64_t n = state.range(0);
+    slapo::bench::setKernelThreads(static_cast<int>(state.range(1)));
+    Tensor a = Tensor::uniform({n, n}, 1.0f, 1);
+    Tensor b = Tensor::uniform({n, n}, 1.0f, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::matmul(a, b));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+    slapo::bench::setKernelThreads(0);
+}
+BENCHMARK(BM_TensorMatmulThreads)
+    ->ArgsProduct({{128, 256, 512}, {1, 2, 4}})
+    ->ArgNames({"n", "threads"});
 
 void
 BM_TensorLayerNorm(benchmark::State& state)
@@ -56,6 +75,21 @@ BM_TensorSoftmax(benchmark::State& state)
     }
 }
 BENCHMARK(BM_TensorSoftmax);
+
+void
+BM_TensorLinearThreads(benchmark::State& state)
+{
+    slapo::bench::setKernelThreads(static_cast<int>(state.range(0)));
+    Tensor x = Tensor::uniform({64, 1024}, 1.0f, 7);
+    Tensor w = Tensor::uniform({1024, 1024}, 0.02f, 8);
+    Tensor b = Tensor::zeros({1024});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ops::linear(x, w, b));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * 64 * 1024 * 1024);
+    slapo::bench::setKernelThreads(0);
+}
+BENCHMARK(BM_TensorLinearThreads)->Arg(1)->Arg(2)->Arg(4)->ArgName("threads");
 
 void
 BM_TraceFfnFlattened(benchmark::State& state)

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Run the numeric-kernel micro-benchmarks and record the results as
+# BENCH_kernels.json at the repo root. Covers the blocked/parallel kernel
+# backend: matmul sizes 32..512, the thread-sweep variants (n x threads),
+# linear, layernorm, and softmax.
+#
+# Usage: bench/run_kernels.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+bench_bin="$build_dir/bench/bench_micro"
+
+if [[ ! -x "$bench_bin" ]]; then
+    echo "error: $bench_bin not built; run:" >&2
+    echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" -j" >&2
+    exit 1
+fi
+
+out="$repo_root/BENCH_kernels.json"
+"$bench_bin" \
+    --benchmark_filter='BM_Tensor(Matmul|MatmulThreads|LinearThreads|LayerNorm|Softmax)' \
+    --benchmark_format=json \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json
+
+echo "wrote $out"

@@ -12,7 +12,8 @@ Node*
 Graph::createNode(NodeKind kind, const std::string& base_name)
 {
     auto node = std::make_unique<Node>(
-        kind, base_name + "_" + std::to_string(next_id_++));
+        kind, base_name + "_" + std::to_string(next_id_));
+    node->setId(next_id_++);
     Node* raw = node.get();
     nodes_.push_back(std::move(node));
     return raw;
@@ -23,7 +24,8 @@ Graph::createNodeBefore(NodeKind kind, const std::string& base_name,
                         Node* anchor)
 {
     auto node = std::make_unique<Node>(
-        kind, base_name + "_" + std::to_string(next_id_++));
+        kind, base_name + "_" + std::to_string(next_id_));
+    node->setId(next_id_++);
     Node* raw = node.get();
     auto it = std::find_if(nodes_.begin(), nodes_.end(),
                            [&](const auto& n) { return n.get() == anchor; });

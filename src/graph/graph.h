@@ -84,6 +84,12 @@ class Graph
     /** Number of live nodes. */
     size_t size() const { return nodes_.size(); }
 
+    /**
+     * Exclusive upper bound on node ids in this graph: every live node
+     * has 0 <= id() < idBound(). Sized for dense per-node executor state.
+     */
+    int64_t idBound() const { return next_id_; }
+
     /** Multi-line textual dump (fx-style) for debugging and tests. */
     std::string toString() const;
 

@@ -108,6 +108,14 @@ class Node
     const std::string& name() const { return name_; }
     void setName(std::string name) { name_ = std::move(name); }
 
+    /**
+     * Graph-unique dense id, assigned at creation and stable for the
+     * node's lifetime. Executors index per-node state with flat vectors
+     * sized by Graph::idBound() instead of std::map lookups.
+     */
+    int64_t id() const { return id_; }
+    void setId(int64_t id) { id_ = id; }
+
     /** CallOp only: the primitive operation. */
     OpKind op() const { return op_; }
     void setOp(OpKind op) { op_ = op; }
@@ -167,6 +175,7 @@ class Node
   private:
     NodeKind kind_;
     std::string name_;
+    int64_t id_ = -1;
     OpKind op_ = OpKind::Identity;
     std::string target_;
     nn::Module* module_ = nullptr;

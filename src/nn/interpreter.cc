@@ -69,20 +69,33 @@ interpretGraph(const graph::Graph& graph, Module* self,
     SLAPO_CHECK(TracingState::current() == nullptr,
                 "cannot interpret a traced graph while tracing; re-trace the "
                 "module instead of nesting");
-    std::map<const graph::Node*, std::vector<Value>> env;
+    // Dense per-node-id environment: node ids are graph-unique and bounded
+    // by idBound(), so a flat vector replaces the former std::map (one
+    // indexed load per use instead of a tree walk on the hot loop).
+    std::vector<std::vector<Value>> env(graph.idBound());
+    std::vector<char> defined(graph.idBound(), 0);
+    auto put = [&](const graph::Node* n, std::vector<Value> values) {
+        SLAPO_ASSERT(n->id() >= 0 &&
+                         n->id() < static_cast<int64_t>(env.size()),
+                     "interpret: node id out of range for " << n->name());
+        env[n->id()] = std::move(values);
+        defined[n->id()] = 1;
+    };
 
     const auto placeholders = graph.placeholders();
     SLAPO_CHECK(placeholders.size() == inputs.size(),
                 "graph expects " << placeholders.size() << " inputs, got "
                                  << inputs.size());
     for (size_t i = 0; i < placeholders.size(); ++i) {
-        env[placeholders[i]] = {inputs[i]};
+        put(placeholders[i], {inputs[i]});
     }
 
     auto first = [&](const graph::Node* n) -> const Value& {
-        auto it = env.find(n);
-        SLAPO_ASSERT(it != env.end(), "interpret: undefined node " << n->name());
-        return it->second[0];
+        SLAPO_ASSERT(n->id() >= 0 &&
+                         n->id() < static_cast<int64_t>(env.size()) &&
+                         defined[n->id()],
+                     "interpret: undefined node " << n->name());
+        return env[n->id()][0];
     };
 
     Profiler* prof = Profiler::current();
@@ -94,7 +107,7 @@ interpretGraph(const graph::Graph& graph, Module* self,
           case graph::NodeKind::GetParam: {
             SLAPO_ASSERT(node->module() != nullptr,
                          "get_param without module binding");
-            env[node] = {Value(node->module()->paramTensor(node->target()))};
+            put(node, {Value(node->module()->paramTensor(node->target()))});
             break;
           }
           case graph::NodeKind::CallOp: {
@@ -120,7 +133,7 @@ interpretGraph(const graph::Graph& graph, Module* self,
                 }
                 prof->beginModule("ckpt_subgraph", /*checkpointed=*/true);
             }
-            env[node] = {interpretOp(*node, ins)};
+            put(node, {interpretOp(*node, ins)});
             if (ckpt_scope) {
                 prof->endModule();
             }
@@ -136,7 +149,7 @@ interpretGraph(const graph::Graph& graph, Module* self,
             if (prof) prof->beginModule(node->target(), false);
             std::vector<Value> outs = target->call(ins);
             if (prof) prof->endModule();
-            env[node] = std::move(outs);
+            put(node, std::move(outs));
             break;
           }
           case graph::NodeKind::FusedOp: {
@@ -152,16 +165,19 @@ interpretGraph(const graph::Graph& graph, Module* self,
             std::vector<Value> outs =
                 interpretGraph(*node->subgraph(), self, ins);
             if (prof) prof->endKernelScope();
-            env[node] = std::move(outs);
+            put(node, std::move(outs));
             break;
           }
           case graph::NodeKind::TupleGet: {
-            const auto& producer = env.at(node->inputs()[0]);
+            const graph::Node* src = node->inputs()[0];
+            SLAPO_ASSERT(defined[src->id()],
+                         "interpret: undefined node " << src->name());
+            const auto& producer = env[src->id()];
             const int64_t index = node->attrInt("index");
             SLAPO_ASSERT(index >= 0 &&
                              index < static_cast<int64_t>(producer.size()),
                          "tuple_get index out of range");
-            env[node] = {producer[index]};
+            put(node, {producer[index]});
             break;
           }
           case graph::NodeKind::Output: {

@@ -27,8 +27,57 @@ struct AutogradEngine::Frame
 {
     /** Whether stored tensors count toward the activation-bytes metric. */
     bool counted = true;
-    std::map<const Node*, std::vector<Tensor>> env;
+    /**
+     * Dense per-node-id activation store (indexed by Node::id, sized by
+     * Graph::idBound): one indexed load per access on the hot
+     * forward/backward loops instead of a std::map tree walk.
+     */
+    std::vector<std::vector<Tensor>> env;
+    std::vector<char> defined;
     std::map<const Node*, std::unique_ptr<Frame>> children;
+
+    void
+    init(int64_t id_bound)
+    {
+        if (static_cast<int64_t>(env.size()) < id_bound) {
+            env.resize(id_bound);
+            defined.resize(id_bound, 0);
+        }
+    }
+
+    bool
+    has(const Node* n) const
+    {
+        return n->id() >= 0 &&
+               n->id() < static_cast<int64_t>(defined.size()) &&
+               defined[n->id()];
+    }
+
+    std::vector<Tensor>&
+    at(const Node* n)
+    {
+        SLAPO_ASSERT(has(n), "autograd: missing activation for " << n->name());
+        return env[n->id()];
+    }
+
+    void
+    put(const Node* n, std::vector<Tensor> values)
+    {
+        SLAPO_ASSERT(n->id() >= 0 &&
+                         n->id() < static_cast<int64_t>(env.size()),
+                     "autograd: node id out of range for " << n->name());
+        env[n->id()] = std::move(values);
+        defined[n->id()] = 1;
+    }
+
+    void
+    evict(const Node* n)
+    {
+        if (has(n)) {
+            env[n->id()].clear();
+            defined[n->id()] = 0;
+        }
+    }
 };
 
 namespace {
@@ -241,20 +290,20 @@ AutogradEngine::forwardGraph(const Graph& g, Module* owner,
                              const std::vector<Tensor>& inputs, Frame* frame)
 {
     SLAPO_ASSERT(frame != nullptr, "forwardGraph: null frame");
-    auto& env = frame->env;
+    frame->init(g.idBound());
 
     const auto placeholders = g.placeholders();
     SLAPO_CHECK(placeholders.size() == inputs.size(),
                 "autograd: graph expects " << placeholders.size()
                                            << " inputs, got " << inputs.size());
     for (size_t i = 0; i < placeholders.size(); ++i) {
-        env[placeholders[i]] = {inputs[i]};
+        frame->put(placeholders[i], {inputs[i]});
     }
 
     auto in_tensors = [&](const Node* n) {
         std::vector<Tensor> ts;
         for (const Node* in : n->inputs()) {
-            ts.push_back(env.at(in)[0]);
+            ts.push_back(frame->at(in)[0]);
         }
         return ts;
     };
@@ -266,19 +315,19 @@ AutogradEngine::forwardGraph(const Graph& g, Module* owner,
             break;
           case NodeKind::GetParam: {
             Module* m = node->module() ? node->module() : owner;
-            env[node] = {m->paramTensor(node->target())};
+            frame->put(node, {m->paramTensor(node->target())});
             break;
           }
           case NodeKind::CallOp: {
             std::vector<Value> ins;
             for (const Node* in : node->inputs()) {
-                ins.emplace_back(env.at(in)[0]);
+                ins.emplace_back(frame->at(in)[0]);
             }
             Tensor out = nn::interpretOp(*node, ins).tensor();
             if (frame->counted && !node->checkpointed()) {
                 result_.stored_activation_bytes += out.bytes();
             }
-            env[node] = {std::move(out)};
+            frame->put(node, {std::move(out)});
             break;
           }
           case NodeKind::CallModule: {
@@ -301,7 +350,7 @@ AutogradEngine::forwardGraph(const Graph& g, Module* owner,
             if (!checkpointed) {
                 frame->children[node] = std::move(child_frame);
             }
-            env[node] = std::move(outs);
+            frame->put(node, std::move(outs));
             break;
           }
           case NodeKind::FusedOp: {
@@ -311,16 +360,17 @@ AutogradEngine::forwardGraph(const Graph& g, Module* owner,
             std::vector<Tensor> outs =
                 forwardGraph(*node->subgraph(), owner, ins, sub_frame.get());
             frame->children[node] = std::move(sub_frame);
-            env[node] = std::move(outs);
+            frame->put(node, std::move(outs));
             break;
           }
           case NodeKind::TupleGet: {
-            env[node] = {env.at(node->inputs()[0])[node->attrInt("index")]};
+            frame->put(node,
+                       {frame->at(node->inputs()[0])[node->attrInt("index")]});
             break;
           }
           case NodeKind::Output: {
             for (const Node* in : node->inputs()) {
-                outputs.push_back(env.at(in)[0]);
+                outputs.push_back(frame->at(in)[0]);
             }
             // .checkpoint(subgraph): evict the flagged activations now
             // that the forward is done; backward rematerializes them
@@ -328,7 +378,7 @@ AutogradEngine::forwardGraph(const Graph& g, Module* owner,
             for (Node* n : g.nodes()) {
                 if (n->kind() == NodeKind::CallOp && n->checkpointed() &&
                     g.usersOf(n).size() > 0) {
-                    env.erase(n);
+                    frame->evict(n);
                 }
             }
             return outputs;
@@ -342,10 +392,16 @@ std::vector<Tensor>
 AutogradEngine::backwardGraph(const Graph& g, Module* owner, Frame& frame,
                               const std::vector<Tensor>& grad_outputs)
 {
-    std::map<const Node*, std::vector<Tensor>> grads;
+    // Dense per-node-id gradient slots, mirroring Frame's layout.
+    std::vector<std::vector<Tensor>> gslots(g.idBound());
+    std::vector<char> gdef(g.idBound(), 0);
 
     auto accumulate = [&](const Node* node, size_t index, const Tensor& grad) {
-        auto& slots = grads[node];
+        SLAPO_ASSERT(node->id() >= 0 &&
+                         node->id() < static_cast<int64_t>(gslots.size()),
+                     "backward: node id out of range for " << node->name());
+        auto& slots = gslots[node->id()];
+        gdef[node->id()] = 1;
         if (slots.size() <= index) {
             slots.resize(std::max(slots.size(), index + 1));
         }
@@ -359,9 +415,8 @@ AutogradEngine::backwardGraph(const Graph& g, Module* owner, Frame& frame,
     // Lazy rematerialization of activations evicted by
     // .checkpoint(subgraph): recompute from retained region inputs.
     std::function<Tensor(const Node*)> value = [&](const Node* n) -> Tensor {
-        auto it = frame.env.find(n);
-        if (it != frame.env.end()) {
-            return it->second[0];
+        if (frame.has(n)) {
+            return frame.at(n)[0];
         }
         SLAPO_ASSERT(n->kind() == NodeKind::CallOp,
                      "missing non-op activation for " << n->name());
@@ -370,7 +425,7 @@ AutogradEngine::backwardGraph(const Graph& g, Module* owner, Frame& frame,
             ins.emplace_back(value(in));
         }
         Tensor out = nn::interpretOp(*n, ins).tensor();
-        frame.env[n] = {out};
+        frame.put(n, {out});
         ++result_.recomputed_nodes;
         return out;
     };
@@ -392,12 +447,11 @@ AutogradEngine::backwardGraph(const Graph& g, Module* owner, Frame& frame,
         if (node->kind() == NodeKind::Output) {
             continue;
         }
-        auto git = grads.find(node);
-        if (git == grads.end()) {
+        if (!gdef[node->id()]) {
             continue; // no gradient flows through this node
         }
         // Materialize missing output slots as zeros.
-        auto& slots = git->second;
+        auto& slots = gslots[node->id()];
         slots.resize(node->numOutputs());
         for (int64_t i = 0; i < node->numOutputs(); ++i) {
             if (!slots[i].materialized()) {

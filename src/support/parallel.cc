@@ -1,0 +1,224 @@
+#include "support/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.h"
+
+namespace slapo {
+namespace support {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+int
+defaultNumThreads()
+{
+    if (const char* env = std::getenv("SLAPO_NUM_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1) {
+            return static_cast<int>(std::min<long>(v, 256));
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::atomic<int> g_num_threads{0}; // 0 = not yet resolved
+
+/**
+ * Persistent worker pool. One job runs at a time (jobs are serialized by
+ * `job_mutex_`); workers grab fixed chunks off a shared atomic counter.
+ * Workers are spawned lazily up to the configured count and never die
+ * until process exit.
+ */
+class Pool
+{
+  public:
+    static Pool&
+    instance()
+    {
+        static Pool* pool = new Pool(); // leaked: workers outlive statics
+        return *pool;
+    }
+
+    void
+    run(int64_t num_chunks, int helpers,
+        const std::function<void(int64_t)>& chunk_body)
+    {
+        std::lock_guard<std::mutex> job_lock(job_mutex_);
+        ensureWorkers(helpers);
+        {
+            std::lock_guard<std::mutex> lk(m_);
+            helpers = std::min<int>(helpers, static_cast<int>(workers_.size()));
+            body_ = &chunk_body;
+            num_chunks_ = num_chunks;
+            next_chunk_.store(0, std::memory_order_relaxed);
+            max_claims_ = helpers;
+            claims_ = 0;
+            pending_ = helpers;
+            error_ = nullptr;
+            ++generation_;
+        }
+        cv_.notify_all();
+        // The caller participates too. Flag it as a worker for the
+        // duration so a chunk body that itself calls parallelFor runs
+        // inline instead of re-entering run() on the held job_mutex_.
+        t_in_worker = true;
+        runChunks(chunk_body);
+        t_in_worker = false;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            done_cv_.wait(lk, [&] { return pending_ == 0; });
+            body_ = nullptr;
+            if (error_) {
+                std::exception_ptr e = error_;
+                error_ = nullptr;
+                lk.unlock();
+                std::rethrow_exception(e);
+            }
+        }
+    }
+
+  private:
+    Pool() = default;
+
+    void
+    ensureWorkers(int count)
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        while (static_cast<int>(workers_.size()) < count) {
+            workers_.emplace_back([this] { workerLoop(); });
+        }
+    }
+
+    void
+    runChunks(const std::function<void(int64_t)>& body)
+    {
+        try {
+            for (;;) {
+                const int64_t c =
+                    next_chunk_.fetch_add(1, std::memory_order_relaxed);
+                if (c >= num_chunks_) break;
+                body(c);
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(m_);
+            if (!error_) error_ = std::current_exception();
+            // Cancel chunks nobody has started yet.
+            next_chunk_.store(num_chunks_, std::memory_order_relaxed);
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        t_in_worker = true;
+        uint64_t seen_generation = 0;
+        for (;;) {
+            const std::function<void(int64_t)>* body = nullptr;
+            {
+                std::unique_lock<std::mutex> lk(m_);
+                cv_.wait(lk, [&] {
+                    return generation_ != seen_generation && body_ != nullptr;
+                });
+                seen_generation = generation_;
+                if (claims_ >= max_claims_) {
+                    continue; // this job is capped below the pool size
+                }
+                ++claims_;
+                body = body_;
+            }
+            runChunks(*body);
+            {
+                std::lock_guard<std::mutex> lk(m_);
+                if (--pending_ == 0) {
+                    done_cv_.notify_all();
+                }
+            }
+        }
+    }
+
+    std::mutex job_mutex_; // serializes whole jobs
+
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    std::vector<std::thread> workers_;
+
+    const std::function<void(int64_t)>* body_ = nullptr;
+    int64_t num_chunks_ = 0;
+    std::atomic<int64_t> next_chunk_{0};
+    int max_claims_ = 0;
+    int claims_ = 0;
+    int pending_ = 0;
+    uint64_t generation_ = 0;
+    std::exception_ptr error_;
+};
+
+} // namespace
+
+bool
+inParallelRegion()
+{
+    return t_in_worker;
+}
+
+void
+parallelFor(int64_t begin, int64_t end, int64_t grain,
+            const std::function<void(int64_t, int64_t)>& fn)
+{
+    if (end <= begin) {
+        return;
+    }
+    const int64_t g = grain < 1 ? 1 : grain;
+    const int64_t num_chunks = chunkCountFor(begin, end, g);
+    const int threads = getNumThreads();
+
+    if (threads <= 1 || num_chunks <= 1 || t_in_worker) {
+        // Serial path: identical chunk boundaries, same execution order.
+        for (int64_t c = 0; c < num_chunks; ++c) {
+            const int64_t lo = begin + c * g;
+            fn(lo, std::min(end, lo + g));
+        }
+        return;
+    }
+
+    auto chunk_body = [&](int64_t c) {
+        const int64_t lo = begin + c * g;
+        fn(lo, std::min(end, lo + g));
+    };
+    const int helpers =
+        static_cast<int>(std::min<int64_t>(threads - 1, num_chunks - 1));
+    Pool::instance().run(num_chunks, helpers, chunk_body);
+}
+
+} // namespace support
+
+void
+setNumThreads(int n)
+{
+    SLAPO_CHECK(n >= 0, "setNumThreads: count must be >= 0, got " << n);
+    support::g_num_threads.store(n == 0 ? support::defaultNumThreads()
+                                        : std::min(n, 256),
+                                 std::memory_order_relaxed);
+}
+
+int
+getNumThreads()
+{
+    int n = support::g_num_threads.load(std::memory_order_relaxed);
+    if (n == 0) {
+        n = support::defaultNumThreads();
+        support::g_num_threads.store(n, std::memory_order_relaxed);
+    }
+    return n;
+}
+
+} // namespace slapo

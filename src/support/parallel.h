@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic multicore substrate for the numeric kernels.
+ *
+ * A persistent, static-partition thread pool (no work stealing) executes
+ * `parallelFor` loops split into *fixed-size* chunks. Chunk boundaries
+ * depend only on the loop bounds and the grain — never on the worker
+ * count — and every chunk writes a disjoint region (or a private partial
+ * buffer combined in chunk order), so kernel outputs are bit-identical
+ * for any `SLAPO_NUM_THREADS`. This is the guarantee `Tensor::allClose`
+ * based verification and the gradient-sync checks rely on.
+ *
+ * Thread count resolution order:
+ *   1. `slapo::setNumThreads(n)` (programmatic, e.g. bench sweeps)
+ *   2. `SLAPO_NUM_THREADS` environment variable (read once, at first use)
+ *   3. `std::thread::hardware_concurrency()`
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace slapo {
+
+/**
+ * Set the number of worker threads used by the numeric kernels.
+ * `n >= 1` pins the count; `n == 0` resets to the environment/hardware
+ * default. Growing the count lazily spawns pool workers; shrinking only
+ * limits how many participate (idle workers just sleep).
+ */
+void setNumThreads(int n);
+
+/** Current worker count the kernels will use (always >= 1). */
+int getNumThreads();
+
+namespace support {
+
+/**
+ * Run `fn(chunk_begin, chunk_end)` over [begin, end) split into chunks of
+ * `grain` iterations (the last chunk may be short). Chunks are distributed
+ * over the pool dynamically, but the chunk *boundaries* are a pure
+ * function of (begin, end, grain), so any writes keyed by chunk index or
+ * iteration index are deterministic across thread counts.
+ *
+ * The first exception thrown by any chunk is captured, remaining chunks
+ * are cancelled (already-started ones run to completion), and the
+ * exception is rethrown on the calling thread after all workers finish.
+ *
+ * Calls nested inside a pool worker run inline (serially) to avoid
+ * deadlock; top-level calls with one configured thread or a single chunk
+ * also run inline with zero synchronization overhead.
+ */
+void parallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/**
+ * Number of chunks `parallelFor(begin, end, grain, ...)` will execute.
+ * Kernels that combine per-chunk partial buffers size them with this.
+ */
+inline int64_t
+chunkCountFor(int64_t begin, int64_t end, int64_t grain)
+{
+    if (end <= begin) return 0;
+    const int64_t g = grain < 1 ? 1 : grain;
+    return (end - begin + g - 1) / g;
+}
+
+/** True when the caller is already executing inside a pool worker. */
+bool inParallelRegion();
+
+} // namespace support
+} // namespace slapo

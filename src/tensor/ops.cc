@@ -4,10 +4,23 @@
 #include <cmath>
 #include <functional>
 
+#include "support/parallel.h"
+
 namespace slapo {
 namespace ops {
 
 namespace {
+
+/** Elementwise chunk size: large enough to amortize dispatch, fixed so
+ * chunk boundaries (and thus results) never depend on the thread count. */
+constexpr int64_t kElemGrain = 1 << 14;
+
+/** Fixed per-chunk row count for row-parallel kernels (softmax, norm). */
+int64_t
+rowGrain(int64_t row_width)
+{
+    return std::max<int64_t>(1, (1 << 14) / std::max<int64_t>(1, row_width));
+}
 
 /** Strides (in elements) of a row-major contiguous shape. */
 std::vector<int64_t>
@@ -27,9 +40,38 @@ broadcastBinary(const Tensor& a, const Tensor& b, F&& f)
 {
     const Shape out_shape = broadcastShapes(a.shape(), b.shape());
     Tensor out = Tensor::zeros(out_shape);
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = out.numel();
 
-    const size_t rank = out_shape.size();
-    // Right-align input shapes against the output rank.
+    // Fast path: identical shapes — one contiguous pass, no index math.
+    if (a.shape() == b.shape()) {
+        support::parallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+        });
+        return out;
+    }
+    // Fast path: one operand is a single value (scale/shift tensors).
+    if (b.numel() == 1) {
+        const float s = pb[0];
+        support::parallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], s);
+        });
+        return out;
+    }
+    if (a.numel() == 1) {
+        const float s = pa[0];
+        support::parallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) po[i] = f(s, pb[i]);
+        });
+        return out;
+    }
+
+    // Genuine broadcast: precompute per-dim effective strides (0 on
+    // broadcast dims) and walk an odometer index per chunk instead of
+    // doing a div/mod per element.
+    const int64_t rank = static_cast<int64_t>(out_shape.size());
     auto aligned = [&](const Shape& s) {
         Shape r(rank, 1);
         std::copy(s.begin(), s.end(), r.begin() + (rank - s.size()));
@@ -40,24 +82,35 @@ broadcastBinary(const Tensor& a, const Tensor& b, F&& f)
     const auto stra = stridesOf(sa);
     const auto strb = stridesOf(sb);
     const auto stro = stridesOf(out_shape);
-
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-
-    const int64_t n = out.numel();
-    for (int64_t flat = 0; flat < n; ++flat) {
-        int64_t rem = flat;
-        int64_t ia = 0;
-        int64_t ib = 0;
-        for (size_t d = 0; d < rank; ++d) {
-            const int64_t idx = rem / stro[d];
-            rem %= stro[d];
-            if (sa[d] != 1) ia += idx * stra[d];
-            if (sb[d] != 1) ib += idx * strb[d];
-        }
-        po[flat] = f(pa[ia], pb[ib]);
+    std::vector<int64_t> ea(rank), eb(rank);
+    for (int64_t d = 0; d < rank; ++d) {
+        ea[d] = sa[d] == 1 ? 0 : stra[d];
+        eb[d] = sb[d] == 1 ? 0 : strb[d];
     }
+
+    support::parallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+        std::vector<int64_t> idx(rank);
+        int64_t rem = lo, ia = 0, ib = 0;
+        for (int64_t d = 0; d < rank; ++d) {
+            idx[d] = rem / stro[d];
+            rem %= stro[d];
+            ia += idx[d] * ea[d];
+            ib += idx[d] * eb[d];
+        }
+        for (int64_t flat = lo; flat < hi; ++flat) {
+            po[flat] = f(pa[ia], pb[ib]);
+            for (int64_t d = rank - 1; d >= 0; --d) {
+                if (++idx[d] < out_shape[d]) {
+                    ia += ea[d];
+                    ib += eb[d];
+                    break;
+                }
+                idx[d] = 0;
+                ia -= (out_shape[d] - 1) * ea[d];
+                ib -= (out_shape[d] - 1) * eb[d];
+            }
+        }
+    });
     return out;
 }
 
@@ -68,9 +121,12 @@ unary(const Tensor& a, F&& f)
     Tensor out = Tensor::zeros(a.shape());
     const float* pa = a.data();
     float* po = out.data();
-    for (int64_t i = 0; i < a.numel(); ++i) {
-        po[i] = f(pa[i]);
-    }
+    support::parallelFor(0, a.numel(), kElemGrain,
+                         [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            po[i] = f(pa[i]);
+        }
+    });
     return out;
 }
 
@@ -130,14 +186,18 @@ geluBackward(const Tensor& grad, const Tensor& a)
     const float* pg = grad.data();
     const float* pa = a.data();
     float* po = out.data();
-    for (int64_t i = 0; i < a.numel(); ++i) {
-        const float x = pa[i];
-        const float inner = kGeluC * (x + 0.044715f * x * x * x);
-        const float t = std::tanh(inner);
-        const float dinner = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
-        const float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
-        po[i] = pg[i] * d;
-    }
+    support::parallelFor(0, a.numel(), kElemGrain,
+                         [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            const float x = pa[i];
+            const float inner = kGeluC * (x + 0.044715f * x * x * x);
+            const float t = std::tanh(inner);
+            const float dinner = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+            const float d =
+                0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+            po[i] = pg[i] * d;
+        }
+    });
     return out;
 }
 
@@ -290,27 +350,219 @@ reduceToShape(const Tensor& grad_out, const Shape& shape)
     if (grad_out.shape() == shape) {
         return grad_out.clone();
     }
-    const size_t rank = grad_out.dim();
+    const int64_t rank = grad_out.dim();
     Shape aligned(rank, 1);
     std::copy(shape.begin(), shape.end(), aligned.begin() + (rank - shape.size()));
 
     Tensor out = Tensor::zeros(aligned);
-    const auto stro = stridesOf(grad_out.shape());
-    const auto stra = stridesOf(aligned);
     const float* pg = grad_out.data();
     float* po = out.data();
-    for (int64_t flat = 0; flat < grad_out.numel(); ++flat) {
-        int64_t rem = flat;
-        int64_t ia = 0;
-        for (size_t d = 0; d < rank; ++d) {
-            const int64_t idx = rem / stro[d];
-            rem %= stro[d];
-            if (aligned[d] != 1) ia += idx * stra[d];
+    const int64_t n = grad_out.numel();
+
+    // Classify the reduced dims (aligned extent 1 where the gradient
+    // extent is > 1). Two contiguous layouts get fast loops; anything
+    // with interior broadcast dims falls back to the odometer walk.
+    std::vector<bool> reduced(rank);
+    int64_t first_kept = rank, last_kept = -1;
+    int64_t first_reduced = rank, last_reduced = -1;
+    for (int64_t d = 0; d < rank; ++d) {
+        reduced[d] = aligned[d] == 1 && grad_out.size(d) != 1;
+        if (reduced[d]) {
+            first_reduced = std::min(first_reduced, d);
+            last_reduced = d;
+        } else {
+            first_kept = std::min(first_kept, d);
+            last_kept = d;
         }
+    }
+
+    if (last_reduced >= 0 && last_reduced < first_kept) {
+        // Pure leading reduce (e.g. grad [B, S, D] -> bias [D]): every
+        // output element sums `outer` contiguous rows. The o-loop order is
+        // fixed; chunks split the contiguous inner axis, so results are
+        // bit-identical at any thread count.
+        const int64_t inner = out.numel();
+        const int64_t outer = n / inner;
+        support::parallelFor(0, inner, kElemGrain,
+                             [&](int64_t lo, int64_t hi) {
+            for (int64_t o = 0; o < outer; ++o) {
+                const float* row = pg + o * inner;
+                for (int64_t i = lo; i < hi; ++i) {
+                    po[i] += row[i];
+                }
+            }
+        });
+        return out.reshape(shape);
+    }
+    if (last_kept >= 0 && last_kept < first_reduced) {
+        // Pure trailing reduce (e.g. grad [B, S, D] -> [B, 1, 1]): each
+        // output element is one independent contiguous row sum.
+        int64_t inner = 1;
+        for (int64_t d = first_reduced; d < rank; ++d) {
+            inner *= grad_out.size(d);
+        }
+        const int64_t outer = n / inner;
+        support::parallelFor(0, outer, rowGrain(inner),
+                             [&](int64_t lo, int64_t hi) {
+            for (int64_t o = lo; o < hi; ++o) {
+                const float* row = pg + o * inner;
+                float acc = 0.0f;
+                for (int64_t i = 0; i < inner; ++i) acc += row[i];
+                po[o] = acc;
+            }
+        });
+        return out.reshape(shape);
+    }
+
+    // General case (interior/mixed broadcast dims): serial odometer walk —
+    // a scatter-add whose destination repeats, kept serial for determinism.
+    const auto stro = stridesOf(grad_out.shape());
+    const auto stra = stridesOf(aligned);
+    std::vector<int64_t> eff(rank);
+    for (int64_t d = 0; d < rank; ++d) {
+        eff[d] = aligned[d] == 1 ? 0 : stra[d];
+    }
+    std::vector<int64_t> idx(rank, 0);
+    int64_t ia = 0;
+    for (int64_t flat = 0; flat < n; ++flat) {
         po[ia] += pg[flat];
+        for (int64_t d = rank - 1; d >= 0; --d) {
+            if (++idx[d] < grad_out.size(d)) {
+                ia += eff[d];
+                break;
+            }
+            idx[d] = 0;
+            ia -= (grad_out.size(d) - 1) * eff[d];
+        }
     }
     return out.reshape(shape);
 }
+
+namespace {
+
+// --- blocked GEMM microkernel --------------------------------------------
+//
+// The one microkernel behind matmul, linear forward, and both linear
+// backward GEMMs. Output is tiled kRowTile x kColTile; the tile lives in
+// registers / L1 stack while the k loop streams A columns and B rows
+// through it, so every C element is written exactly once and every B row
+// is reused kRowTile times per pass. Accumulation is float, k ascending —
+// a summation order that depends only on the shapes, never on threading.
+
+constexpr int64_t kRowTile = 4;  // output rows accumulated together (M tile)
+constexpr int64_t kColTile = 64; // accumulator width in floats (N tile)
+
+/**
+ * C[i0:i1, :] = A[i0:i1, :] @ B (+ bias), all row-major contiguous:
+ * A is [m, k], B is [k, n], C is [m, n]. When `bias` is non-null it is a
+ * length-n row added to every output row (seeded into the accumulator).
+ * Row ranges are the unit of parallelism: disjoint [i0, i1) ranges touch
+ * disjoint C rows, so any partitioning of rows is race-free and
+ * bit-deterministic.
+ */
+void
+gemmRows(const float* A, const float* B, float* C, int64_t i0, int64_t i1,
+         int64_t k, int64_t n, const float* bias)
+{
+    float acc[kRowTile][kColTile];
+    for (int64_t i = i0; i < i1; i += kRowTile) {
+        const int64_t rt = std::min(kRowTile, i1 - i);
+        for (int64_t j = 0; j < n; j += kColTile) {
+            const int64_t jt = std::min(kColTile, n - j);
+            for (int64_t r = 0; r < rt; ++r) {
+                for (int64_t c = 0; c < jt; ++c) {
+                    acc[r][c] = bias ? bias[j + c] : 0.0f;
+                }
+            }
+            if (rt == kRowTile && jt == kColTile) {
+                // Full tile: fixed trip counts so the compiler keeps the
+                // j loop vectorized and the four A broadcasts in registers.
+                for (int64_t kk = 0; kk < k; ++kk) {
+                    const float* brow = B + kk * n + j;
+                    const float a0 = A[(i + 0) * k + kk];
+                    const float a1 = A[(i + 1) * k + kk];
+                    const float a2 = A[(i + 2) * k + kk];
+                    const float a3 = A[(i + 3) * k + kk];
+                    for (int64_t c = 0; c < kColTile; ++c) {
+                        const float bv = brow[c];
+                        acc[0][c] += a0 * bv;
+                        acc[1][c] += a1 * bv;
+                        acc[2][c] += a2 * bv;
+                        acc[3][c] += a3 * bv;
+                    }
+                }
+            } else {
+                for (int64_t kk = 0; kk < k; ++kk) {
+                    const float* brow = B + kk * n + j;
+                    for (int64_t r = 0; r < rt; ++r) {
+                        const float ar = A[(i + r) * k + kk];
+                        for (int64_t c = 0; c < jt; ++c) {
+                            acc[r][c] += ar * brow[c];
+                        }
+                    }
+                }
+            }
+            for (int64_t r = 0; r < rt; ++r) {
+                float* crow = C + (i + r) * n + j;
+                for (int64_t c = 0; c < jt; ++c) {
+                    crow[c] = acc[r][c];
+                }
+            }
+        }
+    }
+}
+
+/** Row-tile grain sized so one chunk is ~2^18 flops (thread-independent). */
+int64_t
+gemmGrain(int64_t k, int64_t n)
+{
+    const int64_t tile_flops = 2 * kRowTile * std::max<int64_t>(1, k) *
+                               std::max<int64_t>(1, n);
+    return std::max<int64_t>(1, (1 << 18) / tile_flops);
+}
+
+/**
+ * Parallel C = A @ B (+ bias) over row tiles of one contiguous problem.
+ */
+void
+gemmParallel(const float* A, const float* B, float* C, int64_t m, int64_t k,
+             int64_t n, const float* bias)
+{
+    const int64_t row_tiles = (m + kRowTile - 1) / kRowTile;
+    support::parallelFor(0, row_tiles, gemmGrain(k, n),
+                         [&](int64_t lo, int64_t hi) {
+        gemmRows(A, B, C, lo * kRowTile, std::min(m, hi * kRowTile), k, n,
+                 bias);
+    });
+}
+
+/**
+ * Blocked transpose pack: dst[c, r] = src[r, c] for src [rows, cols].
+ * Used to present W^T (linear forward) and g^T (weight gradient) to the
+ * row-major microkernel. 32x32 tiles keep both sides cache-resident.
+ */
+void
+transposePack(const float* src, float* dst, int64_t rows, int64_t cols)
+{
+    constexpr int64_t kT = 32;
+    const int64_t col_tiles = (cols + kT - 1) / kT;
+    support::parallelFor(0, col_tiles, 4, [&](int64_t lo, int64_t hi) {
+        for (int64_t ct = lo; ct < hi; ++ct) {
+            const int64_t c0 = ct * kT;
+            const int64_t c1 = std::min(cols, c0 + kT);
+            for (int64_t r0 = 0; r0 < rows; r0 += kT) {
+                const int64_t r1 = std::min(rows, r0 + kT);
+                for (int64_t r = r0; r < r1; ++r) {
+                    for (int64_t c = c0; c < c1; ++c) {
+                        dst[c * rows + r] = src[r * cols + c];
+                    }
+                }
+            }
+        }
+    });
+}
+
+} // namespace
 
 Tensor
 matmul(const Tensor& a, const Tensor& b)
@@ -336,7 +588,8 @@ matmul(const Tensor& a, const Tensor& b)
     out_shape.push_back(n);
     Tensor out = Tensor::zeros(out_shape);
 
-    // Per-batch flat offsets honoring broadcast on batch dims.
+    // Per-batch flat offsets honoring broadcast on batch dims, computed
+    // up front so the parallel loop body is pure arithmetic.
     const size_t rank = batch.size();
     auto aligned = [&](const Shape& s) {
         Shape r(rank, 1);
@@ -348,11 +601,7 @@ matmul(const Tensor& a, const Tensor& b)
     const auto stra = stridesOf(ba);
     const auto strb = stridesOf(bb);
     const auto strc = stridesOf(batch);
-
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-
+    std::vector<int64_t> offs_a(n_batch), offs_b(n_batch);
     for (int64_t bi = 0; bi < n_batch; ++bi) {
         int64_t rem = bi;
         int64_t off_a = 0;
@@ -363,21 +612,31 @@ matmul(const Tensor& a, const Tensor& b)
             if (ba[d] != 1) off_a += idx * stra[d];
             if (bb[d] != 1) off_b += idx * strb[d];
         }
-        const float* A = pa + off_a * m * k;
-        const float* B = pb + off_b * k * n;
-        float* C = po + bi * m * n;
-        for (int64_t i = 0; i < m; ++i) {
-            for (int64_t kk = 0; kk < k; ++kk) {
-                const float av = A[i * k + kk];
-                if (av == 0.0f) continue;
-                const float* Brow = B + kk * n;
-                float* Crow = C + i * n;
-                for (int64_t j = 0; j < n; ++j) {
-                    Crow[j] += av * Brow[j];
-                }
-            }
-        }
+        offs_a[bi] = off_a * m * k;
+        offs_b[bi] = off_b * k * n;
     }
+
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+
+    // Parallelize over batch x row-tiles: every unit owns a disjoint slab
+    // of C rows, so the partitioning is race-free and bit-deterministic.
+    const int64_t row_tiles = (m + kRowTile - 1) / kRowTile;
+    support::parallelFor(0, n_batch * row_tiles, gemmGrain(k, n),
+                         [&](int64_t lo, int64_t hi) {
+        for (int64_t u = lo; u < hi;) {
+            const int64_t bi = u / row_tiles;
+            const int64_t t0 = u % row_tiles;
+            // Take the longest run of tiles inside this batch entry.
+            const int64_t t1 =
+                std::min(row_tiles, t0 + (hi - u));
+            gemmRows(pa + offs_a[bi], pb + offs_b[bi], po + bi * m * n,
+                     t0 * kRowTile, std::min(m, t1 * kRowTile), k, n,
+                     nullptr);
+            u += t1 - t0;
+        }
+    });
     return out;
 }
 
@@ -403,32 +662,22 @@ linear(const Tensor& x, const Tensor& weight, const Tensor& bias)
     const int64_t rows = x.numel() / in;
     Tensor x2 = x.reshape({rows, in});
 
+    // x @ W^T via the shared blocked microkernel: pack W^T once (cost
+    // out*in, amortized over all rows), then run the row-parallel GEMM
+    // with the bias seeded into the accumulator tile. Accumulation is
+    // float with blocked summation — the same convention as matmul, so
+    // linear(x, W, b) and add(matmul(x, W^T), b) agree within float
+    // rounding (see tests/test_parallel.cc).
     Tensor out = Tensor::zeros({rows, out_f});
-    const float* px = x2.data();
-    const float* pw = weight.data();
-    float* po = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
-        const float* xr = px + r * in;
-        float* orow = po + r * out_f;
-        for (int64_t o = 0; o < out_f; ++o) {
-            const float* wrow = pw + o * in;
-            double acc = 0.0;
-            for (int64_t i = 0; i < in; ++i) {
-                acc += xr[i] * wrow[i];
-            }
-            orow[o] = static_cast<float>(acc);
-        }
-    }
+    std::vector<float> wt(static_cast<size_t>(in) * out_f);
+    transposePack(weight.data(), wt.data(), out_f, in);
+    const float* pb = nullptr;
     if (bias.numel() > 0) {
         SLAPO_CHECK(bias.numel() == out_f, "linear: bias size mismatch");
-        const float* pb = bias.data();
-        for (int64_t r = 0; r < rows; ++r) {
-            float* orow = po + r * out_f;
-            for (int64_t o = 0; o < out_f; ++o) {
-                orow[o] += pb[o];
-            }
-        }
+        pb = bias.data();
     }
+    gemmParallel(x2.data(), wt.data(), out.data(), rows, in, out_f, pb);
+
     Shape out_shape = x.shape();
     out_shape.back() = out_f;
     return out.reshape(out_shape);
@@ -443,19 +692,36 @@ linearBackward(const Tensor& grad_out, const Tensor& x, const Tensor& weight,
     const int64_t rows = x.numel() / in;
     Tensor g2 = grad_out.reshape({rows, out_f});
     Tensor x2 = x.reshape({rows, in});
+    const float* pg = g2.data();
 
     LinearGrads grads;
-    grads.grad_x = matmul(g2, weight).reshape(x.shape());
-    grads.grad_weight = matmul(transposeLast2(g2), x2);
+    // grad_x [rows, in] = g [rows, out] @ W [out, in]: W is already in
+    // row-major microkernel layout, no packing needed.
+    grads.grad_x = Tensor::zeros({rows, in});
+    gemmParallel(pg, weight.data(), grads.grad_x.data(), rows, out_f, in,
+                 nullptr);
+    grads.grad_x = grads.grad_x.reshape(x.shape());
+
+    // grad_W [out, in] = g^T [out, rows] @ x [rows, in].
+    grads.grad_weight = Tensor::zeros({out_f, in});
+    std::vector<float> gt(static_cast<size_t>(rows) * out_f);
+    transposePack(pg, gt.data(), rows, out_f);
+    gemmParallel(gt.data(), x2.data(), grads.grad_weight.data(), out_f, rows,
+                 in, nullptr);
+
     if (has_bias) {
+        // Column sums of g: chunks own disjoint output columns and walk
+        // the rows in fixed order — deterministic at any thread count.
         Tensor gb = Tensor::zeros({out_f});
-        const float* pg = g2.data();
-        float* pb = gb.data();
-        for (int64_t r = 0; r < rows; ++r) {
-            for (int64_t o = 0; o < out_f; ++o) {
-                pb[o] += pg[r * out_f + o];
+        float* pbias = gb.data();
+        support::parallelFor(0, out_f, 1 << 10, [&](int64_t lo, int64_t hi) {
+            for (int64_t r = 0; r < rows; ++r) {
+                const float* grow = pg + r * out_f;
+                for (int64_t o = lo; o < hi; ++o) {
+                    pbias[o] += grow[o];
+                }
             }
-        }
+        });
         grads.grad_bias = gb;
     }
     return grads;
@@ -469,19 +735,21 @@ softmax(const Tensor& a)
     Tensor out = Tensor::zeros(a.shape());
     const float* pa = a.data();
     float* po = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
-        const float* row = pa + r * d;
-        float* orow = po + r * d;
-        float max_v = row[0];
-        for (int64_t i = 1; i < d; ++i) max_v = std::max(max_v, row[i]);
-        double sum = 0.0;
-        for (int64_t i = 0; i < d; ++i) {
-            orow[i] = std::exp(row[i] - max_v);
-            sum += orow[i];
+    support::parallelFor(0, rows, rowGrain(d), [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+            const float* row = pa + r * d;
+            float* orow = po + r * d;
+            float max_v = row[0];
+            for (int64_t i = 1; i < d; ++i) max_v = std::max(max_v, row[i]);
+            double sum = 0.0;
+            for (int64_t i = 0; i < d; ++i) {
+                orow[i] = std::exp(row[i] - max_v);
+                sum += orow[i];
+            }
+            const float inv = static_cast<float>(1.0 / sum);
+            for (int64_t i = 0; i < d; ++i) orow[i] *= inv;
         }
-        const float inv = static_cast<float>(1.0 / sum);
-        for (int64_t i = 0; i < d; ++i) orow[i] *= inv;
-    }
+    });
     return out;
 }
 
@@ -494,16 +762,18 @@ softmaxBackward(const Tensor& grad, const Tensor& y)
     const float* pg = grad.data();
     const float* py = y.data();
     float* po = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
-        const float* gr = pg + r * d;
-        const float* yr = py + r * d;
-        float* orow = po + r * d;
-        double dot = 0.0;
-        for (int64_t i = 0; i < d; ++i) dot += gr[i] * yr[i];
-        for (int64_t i = 0; i < d; ++i) {
-            orow[i] = yr[i] * (gr[i] - static_cast<float>(dot));
+    support::parallelFor(0, rows, rowGrain(d), [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+            const float* gr = pg + r * d;
+            const float* yr = py + r * d;
+            float* orow = po + r * d;
+            double dot = 0.0;
+            for (int64_t i = 0; i < d; ++i) dot += gr[i] * yr[i];
+            for (int64_t i = 0; i < d; ++i) {
+                orow[i] = yr[i] * (gr[i] - static_cast<float>(dot));
+            }
         }
-    }
+    });
     return out;
 }
 
@@ -519,23 +789,28 @@ layerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps)
     const float* pg = gamma.data();
     const float* pb = beta.data();
     float* po = out.data();
-    for (int64_t r = 0; r < rows; ++r) {
-        const float* row = px + r * d;
-        float* orow = po + r * d;
-        double mean = 0.0;
-        for (int64_t i = 0; i < d; ++i) mean += row[i];
-        mean /= d;
-        double var = 0.0;
-        for (int64_t i = 0; i < d; ++i) {
-            const double c = row[i] - mean;
-            var += c * c;
+    support::parallelFor(0, rows, rowGrain(d), [&](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+            const float* row = px + r * d;
+            float* orow = po + r * d;
+            double mean = 0.0;
+            for (int64_t i = 0; i < d; ++i) mean += row[i];
+            mean /= d;
+            double var = 0.0;
+            for (int64_t i = 0; i < d; ++i) {
+                const double c = row[i] - mean;
+                var += c * c;
+            }
+            var /= d;
+            const float inv_std =
+                static_cast<float>(1.0 / std::sqrt(var + eps));
+            for (int64_t i = 0; i < d; ++i) {
+                orow[i] =
+                    (row[i] - static_cast<float>(mean)) * inv_std * pg[i] +
+                    pb[i];
+            }
         }
-        var /= d;
-        const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps));
-        for (int64_t i = 0; i < d; ++i) {
-            orow[i] = (row[i] - static_cast<float>(mean)) * inv_std * pg[i] + pb[i];
-        }
-    }
+    });
     return out;
 }
 
@@ -557,36 +832,58 @@ layerNormBackward(const Tensor& grad_out, const Tensor& x, const Tensor& gamma,
     float* pdg = grads.grad_gamma.data();
     float* pdb = grads.grad_beta.data();
 
-    for (int64_t r = 0; r < rows; ++r) {
-        const float* row = px + r * d;
-        const float* go = pgo + r * d;
-        float* dx = pdx + r * d;
-        double mean = 0.0;
-        for (int64_t i = 0; i < d; ++i) mean += row[i];
-        mean /= d;
-        double var = 0.0;
-        for (int64_t i = 0; i < d; ++i) {
-            const double c = row[i] - mean;
-            var += c * c;
-        }
-        var /= d;
-        const double inv_std = 1.0 / std::sqrt(var + eps);
+    // grad_x rows are independent; grad_gamma / grad_beta accumulate
+    // across rows, so each chunk sums into a private partial buffer and
+    // the partials are folded in fixed chunk order afterwards. Chunk
+    // boundaries depend only on (rows, d), keeping the fold — and thus
+    // the result — bit-identical at any thread count.
+    const int64_t grain = rowGrain(d);
+    const int64_t num_chunks = support::chunkCountFor(0, rows, grain);
+    std::vector<float> partials(static_cast<size_t>(num_chunks) * 2 * d,
+                                0.0f);
 
-        double sum_gxhat = 0.0;
-        double sum_g = 0.0;
-        for (int64_t i = 0; i < d; ++i) {
-            const double xhat = (row[i] - mean) * inv_std;
-            const double g = go[i] * pg[i];
-            sum_gxhat += g * xhat;
-            sum_g += g;
-            pdg[i] += static_cast<float>(go[i] * xhat);
-            pdb[i] += go[i];
+    support::parallelFor(0, rows, grain, [&](int64_t lo, int64_t hi) {
+        float* part_dg = partials.data() + (lo / grain) * 2 * d;
+        float* part_db = part_dg + d;
+        for (int64_t r = lo; r < hi; ++r) {
+            const float* row = px + r * d;
+            const float* go = pgo + r * d;
+            float* dx = pdx + r * d;
+            double mean = 0.0;
+            for (int64_t i = 0; i < d; ++i) mean += row[i];
+            mean /= d;
+            double var = 0.0;
+            for (int64_t i = 0; i < d; ++i) {
+                const double c = row[i] - mean;
+                var += c * c;
+            }
+            var /= d;
+            const double inv_std = 1.0 / std::sqrt(var + eps);
+
+            double sum_gxhat = 0.0;
+            double sum_g = 0.0;
+            for (int64_t i = 0; i < d; ++i) {
+                const double xhat = (row[i] - mean) * inv_std;
+                const double g = go[i] * pg[i];
+                sum_gxhat += g * xhat;
+                sum_g += g;
+                part_dg[i] += static_cast<float>(go[i] * xhat);
+                part_db[i] += go[i];
+            }
+            for (int64_t i = 0; i < d; ++i) {
+                const double xhat = (row[i] - mean) * inv_std;
+                const double g = go[i] * pg[i];
+                dx[i] = static_cast<float>(
+                    inv_std * (g - sum_g / d - xhat * sum_gxhat / d));
+            }
         }
+    });
+    for (int64_t c = 0; c < num_chunks; ++c) {
+        const float* part_dg = partials.data() + c * 2 * d;
+        const float* part_db = part_dg + d;
         for (int64_t i = 0; i < d; ++i) {
-            const double xhat = (row[i] - mean) * inv_std;
-            const double g = go[i] * pg[i];
-            dx[i] = static_cast<float>(
-                inv_std * (g - sum_g / d - xhat * sum_gxhat / d));
+            pdg[i] += part_dg[i];
+            pdb[i] += part_db[i];
         }
     }
     return grads;
@@ -872,8 +1169,15 @@ conv2d(const Tensor& x, const Tensor& w, int64_t stride, int64_t pad)
     const float* px = x.data();
     const float* pw = w.data();
     float* po = out.data();
-    for (int64_t b = 0; b < B; ++b) {
-        for (int64_t co = 0; co < Cout; ++co) {
+    // One unit = one (batch, out-channel) output plane: units write
+    // disjoint planes and each output pixel keeps its fixed
+    // ci -> kh -> kw accumulation order, so any partitioning is
+    // bit-deterministic.
+    support::parallelFor(0, B * Cout, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t u = lo; u < hi; ++u) {
+        const int64_t b = u / Cout;
+        const int64_t co = u % Cout;
+        {
             for (int64_t ho = 0; ho < Ho; ++ho) {
                 for (int64_t wo = 0; wo < Wo; ++wo) {
                     double acc = 0.0;
@@ -894,7 +1198,8 @@ conv2d(const Tensor& x, const Tensor& w, int64_t stride, int64_t pad)
                 }
             }
         }
-    }
+      }
+    });
     return out;
 }
 
@@ -911,7 +1216,10 @@ batchNorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps)
     const float* pb = beta.data();
     float* po = out.data();
     const int64_t per_c = B * H * W;
-    for (int64_t c = 0; c < C; ++c) {
+    // Channels are fully independent (each owns its statistics and its
+    // strided output slice), so the channel loop parallelizes directly.
+    support::parallelFor(0, C, 1, [&](int64_t c_lo, int64_t c_hi) {
+      for (int64_t c = c_lo; c < c_hi; ++c) {
         double mean = 0.0;
         for (int64_t b = 0; b < B; ++b) {
             for (int64_t i = 0; i < H * W; ++i) {
@@ -935,7 +1243,8 @@ batchNorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps)
                           pb[c];
             }
         }
-    }
+      }
+    });
     return out;
 }
 

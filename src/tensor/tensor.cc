@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "support/parallel.h"
+
 namespace slapo {
 
 int64_t
@@ -196,18 +198,22 @@ Tensor::addInPlace(const Tensor& other)
                                               << shapeToString(other.shape_));
     float* dst = data();
     const float* src = other.data();
-    for (int64_t i = 0; i < numel(); ++i) {
-        dst[i] += src[i];
-    }
+    support::parallelFor(0, numel(), 1 << 15, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            dst[i] += src[i];
+        }
+    });
 }
 
 void
 Tensor::scaleInPlace(float factor)
 {
     float* dst = data();
-    for (int64_t i = 0; i < numel(); ++i) {
-        dst[i] *= factor;
-    }
+    support::parallelFor(0, numel(), 1 << 15, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+            dst[i] *= factor;
+        }
+    });
 }
 
 float
