@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build the whole tree under ThreadSanitizer and run the tier-1 test
+# suite. The thread-per-rank collectives, the ProcessGroup abort/timeout
+# paths, and the pipeline queues are exactly where TSan earns its keep —
+# this is the gate for any change to src/runtime/ concurrency.
+#
+# Usage: bench/run_tsan.sh [extra ctest args, e.g. -R Fault]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-tsan"
+
+cmake -B "${BUILD}" -S "${ROOT}" -G Ninja \
+    -DSLAPO_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" -j
+
+# Second-guess TSan's default behaviour of continuing after a report:
+# any race fails the run.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 abort_on_error=1}"
+
+ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)" "$@"

@@ -1,0 +1,116 @@
+/**
+ * Fault-tolerant data-parallel training (docs/ROBUSTNESS.md).
+ *
+ * Trains a tiny BERT on two simulated ranks with per-step checkpoints,
+ * kills rank 1 *inside* a gradient all-reduce at step 2, and lets the
+ * trainer restore + replay. The run then repeats without any fault and
+ * prints whether the two final parameter sets are bitwise identical —
+ * the headline guarantee of the recovery path.
+ *
+ * Faults can also be injected from the environment, e.g.:
+ *   SLAPO_FAILPOINTS="trainer.step@1:throw" build/examples/fault_tolerant_training
+ */
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+
+#include "models/registry.h"
+#include "runtime/trainer.h"
+#include "support/failpoint.h"
+
+using namespace slapo;
+namespace fp = support::failpoint;
+
+namespace {
+
+nn::ModulePtr
+buildModel()
+{
+    auto model = runtime::withCrossEntropyLoss(models::buildTinyModel("bert"));
+    model->initializeParams(42);
+    return model;
+}
+
+/** Deterministic per-rank batches: same step index => same data, which
+ * is what makes replay after a restore bit-exact. */
+std::vector<std::vector<Tensor>>
+rankBatches(int64_t step)
+{
+    std::vector<std::vector<Tensor>> per_rank;
+    for (int64_t r = 0; r < 2; ++r) {
+        per_rank.push_back(
+            {Tensor::randint({1, 8}, 64, 1000 + 10 * step + r),
+             Tensor::randint({1, 8}, 64, 2000 + 10 * step + r)});
+    }
+    return per_rank;
+}
+
+bool
+bitwiseEqualParams(nn::Module& a, nn::Module& b)
+{
+    auto pa = a.namedParams();
+    auto pb = b.namedParams();
+    if (pa.size() != pb.size()) return false;
+    for (size_t i = 0; i < pa.size(); ++i) {
+        const Tensor& ta = *pa[i].second;
+        const Tensor& tb = *pb[i].second;
+        if (ta.shape() != tb.shape() ||
+            std::memcmp(ta.data(), tb.data(),
+                        sizeof(float) * static_cast<size_t>(ta.numel())) != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int64_t steps = 4;
+    AdamWConfig config;
+    config.lr = 5e-3f;
+
+    // Reference: an uninterrupted run.
+    auto ref_model = buildModel();
+    runtime::DataParallelTrainer reference(*ref_model, 2, config);
+    for (int64_t s = 0; s < steps; ++s) {
+        auto stats = reference.step(rankBatches(s));
+        std::cout << "reference step " << s << ": loss = " << stats.loss
+                  << "\n";
+    }
+
+    // Faulty run: checkpoint every step, kill rank 1 mid all-reduce.
+    runtime::RecoveryOptions recovery;
+    recovery.checkpoint_every = 1;
+    recovery.checkpoint_dir =
+        (std::filesystem::temp_directory_path() / "slapo_ft_example").string();
+    std::filesystem::remove_all(recovery.checkpoint_dir);
+    recovery.max_retries = 2;
+
+    auto model = buildModel();
+    runtime::DataParallelTrainer trainer(*model, 2, config, recovery);
+
+    const int64_t grads_per_step =
+        static_cast<int64_t>(model->namedParams().size());
+    fp::Spec kill;
+    kill.at = 2 * grads_per_step + 1; // second gradient exchange of step 2
+    kill.action = fp::Action::Kill;
+    kill.rank = 1;
+    fp::enable("pg.allreduce", kill);
+
+    runtime::TrainRunStats run = trainer.trainSteps(rankBatches, steps);
+    fp::clearAll();
+
+    std::cout << "faulty run: " << run.steps_run << " steps, "
+              << run.recoveries << " recovery (rank 1 killed in all-reduce"
+              << " at step 2, restored from "
+              << recovery.checkpoint_dir << ")\n";
+    std::cout << "final loss = " << run.last.loss << "\n";
+    const bool identical =
+        bitwiseEqualParams(trainer.replica(0), reference.replica(0));
+    std::cout << "params bitwise identical to uninterrupted run: "
+              << (identical ? "yes" : "NO") << "\n";
+    return identical ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Bit-exact training checkpoints — serialize model parameters, AdamW
+ * moments, and the step counters to a versioned binary file so a failed
+ * run resumes with *bitwise identical* results (docs/ROBUSTNESS.md).
+ *
+ * File format (little-endian, version 1):
+ *   u32 magic "SLPC"   u32 version   i64 step   i64 optimizer_steps
+ *   u64 num_tensors
+ *   per tensor: u32 name_len, name bytes, u32 ndim, i64 dims[ndim],
+ *               u32 crc32(payload), f32 payload[numel]
+ *
+ * Durability: the file is written to `<path>.tmp` and atomically renamed
+ * into place, so a crash mid-write can never destroy the previous good
+ * checkpoint. Every tensor payload carries its own CRC-32; a flipped bit
+ * anywhere makes `loadCheckpoint` throw CheckpointError, and the
+ * trainer's recovery loop falls back to the next-older checkpoint.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/optim.h"
+#include "tensor/tensor.h"
+
+namespace slapo {
+namespace runtime {
+
+/** Checkpoint magic number ("SLPC" big-endian in the file header). */
+constexpr uint32_t kCheckpointMagic = 0x534C5043u;
+/** Current checkpoint format version. */
+constexpr uint32_t kCheckpointVersion = 1;
+
+/** One named tensor inside a checkpoint. */
+struct CheckpointEntry
+{
+    std::string name;
+    Tensor tensor;
+};
+
+/** Everything needed to resume training bit-exactly. */
+struct CheckpointState
+{
+    /** Trainer step the state corresponds to (state *before* this step). */
+    int64_t step = 0;
+    /** AdamW bias-correction counter. */
+    int64_t optimizer_steps = 0;
+    /** Parameters and optimizer moments, in a fixed order. */
+    std::vector<CheckpointEntry> tensors;
+};
+
+/** Serialize `state` to `path` (atomic tmp-file + rename, per-tensor CRC).
+ * Throws CheckpointError on I/O failure. */
+void saveCheckpoint(const std::string& path, const CheckpointState& state);
+
+/** Load and verify a checkpoint. Throws CheckpointError on a missing
+ * file, bad magic/version, truncation, or CRC mismatch. */
+CheckpointState loadCheckpoint(const std::string& path);
+
+/** Checkpoint file name for a given step, e.g. "ckpt-000042.slpc". */
+std::string checkpointFileName(int64_t step);
+
+/** All "ckpt-*.slpc" files in `dir` as (step, path), ascending by step.
+ * Returns empty (not an error) if the directory does not exist. */
+std::vector<std::pair<int64_t, std::string>> listCheckpoints(
+    const std::string& dir);
+
+/**
+ * Snapshot trainer state: every named parameter plus its AdamW moments
+ * (entries "<path>", "<path>.m", "<path>.v" per parameter, in
+ * registration order — AdamW slot i must correspond to params[i]).
+ */
+CheckpointState captureTrainerState(
+    int64_t step, const std::vector<std::pair<std::string, Tensor*>>& params,
+    AdamW& optimizer);
+
+/**
+ * Inverse of captureTrainerState: copy the checkpointed values back into
+ * the live parameter/moment storages (in place — storage identity, and
+ * therefore optimizer/module aliasing, is preserved) and restore the
+ * optimizer step counter. Throws CheckpointError on any layout mismatch.
+ */
+void restoreTrainerState(
+    const CheckpointState& state,
+    const std::vector<std::pair<std::string, Tensor*>>& params,
+    AdamW& optimizer);
+
+} // namespace runtime
+} // namespace slapo

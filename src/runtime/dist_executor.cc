@@ -3,13 +3,14 @@
 #include <exception>
 #include <thread>
 
+#include "support/failpoint.h"
 #include "tensor/ops.h"
 
 namespace slapo {
 namespace runtime {
 
-DistExecutor::DistExecutor(int world_size)
-    : world_size_(world_size), group_(world_size)
+DistExecutor::DistExecutor(int world_size, ProcessGroupOptions options)
+    : world_size_(world_size), group_(world_size, options)
 {
     SLAPO_CHECK(world_size >= 1, "DistExecutor: world size must be >= 1");
 }
@@ -90,19 +91,47 @@ DistExecutor::run(const std::vector<nn::ModulePtr>& replicas, const RankFn& fn)
             context.group = &group_;
             nn::DistGuard guard(&context);
             try {
+                support::failpoint::hit("executor.rank", r);
                 fn(r, *replicas[r], group_);
+            } catch (const std::exception& e) {
+                errors[r] = std::current_exception();
+                // Contain the failure: unblock peers stuck waiting for
+                // this rank in a collective.
+                group_.abort("executor.rank", r, e.what());
             } catch (...) {
                 errors[r] = std::current_exception();
+                group_.abort("executor.rank", r, "unknown error");
             }
         });
     }
     for (auto& t : threads) {
         t.join();
     }
+    // Rethrow the *originating* failure: a non-CollectiveError if any
+    // rank has one (victim ranks observe secondary CollectiveErrors),
+    // else the first CollectiveError — all copies carry the origin's
+    // (site, rank, generation) anyway.
+    std::exception_ptr primary;
+    std::exception_ptr first;
     for (auto& e : errors) {
-        if (e) {
-            std::rethrow_exception(e);
+        if (!e) {
+            continue;
         }
+        if (!first) {
+            first = e;
+        }
+        if (!primary) {
+            try {
+                std::rethrow_exception(e);
+            } catch (const CollectiveError&) {
+            } catch (...) {
+                primary = e;
+            }
+        }
+    }
+    if (first) {
+        group_.reset(); // leave the group reusable for a retried step
+        std::rethrow_exception(primary ? primary : first);
     }
 }
 

@@ -26,9 +26,12 @@ namespace runtime {
 class DistExecutor
 {
   public:
-    explicit DistExecutor(int world_size);
+    explicit DistExecutor(int world_size, ProcessGroupOptions options = {});
 
     int worldSize() const { return world_size_; }
+
+    /** The executor's collective group (e.g. to tune its timeout). */
+    ProcessGroup& group() { return group_; }
 
     /**
      * Clone the scheduled model once per rank and narrow every sharded
@@ -42,7 +45,14 @@ class DistExecutor
     using RankFn =
         std::function<void(int rank, nn::Module& model, ProcessGroup& group)>;
 
-    /** Run `fn` on all ranks; rethrows the first rank exception. */
+    /**
+     * Run `fn` on all ranks. Failure containment: the first rank whose
+     * body throws aborts the ProcessGroup, so peers blocked in a
+     * collective fail fast with a CollectiveError instead of hanging.
+     * All rank threads are always joined; the originating failure is
+     * rethrown (victims' CollectiveErrors are secondary) and the group
+     * is reset so the executor stays usable for a retry.
+     */
     void run(const std::vector<nn::ModulePtr>& replicas, const RankFn& fn);
 
     /**

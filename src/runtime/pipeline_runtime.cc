@@ -7,6 +7,8 @@
 #include <optional>
 #include <thread>
 
+#include "support/failpoint.h"
+
 namespace slapo {
 namespace runtime {
 
@@ -18,22 +20,29 @@ class TupleQueue
   public:
     explicit TupleQueue(size_t capacity) : capacity_(capacity) {}
 
+    /** Blocks while full; silently drops the tuple once aborted. */
     void
     push(std::vector<Tensor> tuple)
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        not_full_.wait(lock, [&] { return items_.size() < capacity_; });
+        not_full_.wait(lock,
+                       [&] { return items_.size() < capacity_ || aborted_; });
+        if (aborted_) {
+            return;
+        }
         items_.push_back(std::move(tuple));
         not_empty_.notify_one();
     }
 
-    /** Returns nullopt once closed and drained. */
+    /** Returns nullopt once closed and drained, or immediately after an
+     * abort (in-flight tuples are discarded — fail fast). */
     std::optional<std::vector<Tensor>>
     pop()
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-        if (items_.empty()) {
+        not_empty_.wait(lock,
+                        [&] { return !items_.empty() || closed_ || aborted_; });
+        if (aborted_ || items_.empty()) {
             return std::nullopt;
         }
         std::vector<Tensor> tuple = std::move(items_.front());
@@ -50,6 +59,16 @@ class TupleQueue
         not_empty_.notify_all();
     }
 
+    /** Failure containment: unblock every producer and consumer. */
+    void
+    abort()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        aborted_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
   private:
     size_t capacity_;
     std::mutex mutex_;
@@ -57,6 +76,7 @@ class TupleQueue
     std::condition_variable not_empty_;
     std::deque<std::vector<Tensor>> items_;
     bool closed_ = false;
+    bool aborted_ = false;
 };
 
 } // namespace
@@ -88,6 +108,10 @@ PipelineRuntime::forward(const std::vector<std::vector<Tensor>>& micro_batches)
         workers.emplace_back([&, s] {
             try {
                 while (auto tuple = queues[s]->pop()) {
+                    // Stage handoff failpoint: rank = stage index, one
+                    // invocation per micro-batch this stage consumes.
+                    support::failpoint::hit("pipeline.stage",
+                                            static_cast<int>(s));
                     if (s == 0) {
                         const int now = in_flight.fetch_add(1) + 1;
                         int expected = peak.load();
@@ -114,21 +138,40 @@ PipelineRuntime::forward(const std::vector<std::vector<Tensor>>& micro_batches)
                 queues[s + 1]->close();
             } catch (...) {
                 errors[s] = std::current_exception();
-                queues[s + 1]->close();
+                // A dead stage starves its consumers *and* back-pressures
+                // its producers (bounded queues). Abort every queue so
+                // the feeder, the peers, and the collector all unblock —
+                // the run fails in milliseconds instead of deadlocking.
+                for (auto& q : queues) {
+                    q->abort();
+                }
             }
         });
     }
 
-    // Feed micro-batches (bounded queues apply GPipe back-pressure).
-    for (const auto& micro : micro_batches) {
-        queues[0]->push(micro);
-    }
-    queues[0]->close();
+    // Feed micro-batches from a dedicated thread (bounded queues apply
+    // GPipe back-pressure). The collector below must drain outputs
+    // concurrently: with the whole pipeline holding at most
+    // (num_stages + 1) * capacity + num_stages tuples, feeding everything
+    // before draining would deadlock once micro_batches exceeds that.
+    std::thread feeder([&] {
+        try {
+            for (const auto& micro : micro_batches) {
+                queues[0]->push(micro);
+            }
+        } catch (...) {
+            for (auto& q : queues) {
+                q->abort();
+            }
+        }
+        queues[0]->close();
+    });
 
     PipelineRunResult result;
     while (auto tuple = queues[num_stages]->pop()) {
         result.outputs.push_back(std::move(*tuple));
     }
+    feeder.join();
     for (auto& worker : workers) {
         worker.join();
     }

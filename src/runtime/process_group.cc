@@ -1,35 +1,202 @@
 #include "runtime/process_group.h"
 
+#include <chrono>
+
+#include "support/failpoint.h"
 #include "tensor/ops.h"
 
 namespace slapo {
 namespace runtime {
 
-ProcessGroup::ProcessGroup(int world_size)
-    : world_size_(world_size), slots_(world_size), results_(world_size)
+namespace {
+
+/** allReduce / broadcast / barrier: deposits must match exactly. */
+std::string
+validateSameShape(const Tensor& ref, const Tensor& mine)
+{
+    if (mine.shape() != ref.shape()) {
+        return (detail::MessageBuilder()
+                << "tensor shape " << shapeToString(mine.shape())
+                << " does not match the group's shape "
+                << shapeToString(ref.shape()))
+            .str();
+    }
+    return {};
+}
+
+/** allGather(axis): extents must agree everywhere except `axis`. */
+std::string
+validateGatherShape(const Tensor& ref, const Tensor& mine, int64_t axis)
+{
+    const Shape& a = ref.shape();
+    const Shape& b = mine.shape();
+    const int64_t resolved =
+        axis < 0 ? axis + static_cast<int64_t>(a.size()) : axis;
+    if (a.size() != b.size()) {
+        return (detail::MessageBuilder()
+                << "tensor rank " << b.size() << " does not match the group's "
+                << a.size())
+            .str();
+    }
+    for (size_t d = 0; d < a.size(); ++d) {
+        if (static_cast<int64_t>(d) != resolved && a[d] != b[d]) {
+            return (detail::MessageBuilder()
+                    << "non-concat extent mismatch at dim " << d << ": "
+                    << shapeToString(b) << " vs " << shapeToString(a)
+                    << " (concat axis " << axis << ")")
+                .str();
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+ProcessGroup::ProcessGroup(int world_size, ProcessGroupOptions options)
+    : world_size_(world_size), timeout_ms_(options.timeout_ms),
+      slots_(world_size), results_(world_size)
 {
     SLAPO_CHECK(world_size >= 1, "ProcessGroup: world size must be >= 1");
 }
 
+void
+ProcessGroup::setTimeout(int64_t timeout_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    timeout_ms_ = timeout_ms;
+}
+
+void
+ProcessGroup::abortLocked(const std::string& site, int rank,
+                          const std::string& reason)
+{
+    if (aborted_) {
+        return; // first failure wins; later ones are echoes
+    }
+    aborted_ = true;
+    abort_site_ = site;
+    abort_rank_ = rank;
+    abort_generation_ = generation_;
+    abort_reason_ = reason;
+    cv_.notify_all();
+}
+
+void
+ProcessGroup::abort(const std::string& site, int rank,
+                    const std::string& reason)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    abortLocked(site, rank, reason);
+}
+
+bool
+ProcessGroup::aborted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return aborted_;
+}
+
+int
+ProcessGroup::abortRank() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return aborted_ ? abort_rank_ : -1;
+}
+
+void
+ProcessGroup::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = false;
+    abort_site_.clear();
+    abort_rank_ = -1;
+    abort_reason_.clear();
+    arrived_ = 0;
+    first_rank_ = -1;
+    // Advance the generation so a stale waiter (there should be none —
+    // reset() requires all rank threads joined) can never confuse a
+    // pre-abort collective with a post-reset one.
+    ++generation_;
+    for (Tensor& slot : slots_) {
+        slot = Tensor();
+    }
+}
+
+void
+ProcessGroup::throwAborted() const
+{
+    throw CollectiveError(abort_site_, abort_rank_, abort_generation_,
+                          abort_reason_);
+}
+
 Tensor
-ProcessGroup::rendezvous(int rank, const Tensor& tensor,
-                         const ComputeFn& compute)
+ProcessGroup::rendezvous(const char* site, int rank, const Tensor& tensor,
+                         const ValidateFn& validate, const ComputeFn& compute)
 {
     SLAPO_CHECK(rank >= 0 && rank < world_size_,
                 "ProcessGroup: bad rank " << rank);
+    support::failpoint::hit(site, rank);
     if (world_size_ == 1) {
         return compute({tensor})[0];
     }
     std::unique_lock<std::mutex> lock(mutex_);
+    if (aborted_) {
+        throwAborted();
+    }
+    if (!tensor.materialized()) {
+        abortLocked(site, rank, "rank deposited a meta (storage-less) tensor");
+        throwAborted();
+    }
+    if (arrived_ > 0 && validate) {
+        std::string mismatch = validate(slots_[first_rank_], tensor);
+        if (!mismatch.empty()) {
+            // Name the offending rank and unblock the peers: they cannot
+            // complete this collective anymore.
+            abortLocked(site, rank,
+                        "rank " + std::to_string(rank) + ": " + mismatch +
+                            " (reference deposit from rank " +
+                            std::to_string(first_rank_) + ")");
+            throwAborted();
+        }
+    }
     slots_[rank] = tensor;
+    if (arrived_ == 0) {
+        first_rank_ = rank;
+    }
     const int64_t my_generation = generation_;
     if (++arrived_ == world_size_) {
-        results_ = compute(slots_);
+        try {
+            results_ = compute(slots_);
+        } catch (const std::exception& e) {
+            arrived_ = 0;
+            abortLocked(site, rank, e.what());
+            throwAborted();
+        }
         arrived_ = 0;
+        first_rank_ = -1;
         ++generation_;
         cv_.notify_all();
     } else {
-        cv_.wait(lock, [&] { return generation_ != my_generation; });
+        auto ready = [&] { return generation_ != my_generation || aborted_; };
+        if (timeout_ms_ > 0) {
+            if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms_),
+                              ready)) {
+                abortLocked(site, rank,
+                            "rank " + std::to_string(rank) +
+                                " timed out after " +
+                                std::to_string(timeout_ms_) +
+                                "ms waiting for peers");
+                throwAborted();
+            }
+        } else {
+            cv_.wait(lock, ready);
+        }
+        // A completed collective beats a later abort: if the generation
+        // advanced, this rank's result is valid even if the group was
+        // aborted afterwards.
+        if (generation_ == my_generation) {
+            throwAborted();
+        }
     }
     // Read under the lock: the next collective cannot overwrite results_
     // until every rank of this one has re-entered rendezvous, which
@@ -43,19 +210,23 @@ ProcessGroup::rendezvous(int rank, const Tensor& tensor,
 Tensor
 ProcessGroup::allReduce(int rank, const Tensor& tensor)
 {
-    return rendezvous(rank, tensor, [this](const std::vector<Tensor>& slots) {
-        Tensor sum = slots[0].clone();
-        for (int r = 1; r < world_size_; ++r) {
-            sum.addInPlace(slots[r]);
-        }
-        return std::vector<Tensor>(world_size_, sum);
-    });
+    return rendezvous("pg.allreduce", rank, tensor, validateSameShape,
+                      [this](const std::vector<Tensor>& slots) {
+                          Tensor sum = slots[0].clone();
+                          for (int r = 1; r < world_size_; ++r) {
+                              sum.addInPlace(slots[r]);
+                          }
+                          return std::vector<Tensor>(world_size_, sum);
+                      });
 }
 
 Tensor
 ProcessGroup::allGather(int rank, const Tensor& tensor, int64_t axis)
 {
-    return rendezvous(rank, tensor,
+    return rendezvous("pg.allgather", rank, tensor,
+                      [axis](const Tensor& ref, const Tensor& mine) {
+                          return validateGatherShape(ref, mine, axis);
+                      },
                       [this, axis](const std::vector<Tensor>& slots) {
                           Tensor gathered = ops::concat(slots, axis);
                           return std::vector<Tensor>(world_size_, gathered);
@@ -65,7 +236,7 @@ ProcessGroup::allGather(int rank, const Tensor& tensor, int64_t axis)
 Tensor
 ProcessGroup::reduceScatter(int rank, const Tensor& tensor, int64_t axis)
 {
-    return rendezvous(rank, tensor,
+    return rendezvous("pg.reducescatter", rank, tensor, validateSameShape,
                       [this, axis](const std::vector<Tensor>& slots) {
                           Tensor sum = slots[0].clone();
                           for (int r = 1; r < world_size_; ++r) {
@@ -78,7 +249,7 @@ ProcessGroup::reduceScatter(int rank, const Tensor& tensor, int64_t axis)
 Tensor
 ProcessGroup::broadcast(int rank, const Tensor& tensor, int root)
 {
-    return rendezvous(rank, tensor,
+    return rendezvous("pg.broadcast", rank, tensor, validateSameShape,
                       [this, root](const std::vector<Tensor>& slots) {
                           return std::vector<Tensor>(world_size_, slots[root]);
                       });
@@ -87,7 +258,7 @@ ProcessGroup::broadcast(int rank, const Tensor& tensor, int root)
 void
 ProcessGroup::barrier()
 {
-    rendezvous(0 /*unused*/, Tensor::zeros({1}),
+    rendezvous("pg.barrier", 0 /*unused*/, Tensor::zeros({1}), nullptr,
                [this](const std::vector<Tensor>&) {
                    return std::vector<Tensor>(world_size_, Tensor::zeros({1}));
                });

@@ -8,12 +8,23 @@
  * point: every rank deposits its tensor, the last arrival computes the
  * collective, and all ranks pick up their result. Determinism: reductions
  * always sum in rank order.
+ *
+ * Fault tolerance (docs/ROBUSTNESS.md): a rendezvous never blocks
+ * forever. Deposits are validated against the first arrival's shape, a
+ * configurable timeout bounds every wait, and `abort()` broadcasts the
+ * first failure to all peers as a typed CollectiveError carrying (site,
+ * origin rank, generation). After all rank threads have joined, `reset()`
+ * makes the group reusable for the next (retried) collective sequence.
+ * Every collective entry is also a failpoint site ("pg.<collective>",
+ * see support/failpoint.h) so recovery paths are deterministically
+ * testable.
  */
 #pragma once
 
 #include <condition_variable>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -21,13 +32,27 @@
 namespace slapo {
 namespace runtime {
 
+/** Tunables of a ProcessGroup's failure behaviour. */
+struct ProcessGroupOptions
+{
+    /**
+     * Max milliseconds a rank waits inside one collective for its peers
+     * before it aborts the group with a CollectiveError. <= 0 waits
+     * forever (the pre-fault-tolerance behaviour).
+     */
+    int64_t timeout_ms = 60000;
+};
+
 /** A fixed-size group of ranks exchanging collectives. */
 class ProcessGroup
 {
   public:
-    explicit ProcessGroup(int world_size);
+    explicit ProcessGroup(int world_size, ProcessGroupOptions options = {});
 
     int worldSize() const { return world_size_; }
+
+    /** Change the rendezvous timeout (takes effect on the next wait). */
+    void setTimeout(int64_t timeout_ms);
 
     /** Elementwise sum across ranks; every rank gets the full result. */
     Tensor allReduce(int rank, const Tensor& tensor);
@@ -44,20 +69,61 @@ class ProcessGroup
     /** Synchronize all ranks without exchanging data. */
     void barrier();
 
+    /**
+     * Broadcast a failure to the group: every rank blocked in — or later
+     * entering — a collective throws a CollectiveError carrying this
+     * (site, rank, reason). First abort wins; later ones are ignored.
+     * Safe to call from any thread (typically a failed rank's handler).
+     */
+    void abort(const std::string& site, int rank, const std::string& reason);
+
+    /** True once the group has been aborted and not yet reset. */
+    bool aborted() const;
+
+    /** Rank that first aborted the group (-1 if not aborted). */
+    int abortRank() const;
+
+    /**
+     * Clear the abort flag and any half-deposited collective so the
+     * group can be reused. Call only after every rank thread has been
+     * joined — concurrent use during reset is undefined.
+     */
+    void reset();
+
   private:
     using ComputeFn =
         std::function<std::vector<Tensor>(const std::vector<Tensor>&)>;
+    /** Returns "" when `mine` is compatible with reference deposit `ref`,
+     * else a description of the mismatch. */
+    using ValidateFn =
+        std::function<std::string(const Tensor& ref, const Tensor& mine)>;
 
     /** Deposit, wait for all ranks, return this rank's result. */
-    Tensor rendezvous(int rank, const Tensor& tensor, const ComputeFn& compute);
+    Tensor rendezvous(const char* site, int rank, const Tensor& tensor,
+                      const ValidateFn& validate, const ComputeFn& compute);
+
+    /** Pre-locked abort; first caller records the origin info. */
+    void abortLocked(const std::string& site, int rank,
+                     const std::string& reason);
+
+    /** Throw the recorded abort as a CollectiveError (requires aborted_). */
+    [[noreturn]] void throwAborted() const;
 
     int world_size_;
-    std::mutex mutex_;
+    int64_t timeout_ms_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::vector<Tensor> slots_;
     std::vector<Tensor> results_;
     int arrived_ = 0;
+    int first_rank_ = -1; ///< first depositor of the open collective
     int64_t generation_ = 0;
+
+    bool aborted_ = false;
+    std::string abort_site_;
+    int abort_rank_ = -1;
+    int64_t abort_generation_ = 0;
+    std::string abort_reason_;
 };
 
 } // namespace runtime

@@ -1,12 +1,93 @@
 #include "runtime/trainer.h"
 
 #include <algorithm>
+#include <exception>
+#include <filesystem>
+
+#include "runtime/checkpoint.h"
+#include "support/failpoint.h"
 
 namespace slapo {
 namespace runtime {
 
-Trainer::Trainer(nn::ModulePtr model, AdamWConfig config)
-    : model_(std::move(model)), optimizer_(config)
+namespace {
+
+/**
+ * The recovery state machine shared by both trainers
+ * (docs/ROBUSTNESS.md): RUN a step; on failure RESTORE the newest
+ * loadable checkpoint (corrupt files are skipped) and REPLAY from its
+ * step. Deterministic steps + bit-exact checkpoints make the replayed
+ * trajectory identical to an uninterrupted run.
+ */
+TrainRunStats
+runWithRecovery(
+    const RecoveryOptions& recovery, const BatchProvider& batches,
+    int64_t num_steps,
+    const std::function<TrainStepStats(const std::vector<std::vector<Tensor>>&)>&
+        do_step,
+    const std::function<CheckpointState(int64_t)>& capture,
+    const std::function<void(const CheckpointState&)>& restore)
+{
+    SLAPO_CHECK(batches != nullptr, "trainSteps: null batch provider");
+    const bool enabled = !recovery.checkpoint_dir.empty();
+    const std::filesystem::path dir(recovery.checkpoint_dir);
+    if (enabled) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+    }
+    auto save_at = [&](int64_t step) {
+        saveCheckpoint((dir / checkpointFileName(step)).string(),
+                       capture(step));
+    };
+
+    TrainRunStats stats;
+    int64_t step = 0;
+    while (step < num_steps) {
+        if (enabled && recovery.checkpoint_every > 0 &&
+            step % recovery.checkpoint_every == 0) {
+            save_at(step);
+        }
+        try {
+            stats.last = do_step(batches(step));
+            ++step;
+            ++stats.steps_run;
+        } catch (...) {
+            std::exception_ptr original = std::current_exception();
+            if (!enabled || stats.recoveries >= recovery.max_retries) {
+                std::rethrow_exception(original);
+            }
+            bool restored = false;
+            auto checkpoints = listCheckpoints(recovery.checkpoint_dir);
+            for (auto it = checkpoints.rbegin(); it != checkpoints.rend();
+                 ++it) {
+                try {
+                    CheckpointState state = loadCheckpoint(it->second);
+                    restore(state);
+                    step = state.step;
+                    restored = true;
+                    break;
+                } catch (const CheckpointError&) {
+                    continue; // corrupt/unreadable: fall back to older
+                }
+            }
+            if (!restored) {
+                std::rethrow_exception(original);
+            }
+            ++stats.recoveries;
+        }
+    }
+    if (enabled && recovery.checkpoint_every > 0) {
+        save_at(num_steps); // durable final state for a later resume
+    }
+    return stats;
+}
+
+} // namespace
+
+Trainer::Trainer(nn::ModulePtr model, AdamWConfig config,
+                 RecoveryOptions recovery)
+    : model_(std::move(model)), optimizer_(config),
+      recovery_(std::move(recovery))
 {
     SLAPO_CHECK(model_ != nullptr, "Trainer: null model");
     params_ = model_->namedParams();
@@ -22,6 +103,7 @@ Trainer::Trainer(nn::ModulePtr model, AdamWConfig config)
 TrainStepStats
 Trainer::step(const std::vector<std::vector<Tensor>>& micro_batches)
 {
+    support::failpoint::hit("trainer.step");
     SLAPO_CHECK(!micro_batches.empty(), "Trainer: no micro-batches");
     TrainStepStats stats;
     stats.micro_batches = static_cast<int64_t>(micro_batches.size());
@@ -55,9 +137,26 @@ Trainer::step(const std::vector<std::vector<Tensor>>& micro_batches)
     return stats;
 }
 
+TrainRunStats
+Trainer::trainSteps(const BatchProvider& batches, int64_t num_steps)
+{
+    return runWithRecovery(
+        recovery_, batches, num_steps,
+        [this](const std::vector<std::vector<Tensor>>& micros) {
+            return step(micros);
+        },
+        [this](int64_t at_step) {
+            return captureTrainerState(at_step, params_, optimizer_);
+        },
+        [this](const CheckpointState& state) {
+            restoreTrainerState(state, params_, optimizer_);
+        });
+}
+
 DataParallelTrainer::DataParallelTrainer(const nn::Module& model,
-                                         int world_size, AdamWConfig config)
-    : executor_(world_size)
+                                         int world_size, AdamWConfig config,
+                                         RecoveryOptions recovery)
+    : executor_(world_size), recovery_(std::move(recovery))
 {
     // Pure data parallelism: every rank holds the full model. Combining
     // with tensor parallelism needs distinct DP/TP process groups, which
@@ -86,6 +185,7 @@ TrainStepStats
 DataParallelTrainer::step(
     const std::vector<std::vector<Tensor>>& per_rank_inputs)
 {
+    support::failpoint::hit("dp_trainer.step");
     const int world = executor_.worldSize();
     SLAPO_CHECK(static_cast<int>(per_rank_inputs.size()) == world,
                 "DataParallelTrainer: need one input tuple per rank");
@@ -118,6 +218,30 @@ DataParallelTrainer::step(
     }
     stats.loss /= world;
     return stats;
+}
+
+TrainRunStats
+DataParallelTrainer::trainSteps(const BatchProvider& batches,
+                                int64_t num_steps)
+{
+    return runWithRecovery(
+        recovery_, batches, num_steps,
+        [this](const std::vector<std::vector<Tensor>>& per_rank) {
+            return step(per_rank);
+        },
+        // Replicas are in lock-step between steps, so rank 0's state is
+        // the global state.
+        [this](int64_t at_step) {
+            return captureTrainerState(at_step, params_[0], *optimizers_[0]);
+        },
+        // A failed step can leave ranks diverged (some optimizers
+        // stepped, some not); restoring the checkpoint into every rank
+        // re-synchronizes them.
+        [this](const CheckpointState& state) {
+            for (size_t r = 0; r < params_.size(); ++r) {
+                restoreTrainerState(state, params_[r], *optimizers_[r]);
+            }
+        });
 }
 
 } // namespace runtime

@@ -31,12 +31,47 @@ struct TrainStepStats
     int64_t recomputed_nodes = 0;
 };
 
+/** Checkpoint/retry policy of the recovering train loops. */
+struct RecoveryOptions
+{
+    /**
+     * Save a checkpoint every N steps (including step 0, so the initial
+     * state is always recoverable). 0 disables periodic saving; restore
+     * from existing checkpoints in `checkpoint_dir` still works.
+     */
+    int64_t checkpoint_every = 0;
+    /** Directory for "ckpt-<step>.slpc" files. Empty disables recovery. */
+    std::string checkpoint_dir;
+    /** Failed steps tolerated across one trainSteps call before the
+     * original error is rethrown. */
+    int max_retries = 2;
+};
+
+/** Outcome of a recovering train loop. */
+struct TrainRunStats
+{
+    TrainStepStats last;     ///< stats of the final successful step
+    int64_t steps_run = 0;   ///< successful steps, including replayed ones
+    int recoveries = 0;      ///< times a failure was recovered from
+};
+
+/**
+ * Deterministic batch source for the recovering train loops: must return
+ * the same batches for the same step index, or replayed steps after a
+ * restore would diverge from the uninterrupted run.
+ * For Trainer: micro-batch input tuples. For DataParallelTrainer:
+ * per-rank input tuples.
+ */
+using BatchProvider =
+    std::function<std::vector<std::vector<Tensor>>(int64_t step)>;
+
 /** Single-process trainer: model must end in a scalar loss. */
 class Trainer
 {
   public:
     /** @param model a loss-headed model (see withCrossEntropyLoss). */
-    Trainer(nn::ModulePtr model, AdamWConfig config = {});
+    Trainer(nn::ModulePtr model, AdamWConfig config = {},
+            RecoveryOptions recovery = {});
 
     /**
      * One optimizer step over `micro_batches` input tuples (gradients
@@ -44,11 +79,24 @@ class Trainer
      */
     TrainStepStats step(const std::vector<std::vector<Tensor>>& micro_batches);
 
+    /**
+     * Run `num_steps` optimizer steps with checkpoint/restore recovery:
+     * checkpoints are written every `recovery.checkpoint_every` steps;
+     * when a step throws, the newest loadable checkpoint is restored
+     * (corrupt files are skipped) and training replays from there —
+     * bit-exactly, because parameters, AdamW moments, and both step
+     * counters round-trip through the checkpoint. Rethrows the step's
+     * error once `recovery.max_retries` is exhausted, or if no
+     * checkpoint can be restored.
+     */
+    TrainRunStats trainSteps(const BatchProvider& batches, int64_t num_steps);
+
     nn::Module& model() { return *model_; }
 
   private:
     nn::ModulePtr model_;
     AdamW optimizer_;
+    RecoveryOptions recovery_;
     std::vector<std::pair<std::string, Tensor*>> params_;
 };
 
@@ -62,7 +110,7 @@ class DataParallelTrainer
 {
   public:
     DataParallelTrainer(const nn::Module& model, int world_size,
-                        AdamWConfig config = {});
+                        AdamWConfig config = {}, RecoveryOptions recovery = {});
 
     /**
      * One step; `per_rank_inputs[r]` is rank r's input tuple.
@@ -71,12 +119,27 @@ class DataParallelTrainer
     TrainStepStats step(
         const std::vector<std::vector<Tensor>>& per_rank_inputs);
 
+    /**
+     * Recovering train loop (see Trainer::trainSteps); `batches(step)`
+     * returns the per-rank input tuples of that step. Recovery covers
+     * rank failures too: a killed/throwing rank aborts the collective
+     * group (peers fail fast with CollectiveError), all rank threads are
+     * joined, rank 0's checkpoint is restored into *every* replica —
+     * re-synchronizing ranks that had already stepped their optimizer —
+     * and the step is replayed.
+     */
+    TrainRunStats trainSteps(const BatchProvider& batches, int64_t num_steps);
+
     /** Rank r's replica (for inspection/tests). */
     nn::Module& replica(int rank) { return *replicas_[rank]; }
     int worldSize() const { return executor_.worldSize(); }
 
+    /** The executor's collective group (e.g. to tune its timeout). */
+    ProcessGroup& group() { return executor_.group(); }
+
   private:
     DistExecutor executor_;
+    RecoveryOptions recovery_;
     std::vector<nn::ModulePtr> replicas_;
     std::vector<std::unique_ptr<AdamW>> optimizers_;
     std::vector<std::vector<std::pair<std::string, Tensor*>>> params_;

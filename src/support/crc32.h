@@ -1,0 +1,19 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320) used to integrity-check
+ * checkpoint tensors on disk. Table-driven, incremental: feed chunks by
+ * passing the previous return value as `seed`.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace slapo {
+namespace support {
+
+/** CRC-32 of `len` bytes; chain calls via `seed` for incremental use. */
+uint32_t crc32(const void* data, size_t len, uint32_t seed = 0);
+
+} // namespace support
+} // namespace slapo

@@ -4,6 +4,23 @@
 #include <cstdlib>
 
 namespace slapo {
+
+CollectiveError::CollectiveError(std::string site, int rank,
+                                 int64_t generation,
+                                 const std::string& detail)
+    : SlapoError("collective error at " + site + " (origin rank " +
+                 std::to_string(rank) + ", generation " +
+                 std::to_string(generation) + "): " + detail),
+      site_(std::move(site)), rank_(rank), generation_(generation)
+{
+}
+
+CheckpointError::CheckpointError(std::string path, const std::string& detail)
+    : SlapoError("checkpoint error at '" + path + "': " + detail),
+      path_(std::move(path))
+{
+}
+
 namespace detail {
 
 void

@@ -9,9 +9,18 @@
  *    catchable so they can report the offending primitive.
  *  - SLAPO_ASSERT: an *internal* invariant violation (a slapo-cc bug);
  *    aborts via assert semantics even in release builds.
+ *
+ * The fault-tolerant runtime adds two typed SlapoError subclasses so
+ * recovery code can distinguish *where* a failure came from:
+ *  - CollectiveError: a collective operation failed or was aborted; it
+ *    carries the site ("pg.allreduce"), the origin rank, and the group
+ *    generation at which the failure happened (docs/ROBUSTNESS.md).
+ *  - CheckpointError: a checkpoint file is missing, malformed, or failed
+ *    its CRC — the recovery loop falls back to an older checkpoint.
  */
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -23,6 +32,44 @@ class SlapoError : public std::runtime_error
 {
   public:
     explicit SlapoError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * A collective failed or its group was aborted. Every rank blocked in or
+ * entering an aborted ProcessGroup receives a copy describing the
+ * *origin* of the failure, not its own vantage point — so logs from all
+ * ranks agree on who failed, where, and in which generation.
+ */
+class CollectiveError : public SlapoError
+{
+  public:
+    CollectiveError(std::string site, int rank, int64_t generation,
+                    const std::string& detail);
+
+    /** Collective site of the origin failure, e.g. "pg.allreduce". */
+    const std::string& site() const { return site_; }
+    /** Rank at which the failure originated. */
+    int rank() const { return rank_; }
+    /** ProcessGroup generation (collective count) at failure time. */
+    int64_t generation() const { return generation_; }
+
+  private:
+    std::string site_;
+    int rank_;
+    int64_t generation_;
+};
+
+/** A checkpoint file could not be written, read, or verified. */
+class CheckpointError : public SlapoError
+{
+  public:
+    CheckpointError(std::string path, const std::string& detail);
+
+    /** Path of the offending checkpoint file. */
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
 };
 
 namespace detail {

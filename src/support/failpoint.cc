@@ -1,0 +1,205 @@
+#include "support/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace slapo {
+namespace support {
+namespace failpoint {
+
+namespace {
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, Spec> specs;
+    // Invocation counters keyed by (site, rank). Counting starts when the
+    // first spec is armed so the unarmed fast path stays lock-free.
+    std::map<std::pair<std::string, int>, int64_t> counters;
+};
+
+Registry&
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+std::atomic<bool> g_armed{false};
+std::once_flag g_env_once;
+
+std::string
+describe(const std::string& site, int rank, int64_t invocation)
+{
+    return (detail::MessageBuilder()
+            << site << " (rank " << rank << ", invocation " << invocation
+            << ")")
+        .str();
+}
+
+Action
+parseAction(const std::string& text, int64_t* delay_ms)
+{
+    if (text == "throw") return Action::Throw;
+    if (text == "kill") return Action::Kill;
+    if (text.rfind("delay=", 0) == 0) {
+        *delay_ms = std::atoll(text.c_str() + 6);
+        SLAPO_CHECK(*delay_ms > 0,
+                    "failpoint: bad delay in action '" << text << "'");
+        return Action::Delay;
+    }
+    SLAPO_THROW("failpoint: unknown action '"
+                << text << "' (expected throw|kill|delay=MS)");
+}
+
+} // namespace
+
+FailpointError::FailpointError(std::string site, int rank, int64_t invocation)
+    : SlapoError("injected failure at " + describe(site, rank, invocation)),
+      site_(std::move(site)), rank_(rank), invocation_(invocation)
+{
+}
+
+RankKilledError::RankKilledError(std::string site, int rank,
+                                 int64_t invocation)
+    : SlapoError("rank " + std::to_string(rank) + " killed at " +
+                 describe(site, rank, invocation)),
+      site_(std::move(site)), rank_(rank), invocation_(invocation)
+{
+}
+
+void
+enable(const std::string& site, const Spec& spec)
+{
+    SLAPO_CHECK(!site.empty(), "failpoint: empty site name");
+    SLAPO_CHECK(spec.at >= 0, "failpoint: negative invocation index");
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.specs[site] = spec;
+    g_armed.store(true, std::memory_order_relaxed);
+}
+
+void
+disable(const std::string& site)
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.specs.erase(site);
+    if (r.specs.empty()) {
+        g_armed.store(false, std::memory_order_relaxed);
+    }
+}
+
+void
+clearAll()
+{
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.specs.clear();
+    r.counters.clear();
+    g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool
+anyEnabled()
+{
+    return g_armed.load(std::memory_order_relaxed);
+}
+
+int
+configureFromString(const std::string& config)
+{
+    int armed = 0;
+    size_t pos = 0;
+    while (pos < config.size()) {
+        size_t end = config.find(';', pos);
+        if (end == std::string::npos) end = config.size();
+        std::string entry = config.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty()) continue;
+
+        const size_t at_pos = entry.find('@');
+        SLAPO_CHECK(at_pos != std::string::npos && at_pos > 0,
+                    "failpoint: expected 'site@invocation:action', got '"
+                        << entry << "'");
+        const size_t colon_pos = entry.find(':', at_pos);
+        SLAPO_CHECK(colon_pos != std::string::npos,
+                    "failpoint: missing ':action' in '" << entry << "'");
+
+        Spec spec;
+        const std::string site = entry.substr(0, at_pos);
+        const std::string at_text =
+            entry.substr(at_pos + 1, colon_pos - at_pos - 1);
+        SLAPO_CHECK(!at_text.empty() &&
+                        at_text.find_first_not_of("0123456789") ==
+                            std::string::npos,
+                    "failpoint: bad invocation index '" << at_text << "' in '"
+                                                        << entry << "'");
+        spec.at = std::atoll(at_text.c_str());
+
+        std::string action_text = entry.substr(colon_pos + 1);
+        const size_t rank_pos = action_text.rfind(":r");
+        if (rank_pos != std::string::npos) {
+            spec.rank = std::atoi(action_text.c_str() + rank_pos + 2);
+            action_text = action_text.substr(0, rank_pos);
+        }
+        spec.action = parseAction(action_text, &spec.delay_ms);
+        enable(site, spec);
+        ++armed;
+    }
+    return armed;
+}
+
+void
+configureFromEnv()
+{
+    std::call_once(g_env_once, [] {
+        const char* env = std::getenv("SLAPO_FAILPOINTS");
+        if (env != nullptr && env[0] != '\0') {
+            configureFromString(env);
+        }
+    });
+}
+
+void
+hit(const std::string& site, int rank)
+{
+    if (!g_armed.load(std::memory_order_relaxed)) {
+        // First hit also gets a chance to arm from the environment.
+        configureFromEnv();
+        if (!g_armed.load(std::memory_order_relaxed)) {
+            return;
+        }
+    }
+
+    Spec spec;
+    int64_t invocation;
+    {
+        Registry& r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        invocation = r.counters[{site, rank}]++;
+        auto it = r.specs.find(site);
+        if (it == r.specs.end()) return;
+        if (it->second.rank != -1 && it->second.rank != rank) return;
+        if (it->second.at != invocation) return;
+        spec = it->second;
+    }
+    switch (spec.action) {
+      case Action::Throw:
+        throw FailpointError(site, rank, invocation);
+      case Action::Kill:
+        throw RankKilledError(site, rank, invocation);
+      case Action::Delay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+        return;
+    }
+}
+
+} // namespace failpoint
+} // namespace support
+} // namespace slapo

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic fault-injection registry (the reproduction's failpoints).
+ *
+ * Production training stacks exercise their recovery paths with injected
+ * faults; slapo-cc does the same so the fault-tolerant runtime
+ * (ProcessGroup abort/timeout, Trainer checkpoint/restore) is testable
+ * without real crashes. A *failpoint* is a named site in the code
+ * (`failpoint::hit("pg.allreduce", rank)`); arming it with a Spec makes
+ * the hit fire an action at an exact (site, invocation count, rank)
+ * triple — never wall-clock — so every injected failure is reproducible
+ * bit-for-bit across runs and thread interleavings.
+ *
+ * Sites wired in the runtime:
+ *   pg.allreduce / pg.allgather / pg.reducescatter / pg.broadcast /
+ *   pg.barrier     — per rank, on entry to the collective
+ *   executor.rank  — per rank, at the top of a DistExecutor rank body
+ *   pipeline.stage — per micro-batch handoff, rank = stage index
+ *   trainer.step / dp_trainer.step — per optimizer step, rank 0
+ *
+ * Configuration is programmatic (tests) or via the environment:
+ *   SLAPO_FAILPOINTS=site@invocation:action[:rRANK][;...]
+ *   action := throw | kill | delay=MILLIS
+ * e.g. SLAPO_FAILPOINTS="pg.allreduce@3:kill:r1;trainer.step@5:throw"
+ *
+ * Invocation counters start when the first spec is armed; an unarmed
+ * registry leaves `hit()` as a single relaxed atomic load.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.h"
+
+namespace slapo {
+namespace support {
+namespace failpoint {
+
+/** What an armed failpoint does when it fires. */
+enum class Action
+{
+    Throw, ///< throw FailpointError (an ordinary, catchable failure)
+    Delay, ///< sleep for `delay_ms` (stall injection; pairs with timeouts)
+    Kill,  ///< throw RankKilledError (simulates the rank process dying)
+};
+
+/** Arming record for one site. */
+struct Spec
+{
+    int64_t at = 0;               ///< fire at this invocation index (0-based)
+    Action action = Action::Throw;
+    int rank = -1;                ///< only fire on this rank (-1 = any rank)
+    int64_t delay_ms = 0;         ///< Action::Delay sleep duration
+};
+
+/** Thrown by Action::Throw — a recoverable injected failure. */
+class FailpointError : public SlapoError
+{
+  public:
+    FailpointError(std::string site, int rank, int64_t invocation);
+
+    const std::string& site() const { return site_; }
+    int rank() const { return rank_; }
+    int64_t invocation() const { return invocation_; }
+
+  private:
+    std::string site_;
+    int rank_;
+    int64_t invocation_;
+};
+
+/**
+ * Thrown by Action::Kill — models a rank's process dying mid-run. The
+ * DistExecutor treats it like any rank failure (abort the group, join,
+ * rethrow), which is exactly how a monitor process reacts to a peer
+ * disappearing.
+ */
+class RankKilledError : public SlapoError
+{
+  public:
+    RankKilledError(std::string site, int rank, int64_t invocation);
+
+    const std::string& site() const { return site_; }
+    int rank() const { return rank_; }
+    int64_t invocation() const { return invocation_; }
+
+  private:
+    std::string site_;
+    int rank_;
+    int64_t invocation_;
+};
+
+/** Arm `site` with `spec` (replaces any previous arming of the site). */
+void enable(const std::string& site, const Spec& spec);
+
+/** Disarm one site. */
+void disable(const std::string& site);
+
+/** Disarm everything and reset all invocation counters. */
+void clearAll();
+
+/** True if any site is armed (cheap; used by the hit fast path). */
+bool anyEnabled();
+
+/**
+ * Parse a SLAPO_FAILPOINTS-syntax config string and arm every spec in
+ * it. Returns the number of specs armed; throws SlapoError on syntax
+ * errors.
+ */
+int configureFromString(const std::string& config);
+
+/**
+ * Arm from the SLAPO_FAILPOINTS environment variable if set. Called
+ * lazily by the first `hit()`; harmless to call again (applies once).
+ */
+void configureFromEnv();
+
+/**
+ * Injection point. Increments the (site, rank) invocation counter and
+ * fires the armed action when the counter matches. No-op (one atomic
+ * load) when nothing is armed.
+ */
+void hit(const std::string& site, int rank = 0);
+
+} // namespace failpoint
+} // namespace support
+} // namespace slapo

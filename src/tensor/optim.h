@@ -50,6 +50,18 @@ class AdamW
     /** Steps taken so far (bias-correction counter). */
     int64_t stepCount() const { return step_count_; }
 
+    /** First-moment (momentum) state of parameter `i` (shared storage).
+     * Exposed so checkpoint/restore can serialize the exact optimizer
+     * state — resuming is bitwise identical only if m, v, and the step
+     * counter all round-trip. */
+    Tensor& moment1(size_t i) { return m_.at(i); }
+
+    /** Second-moment state of parameter `i` (shared storage). */
+    Tensor& moment2(size_t i) { return v_.at(i); }
+
+    /** Restore the bias-correction counter from a checkpoint. */
+    void restoreStepCount(int64_t step_count) { step_count_ = step_count; }
+
   private:
     AdamWConfig config_;
     std::vector<Tensor> params_;

@@ -206,6 +206,17 @@ Tensor::addInPlace(const Tensor& other)
 }
 
 void
+Tensor::copyFrom(const Tensor& other)
+{
+    SLAPO_CHECK(shape_ == other.shape_,
+                "copyFrom: shape mismatch " << shapeToString(shape_) << " vs "
+                                            << shapeToString(other.shape_));
+    float* dst = data();
+    const float* src = other.data();
+    std::copy(src, src + numel(), dst);
+}
+
+void
 Tensor::scaleInPlace(float factor)
 {
     float* dst = data();

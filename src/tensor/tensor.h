@@ -105,6 +105,11 @@ class Tensor
     /** In-place elementwise add of an identically-shaped tensor. */
     void addInPlace(const Tensor& other);
 
+    /** Overwrite this tensor's elements with `other`'s (same shape; both
+     * materialized). Used by checkpoint restore to rewind parameters and
+     * optimizer state in place, preserving storage identity. */
+    void copyFrom(const Tensor& other);
+
     /** In-place multiply by scalar. */
     void scaleInPlace(float factor);
 

@@ -1,0 +1,139 @@
+/** @file Tests of support/error: message formatting, the typed error
+ * hierarchy (CollectiveError / CheckpointError / failpoint errors), and
+ * exception propagation out of pool workers and rank threads. */
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "nn/layers.h"
+#include "runtime/dist_executor.h"
+#include "support/error.h"
+#include "support/failpoint.h"
+#include "support/parallel.h"
+#include "tensor/tensor.h"
+
+namespace slapo {
+namespace {
+
+TEST(Error, CheckComposesStreamedMessage)
+{
+    try {
+        SLAPO_CHECK(false, "bad axis " << 3 << " for shape "
+                                       << shapeToString({2, 4}));
+        FAIL() << "SLAPO_CHECK(false) did not throw";
+    } catch (const SlapoError& e) {
+        EXPECT_STREQ(e.what(), "bad axis 3 for shape [2, 4]");
+    }
+}
+
+TEST(Error, CheckTrueDoesNotThrow)
+{
+    EXPECT_NO_THROW(SLAPO_CHECK(1 + 1 == 2, "unreachable"));
+}
+
+TEST(Error, ThrowMacroAlwaysThrows)
+{
+    EXPECT_THROW(SLAPO_THROW("x = " << 42), SlapoError);
+}
+
+TEST(Error, CollectiveErrorCarriesOriginAndFormatsIt)
+{
+    CollectiveError e("pg.allreduce", 2, 17, "rank 2 timed out");
+    EXPECT_EQ(e.site(), "pg.allreduce");
+    EXPECT_EQ(e.rank(), 2);
+    EXPECT_EQ(e.generation(), 17);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pg.allreduce"), std::string::npos);
+    EXPECT_NE(what.find("origin rank 2"), std::string::npos);
+    EXPECT_NE(what.find("generation 17"), std::string::npos);
+    EXPECT_NE(what.find("timed out"), std::string::npos);
+}
+
+TEST(Error, CheckpointErrorCarriesPath)
+{
+    CheckpointError e("/tmp/ckpt-000003.slpc", "CRC mismatch in tensor 'w'");
+    EXPECT_EQ(e.path(), "/tmp/ckpt-000003.slpc");
+    EXPECT_NE(std::string(e.what()).find("CRC mismatch"), std::string::npos);
+}
+
+TEST(Error, TypedErrorsNestUnderSlapoError)
+{
+    // Recovery code catches SlapoError to handle any runtime failure;
+    // the typed subclasses must stay inside that hierarchy.
+    try {
+        throw CollectiveError("pg.barrier", 0, 1, "aborted");
+    } catch (const SlapoError& e) {
+        EXPECT_NE(std::string(e.what()).find("pg.barrier"),
+                  std::string::npos);
+    } catch (...) {
+        FAIL() << "CollectiveError not caught as SlapoError";
+    }
+    EXPECT_THROW(
+        throw support::failpoint::FailpointError("trainer.step", 0, 5),
+        SlapoError);
+    EXPECT_THROW(
+        throw support::failpoint::RankKilledError("pg.allreduce", 1, 3),
+        SlapoError);
+}
+
+TEST(Error, PropagatesOutOfPoolWorkers)
+{
+    // parallelFor rethrows the first chunk exception on the caller; the
+    // remaining chunks are cancelled but the pool survives.
+    std::atomic<int> executed{0};
+    auto run = [&] {
+        support::parallelFor(0, 1000, 10, [&](int64_t lo, int64_t) {
+            executed.fetch_add(1);
+            if (lo >= 500) {
+                SLAPO_THROW("injected in chunk at " << lo);
+            }
+        });
+    };
+    EXPECT_THROW(run(), SlapoError);
+    EXPECT_GT(executed.load(), 0);
+    // The pool is still usable after the failure.
+    std::atomic<int64_t> sum{0};
+    support::parallelFor(0, 100, 10, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(Error, PropagatesOutOfRankThreads)
+{
+    // A throwing rank body must surface on the launching thread with the
+    // original message, and the executor must stay usable afterwards.
+    runtime::DistExecutor executor(2);
+    std::vector<nn::ModulePtr> replicas = {
+        std::make_shared<nn::Sequential>(), std::make_shared<nn::Sequential>()};
+    try {
+        executor.run(replicas, [](int rank, nn::Module&,
+                                  runtime::ProcessGroup&) {
+            if (rank == 1) {
+                SLAPO_THROW("rank " << rank << " exploded");
+            }
+        });
+        FAIL() << "rank exception did not propagate";
+    } catch (const SlapoError& e) {
+        EXPECT_STREQ(e.what(), "rank 1 exploded");
+    }
+    // Group was reset; a follow-up collective run succeeds.
+    std::vector<float> sums(2);
+    executor.run(replicas,
+                 [&](int rank, nn::Module&, runtime::ProcessGroup& group) {
+                     Tensor t = Tensor::full({1}, static_cast<float>(rank + 1));
+                     sums[rank] = group.allReduce(rank, t).at(0);
+                 });
+    EXPECT_FLOAT_EQ(sums[0], 3.0f);
+    EXPECT_FLOAT_EQ(sums[1], 3.0f);
+}
+
+TEST(Error, AssertMacroPassesQuietly)
+{
+    // The failing branch aborts the process (by design), so only the
+    // passing branch is testable.
+    EXPECT_NO_THROW(SLAPO_ASSERT(2 * 2 == 4, "arithmetic holds"));
+}
+
+} // namespace
+} // namespace slapo

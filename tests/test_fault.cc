@@ -1,0 +1,537 @@
+/** @file Tests of the fault-tolerant runtime: failpoint injection,
+ * collective abort/timeout (no deadlocks), shape validation at deposit
+ * time, and bit-exact checkpoint/restore recovery in both trainers.
+ * The acceptance bar: an interrupted-and-recovered run must finish with
+ * parameters *bitwise identical* to an uninterrupted one. */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "models/registry.h"
+#include "nn/layers.h"
+#include "runtime/checkpoint.h"
+#include "runtime/dist_executor.h"
+#include "runtime/pipeline_runtime.h"
+#include "runtime/trainer.h"
+#include "support/failpoint.h"
+
+namespace slapo {
+namespace runtime {
+namespace {
+
+namespace fp = support::failpoint;
+using nn::ModulePtr;
+
+/** Fresh, empty scratch directory under the gtest temp root. */
+std::string
+scratchDir(const std::string& name)
+{
+    const auto dir = std::filesystem::path(::testing::TempDir()) /
+                     ("slapo_fault_" + name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+bool
+bitwiseEqual(const Tensor& a, const Tensor& b)
+{
+    return a.shape() == b.shape() &&
+           std::memcmp(a.data(), b.data(),
+                       static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+/** Every parameter of `a` bitwise equal to the corresponding one of `b`. */
+::testing::AssertionResult
+paramsBitwiseEqual(nn::Module& a, nn::Module& b)
+{
+    auto pa = a.namedParams();
+    auto pb = b.namedParams();
+    if (pa.size() != pb.size()) {
+        return ::testing::AssertionFailure()
+               << "param count " << pa.size() << " vs " << pb.size();
+    }
+    for (size_t i = 0; i < pa.size(); ++i) {
+        if (!bitwiseEqual(*pa[i].second, *pb[i].second)) {
+            return ::testing::AssertionFailure()
+                   << "bitwise mismatch at '" << pa[i].first << "' (max diff "
+                   << Tensor::maxAbsDiff(*pa[i].second, *pb[i].second) << ")";
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+ModulePtr
+buildLossModel(uint64_t seed)
+{
+    auto model = withCrossEntropyLoss(models::buildTinyModel("bert"));
+    model->initializeParams(seed);
+    return model;
+}
+
+/** Deterministic micro-batch per step (single-process trainer). */
+std::vector<std::vector<Tensor>>
+stepBatch(int64_t step)
+{
+    return {{Tensor::randint({2, 8}, 64, 1000 + step),
+             Tensor::randint({2, 8}, 64, 2000 + step)}};
+}
+
+/** Deterministic per-rank input tuples per step (data-parallel trainer). */
+std::vector<std::vector<Tensor>>
+rankBatches(int64_t step)
+{
+    std::vector<std::vector<Tensor>> per_rank;
+    for (int64_t r = 0; r < 2; ++r) {
+        per_rank.push_back(
+            {Tensor::randint({1, 8}, 64, 3000 + 10 * step + r),
+             Tensor::randint({1, 8}, 64, 4000 + 10 * step + r)});
+    }
+    return per_rank;
+}
+
+/** All fault tests start and end with a disarmed failpoint registry. */
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fp::clearAll(); }
+    void TearDown() override { fp::clearAll(); }
+};
+
+// --- failpoint framework ----------------------------------------------------
+
+TEST_F(FaultTest, FailpointFiresAtExactInvocationAndRank)
+{
+    fp::Spec spec;
+    spec.at = 2;
+    spec.rank = 1;
+    fp::enable("unit.site", spec);
+    // Wrong rank: never fires.
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_NO_THROW(fp::hit("unit.site", 0));
+    }
+    // Right rank: fires exactly at invocation 2.
+    EXPECT_NO_THROW(fp::hit("unit.site", 1)); // invocation 0
+    EXPECT_NO_THROW(fp::hit("unit.site", 1)); // invocation 1
+    try {
+        fp::hit("unit.site", 1); // invocation 2
+        FAIL() << "failpoint did not fire";
+    } catch (const fp::FailpointError& e) {
+        EXPECT_EQ(e.site(), "unit.site");
+        EXPECT_EQ(e.rank(), 1);
+        EXPECT_EQ(e.invocation(), 2);
+    }
+    // One-shot: the next invocation passes.
+    EXPECT_NO_THROW(fp::hit("unit.site", 1));
+}
+
+TEST_F(FaultTest, FailpointEnvSyntaxParses)
+{
+    EXPECT_EQ(fp::configureFromString(
+                  "pg.allreduce@3:kill:r1;a@0:delay=5;b@2:throw"),
+              3);
+    fp::clearAll();
+    EXPECT_THROW(fp::configureFromString("missing-at:throw"), SlapoError);
+    EXPECT_THROW(fp::configureFromString("site@1"), SlapoError);
+    EXPECT_THROW(fp::configureFromString("site@1:frobnicate"), SlapoError);
+    EXPECT_THROW(fp::configureFromString("site@x:throw"), SlapoError);
+}
+
+TEST_F(FaultTest, DelayActionStallsButSucceeds)
+{
+    fp::Spec spec;
+    spec.at = 0;
+    spec.action = fp::Action::Delay;
+    spec.delay_ms = 30;
+    fp::enable("unit.delay", spec);
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_NO_THROW(fp::hit("unit.delay", 0));
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                  .count(),
+              25);
+}
+
+// --- collective hardening ---------------------------------------------------
+
+TEST_F(FaultTest, RankKillDuringAllReduceSurfacesEverywhereNoDeadlock)
+{
+    // Acceptance (a): rank 2 dies mid-collective; every surviving rank
+    // must get a typed CollectiveError well within the timeout instead
+    // of hanging in the rendezvous forever.
+    fp::Spec kill;
+    kill.at = 0;
+    kill.action = fp::Action::Kill;
+    kill.rank = 2;
+    fp::enable("pg.allreduce", kill);
+
+    DistExecutor executor(3, ProcessGroupOptions{.timeout_ms = 30000});
+    std::vector<ModulePtr> replicas;
+    for (int r = 0; r < 3; ++r) {
+        replicas.push_back(std::make_shared<nn::Sequential>());
+    }
+    std::vector<std::string> observed(3, "none");
+
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        executor.run(replicas,
+                     [&](int rank, nn::Module&, ProcessGroup& group) {
+                         try {
+                             group.allReduce(rank, Tensor::full({2}, 1.0f));
+                             observed[rank] = "ok";
+                         } catch (const CollectiveError& e) {
+                             observed[rank] = "collective";
+                             EXPECT_EQ(e.rank(), 2); // origin is the dead rank
+                             throw;
+                         } catch (const fp::RankKilledError&) {
+                             observed[rank] = "killed";
+                             throw;
+                         }
+                     });
+        FAIL() << "executor.run did not propagate the failure";
+    } catch (const fp::RankKilledError& e) {
+        EXPECT_EQ(e.rank(), 2); // the originating failure wins
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+              20);
+    EXPECT_EQ(observed[0], "collective");
+    EXPECT_EQ(observed[1], "collective");
+    EXPECT_EQ(observed[2], "killed");
+
+    // The group was reset: the executor is immediately reusable.
+    fp::clearAll();
+    std::vector<float> sums(3);
+    executor.run(replicas, [&](int rank, nn::Module&, ProcessGroup& group) {
+        sums[rank] =
+            group.allReduce(rank, Tensor::full({1}, 1.0f + rank)).at(0);
+    });
+    for (int r = 0; r < 3; ++r) {
+        EXPECT_FLOAT_EQ(sums[r], 6.0f);
+    }
+}
+
+TEST_F(FaultTest, RendezvousTimesOutInsteadOfHangingForever)
+{
+    // One rank of a 2-rank group never shows up: the waiter must abort
+    // with a typed CollectiveError after the configured timeout.
+    ProcessGroup group(2, ProcessGroupOptions{.timeout_ms = 300});
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        group.allReduce(0, Tensor::full({2}, 1.0f));
+        FAIL() << "lone rank did not time out";
+    } catch (const CollectiveError& e) {
+        EXPECT_EQ(e.site(), "pg.allreduce");
+        EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos);
+    }
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    EXPECT_GE(ms, 290);
+    EXPECT_LT(ms, 10000);
+}
+
+TEST_F(FaultTest, MismatchedShapesRejectedNamingOffendingRank)
+{
+    // Satellite regression: depositing a tensor whose shape disagrees
+    // with the group must raise a clear CollectiveError on every rank —
+    // previously addInPlace would throw only on the last arrival's
+    // thread and could leave peers blocked.
+    ProcessGroup group(2, ProcessGroupOptions{.timeout_ms = 10000});
+    std::vector<std::string> messages(2);
+    std::vector<std::thread> threads;
+    for (int r = 0; r < 2; ++r) {
+        threads.emplace_back([&, r] {
+            if (r == 1) {
+                // Deposit second, with the wrong shape.
+                std::this_thread::sleep_for(std::chrono::milliseconds(200));
+            }
+            try {
+                group.allReduce(r, r == 0 ? Tensor::zeros({2, 2})
+                                          : Tensor::zeros({3}));
+            } catch (const CollectiveError& e) {
+                messages[r] = e.what();
+                EXPECT_EQ(e.rank(), 1);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    for (int r = 0; r < 2; ++r) {
+        EXPECT_NE(messages[r].find("rank 1"), std::string::npos)
+            << "rank " << r << " saw: " << messages[r];
+        EXPECT_NE(messages[r].find("[3]"), std::string::npos);
+        EXPECT_NE(messages[r].find("[2, 2]"), std::string::npos);
+    }
+
+    // allGather legitimately accepts different extents along the concat
+    // axis — only off-axis mismatches are errors.
+    group.reset();
+    std::vector<Tensor> gathered(2);
+    std::vector<std::thread> ok;
+    for (int r = 0; r < 2; ++r) {
+        ok.emplace_back([&, r] {
+            gathered[r] =
+                group.allGather(r, Tensor::zeros({2, r == 0 ? 1 : 3}), 1);
+        });
+    }
+    for (auto& t : ok) t.join();
+    EXPECT_EQ(gathered[0].shape(), (Shape{2, 4}));
+}
+
+TEST_F(FaultTest, PipelineStageFailureDoesNotDeadlock)
+{
+    // Capacity-1 queues put the feeder under back-pressure; a stage that
+    // dies mid-stream must abort the whole pipeline promptly.
+    auto make_stage = [](uint64_t seed) {
+        auto lin = std::make_shared<nn::Linear>(4, 4);
+        lin->initializeParams(seed);
+        return lin;
+    };
+    std::vector<ModulePtr> stages = {make_stage(1), make_stage(2)};
+    PipelineRuntime pipeline(stages, /*queue_capacity=*/1);
+
+    fp::Spec boom;
+    boom.at = 1; // second micro-batch through stage 1
+    boom.rank = 1;
+    fp::enable("pipeline.stage", boom);
+
+    std::vector<std::vector<Tensor>> micros;
+    for (int m = 0; m < 8; ++m) {
+        micros.push_back({Tensor::uniform({2, 4}, 1.0f, 50 + m)});
+    }
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(pipeline.forward(micros), fp::FailpointError);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+              20);
+
+    // Fresh queues per forward: the runtime recovers for the next call.
+    fp::clearAll();
+    auto result = pipeline.forward(micros);
+    EXPECT_EQ(result.outputs.size(), micros.size());
+}
+
+// --- checkpoint format ------------------------------------------------------
+
+TEST_F(FaultTest, CheckpointRoundTripsBitExactly)
+{
+    const std::string dir = scratchDir("roundtrip");
+    CheckpointState state;
+    state.step = 7;
+    state.optimizer_steps = 7;
+    state.tensors.push_back({"w", Tensor::uniform({3, 4}, 2.0f, 91)});
+    state.tensors.push_back({"w.m", Tensor::randn({3, 4}, 0.1f, 92)});
+    state.tensors.push_back({"w.v", Tensor::full({3, 4}, 1e-4f)});
+
+    const std::string path = dir + "/" + checkpointFileName(state.step);
+    saveCheckpoint(path, state);
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp")); // atomic rename
+
+    CheckpointState loaded = loadCheckpoint(path);
+    EXPECT_EQ(loaded.step, 7);
+    EXPECT_EQ(loaded.optimizer_steps, 7);
+    ASSERT_EQ(loaded.tensors.size(), 3u);
+    for (size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(loaded.tensors[i].name, state.tensors[i].name);
+        EXPECT_TRUE(
+            bitwiseEqual(loaded.tensors[i].tensor, state.tensors[i].tensor));
+    }
+
+    auto listing = listCheckpoints(dir);
+    ASSERT_EQ(listing.size(), 1u);
+    EXPECT_EQ(listing[0].first, 7);
+    EXPECT_THROW(loadCheckpoint(dir + "/absent.slpc"), CheckpointError);
+    EXPECT_TRUE(listCheckpoints(dir + "/no-such-dir").empty());
+}
+
+TEST_F(FaultTest, CorruptCheckpointRejectedByCrc)
+{
+    const std::string dir = scratchDir("corrupt");
+    CheckpointState state;
+    state.tensors.push_back({"w", Tensor::uniform({8, 8}, 1.0f, 93)});
+    const std::string path = dir + "/" + checkpointFileName(0);
+    saveCheckpoint(path, state);
+
+    // Flip one byte deep inside the tensor payload.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(-5, std::ios::end);
+        char byte;
+        f.seekg(-5, std::ios::end);
+        f.get(byte);
+        byte = static_cast<char>(byte ^ 0x40);
+        f.seekp(-5, std::ios::end);
+        f.put(byte);
+    }
+    try {
+        loadCheckpoint(path);
+        FAIL() << "corrupt checkpoint was accepted";
+    } catch (const CheckpointError& e) {
+        EXPECT_NE(std::string(e.what()).find("CRC mismatch"),
+                  std::string::npos);
+        EXPECT_EQ(e.path(), path);
+    }
+}
+
+// --- recovery: crash, restore, replay, bit-exact ----------------------------
+
+TEST_F(FaultTest, TrainerRecoversBitExactlyFromInjectedCrash)
+{
+    // Acceptance (b), single-process: crash at step 2 of 5, auto-restore
+    // from the last checkpoint, and finish with parameters bitwise
+    // identical to a run that never failed.
+    const int64_t steps = 5;
+    AdamWConfig config;
+    config.lr = 5e-3f;
+
+    // Uninterrupted reference (run while failpoints are disarmed).
+    auto ref_model = buildLossModel(77);
+    Trainer reference(ref_model, config);
+    for (int64_t s = 0; s < steps; ++s) {
+        reference.step(stepBatch(s));
+    }
+
+    RecoveryOptions recovery;
+    recovery.checkpoint_every = 1;
+    recovery.checkpoint_dir = scratchDir("trainer_recovery");
+    recovery.max_retries = 2;
+    auto model = buildLossModel(77);
+    Trainer trainer(model, config, recovery);
+
+    fp::Spec crash;
+    crash.at = 2; // fires entering the third Trainer::step call
+    fp::enable("trainer.step", crash);
+
+    TrainRunStats stats = trainer.trainSteps(stepBatch, steps);
+    EXPECT_EQ(stats.recoveries, 1);
+    EXPECT_EQ(stats.steps_run, steps); // crashed step replayed once
+    EXPECT_TRUE(paramsBitwiseEqual(*model, *ref_model));
+}
+
+TEST_F(FaultTest, TrainerWithoutRecoveryRethrows)
+{
+    auto model = buildLossModel(78);
+    Trainer trainer(model); // no checkpoint_dir => recovery disabled
+    fp::Spec crash;
+    crash.at = 0;
+    fp::enable("trainer.step", crash);
+    EXPECT_THROW(trainer.trainSteps(stepBatch, 3), fp::FailpointError);
+}
+
+TEST_F(FaultTest, RetryBudgetExhaustionRethrows)
+{
+    // max_retries = 0: checkpoints are written but a single failure is
+    // already over budget and must surface as the original error.
+    RecoveryOptions recovery;
+    recovery.checkpoint_every = 1;
+    recovery.checkpoint_dir = scratchDir("budget");
+    recovery.max_retries = 0;
+    auto model = buildLossModel(79);
+    Trainer trainer(model, AdamWConfig{}, recovery);
+    fp::Spec crash;
+    crash.at = 1; // step 0 succeeds, step 1 crashes
+    fp::enable("trainer.step", crash);
+    EXPECT_THROW(trainer.trainSteps(stepBatch, 3), fp::FailpointError);
+}
+
+TEST_F(FaultTest, DataParallelRankKillMidCollectiveRecoversBitExactly)
+{
+    // The headline: a DP rank is killed *inside* a gradient all-reduce
+    // at step 2; the trainer joins the ranks, restores the step-2
+    // checkpoint into every replica, replays, and the final parameters
+    // are bitwise identical to a run that never failed.
+    const int64_t steps = 4;
+    AdamWConfig config;
+    config.lr = 5e-3f;
+
+    auto ref_model = buildLossModel(88);
+    DataParallelTrainer reference(*ref_model, 2, config);
+    for (int64_t s = 0; s < steps; ++s) {
+        reference.step(rankBatches(s));
+    }
+
+    RecoveryOptions recovery;
+    recovery.checkpoint_every = 1;
+    recovery.checkpoint_dir = scratchDir("dp_recovery");
+    recovery.max_retries = 2;
+    auto model = buildLossModel(88);
+    DataParallelTrainer trainer(*model, 2, config, recovery);
+
+    // Each step all-reduces one gradient per parameter per rank; kill
+    // rank 1 while it exchanges the second gradient of step 2.
+    const int64_t grads_per_step =
+        static_cast<int64_t>(model->namedParams().size());
+    fp::Spec kill;
+    kill.at = 2 * grads_per_step + 1;
+    kill.action = fp::Action::Kill;
+    kill.rank = 1;
+    fp::enable("pg.allreduce", kill);
+
+    TrainRunStats stats = trainer.trainSteps(rankBatches, steps);
+    EXPECT_EQ(stats.recoveries, 1);
+    for (int rank = 0; rank < 2; ++rank) {
+        EXPECT_TRUE(
+            paramsBitwiseEqual(trainer.replica(rank), reference.replica(rank)))
+            << "rank " << rank;
+    }
+}
+
+TEST_F(FaultTest, CorruptNewestCheckpointFallsBackToPrevious)
+{
+    // Acceptance (c): the newest checkpoint is corrupted on disk; the
+    // recovery loop must reject it by CRC, restore the previous one, and
+    // still converge to the uninterrupted trajectory.
+    const int64_t steps = 3;
+    AdamWConfig config;
+    config.lr = 5e-3f;
+
+    auto ref_model = buildLossModel(99);
+    Trainer reference(ref_model, config);
+    for (int64_t s = 0; s < steps; ++s) {
+        reference.step(stepBatch(s));
+    }
+
+    RecoveryOptions recovery;
+    recovery.checkpoint_every = 1;
+    recovery.checkpoint_dir = scratchDir("corrupt_fallback");
+    recovery.max_retries = 2;
+    auto model = buildLossModel(99);
+    Trainer trainer(model, config, recovery);
+
+    // Train fully once: leaves ckpt-0..3 on disk (3 = final state).
+    trainer.trainSteps(stepBatch, steps);
+    EXPECT_TRUE(paramsBitwiseEqual(*model, *ref_model));
+
+    // Corrupt the newest checkpoint (ckpt-3) and force a crash: the
+    // loop must skip the corrupt file and restore ckpt-2.
+    const std::string newest = recovery.checkpoint_dir + "/" +
+                               checkpointFileName(steps);
+    {
+        std::fstream f(newest,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekg(-9, std::ios::end);
+        char byte;
+        f.get(byte);
+        byte = static_cast<char>(byte ^ 0x08);
+        f.seekp(-9, std::ios::end);
+        f.put(byte);
+    }
+    EXPECT_THROW(loadCheckpoint(newest), CheckpointError);
+
+    fp::Spec crash;
+    crash.at = 0; // fail the first step of the re-run
+    fp::enable("trainer.step", crash);
+    TrainRunStats stats = trainer.trainSteps(stepBatch, steps);
+    EXPECT_EQ(stats.recoveries, 1);
+    // Restored from ckpt-2 (not the corrupt ckpt-3, whose payload bits
+    // differ) and replayed step 2 => bitwise equal to the reference.
+    EXPECT_TRUE(paramsBitwiseEqual(*model, *ref_model));
+}
+
+} // namespace
+} // namespace runtime
+} // namespace slapo

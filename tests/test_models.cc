@@ -186,8 +186,10 @@ TEST(Models, T5UsesRelativeAttentionBias)
     }
     // Encoder layers + decoder self-attention layers.
     EXPECT_GE(biased, 4);
-    // BERT/GPT have no relative bias.
-    for (auto& [path, m] : buildTinyModel("bert")->namedModules()) {
+    // BERT/GPT have no relative bias. (The model must outlive the loop:
+    // namedModules() returns raw pointers into it.)
+    auto bert = buildTinyModel("bert");
+    for (auto& [path, m] : bert->namedModules()) {
         EXPECT_FALSE(m->hasParam("rel_bias")) << path;
     }
 }
