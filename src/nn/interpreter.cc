@@ -1,11 +1,60 @@
 #include "nn/interpreter.h"
 
+#include <chrono>
+#include <optional>
+
 #include "nn/context.h"
 #include "nn/functional.h"
 #include "nn/module.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 
 namespace slapo {
 namespace nn {
+
+namespace {
+
+/**
+ * Per-node observability hook shared by the executor loops: opens a
+ * trace span and, on close, folds the elapsed time into the installed
+ * OpProfiler under the thread's current module path. Disabled cost is
+ * the two atomic loads in the constructor.
+ */
+class NodeTimer
+{
+  public:
+    NodeTimer(const char* op, const graph::Node& node)
+        : op_(op), profiler_(obs::OpProfiler::current())
+    {
+        if (profiler_ != nullptr || obs::tracingEnabled()) {
+            span_.emplace(op_, "op");
+            span_->arg("node", node.name());
+            if (!obs::ModuleScope::currentPath().empty()) {
+                span_->arg("module", obs::ModuleScope::currentPath());
+            }
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    ~NodeTimer()
+    {
+        if (profiler_ != nullptr) {
+            const int64_t ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+            profiler_->record(op_, obs::ModuleScope::currentPath(), ns);
+        }
+    }
+
+  private:
+    const char* op_;
+    obs::OpProfiler* profiler_;
+    std::optional<obs::TraceSpan> span_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace
 
 Value
 interpretOp(const graph::Node& node, const std::vector<Value>& in)
@@ -111,6 +160,7 @@ interpretGraph(const graph::Graph& graph, Module* self,
             break;
           }
           case graph::NodeKind::CallOp: {
+            NodeTimer timer(opKindName(node->op()), *node);
             std::vector<Value> ins;
             ins.reserve(node->inputs().size());
             for (graph::Node* in : node->inputs()) {
@@ -147,12 +197,22 @@ interpretGraph(const graph::Graph& graph, Module* self,
                 ins.push_back(first(in));
             }
             if (prof) prof->beginModule(node->target(), false);
-            std::vector<Value> outs = target->call(ins);
+            {
+                // Attribute everything the submodule runs to its dotted
+                // path; an untraced (leaf) module executes eagerly with
+                // no inner CallOp nodes, so time it as one record itself.
+                obs::ModuleScope scope(node->target());
+                std::optional<NodeTimer> timer;
+                if (target->meta().traced_graph == nullptr) {
+                    timer.emplace(target->typeName().c_str(), *node);
+                }
+                put(node, target->call(ins));
+            }
             if (prof) prof->endModule();
-            put(node, std::move(outs));
             break;
           }
           case graph::NodeKind::FusedOp: {
+            NodeTimer timer(node->name().c_str(), *node);
             std::vector<Value> ins;
             for (graph::Node* in : node->inputs()) {
                 ins.push_back(first(in));

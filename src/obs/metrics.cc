@@ -1,0 +1,65 @@
+#include "obs/metrics.h"
+
+namespace slapo {
+namespace obs {
+
+std::vector<std::pair<std::string, int64_t>>
+Metrics::snapshot() const
+{
+    return {
+        {"tensor.allocated_bytes", tensor_allocated_bytes.get()},
+        {"tensor.live_bytes", tensor_live_bytes.get()},
+        {"tensor.peak_bytes", tensor_live_bytes.peak()},
+        {"pg.count", pg_count.get()},
+        {"pg.wait_ns", pg_wait_ns.get()},
+        {"pg.copy_ns", pg_copy_ns.get()},
+        {"pipeline.queue_wait_ns", pipeline_queue_wait_ns.get()},
+        {"pipeline.push_wait_ns", pipeline_push_wait_ns.get()},
+        {"pipeline.peak_queue_depth", pipeline_queue_depth.peak()},
+        {"checkpoint.write_bytes", checkpoint_write_bytes.get()},
+        {"checkpoint.write_ns", checkpoint_write_ns.get()},
+        {"checkpoint.read_bytes", checkpoint_read_bytes.get()},
+        {"checkpoint.read_ns", checkpoint_read_ns.get()},
+    };
+}
+
+std::string
+Metrics::toJson() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [name, value] : snapshot()) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"" + name + "\":" + std::to_string(value);
+    }
+    out += "}";
+    return out;
+}
+
+void
+Metrics::reset()
+{
+    tensor_allocated_bytes.reset();
+    tensor_live_bytes.reset();
+    pg_count.reset();
+    pg_wait_ns.reset();
+    pg_copy_ns.reset();
+    pipeline_queue_wait_ns.reset();
+    pipeline_push_wait_ns.reset();
+    pipeline_queue_depth.reset();
+    checkpoint_write_bytes.reset();
+    checkpoint_write_ns.reset();
+    checkpoint_read_bytes.reset();
+    checkpoint_read_ns.reset();
+}
+
+Metrics&
+metrics()
+{
+    static Metrics* m = new Metrics(); // leaked: tensor dtors may run late
+    return *m;
+}
+
+} // namespace obs
+} // namespace slapo

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Always-on training-runtime metrics: monotonic counters and
+ * high-watermark gauges (docs/OBSERVABILITY.md).
+ *
+ * Unlike spans (obs/trace.h), which are only recorded while a trace is
+ * live, metrics are plain relaxed atomics that cost a few nanoseconds
+ * per update — cheap enough to leave enabled everywhere. The registry is
+ * a fixed struct of well-known metrics (no name lookup on the hot
+ * path); `snapshot()` renders it as name/value pairs for reports, JSON
+ * dumps, and tests.
+ *
+ * What each well-known metric means:
+ *   tensor.allocated_bytes   cumulative tensor storage ever allocated
+ *   tensor.live_bytes        currently live tensor storage
+ *   tensor.peak_bytes        high watermark of live_bytes
+ *   pg.wait_ns / pg.count    time ranks spent blocked waiting for peers
+ *                            inside collectives / number of collectives
+ *   pg.copy_ns               collective compute + result-copy time
+ *   pipeline.queue_wait_ns   stage threads blocked popping an empty queue
+ *                            (pipeline bubble time)
+ *   pipeline.push_wait_ns    stage threads blocked pushing a full queue
+ *                            (back-pressure stalls)
+ *   pipeline.peak_queue_depth  deepest any inter-stage queue got
+ *   checkpoint.write_bytes/.write_ns   checkpoint save volume/time
+ *   checkpoint.read_bytes/.read_ns     checkpoint restore volume/time
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace slapo {
+namespace obs {
+
+/** Monotonic counter (adds only). */
+class Counter
+{
+  public:
+    void
+    add(int64_t delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    int64_t get() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/** Gauge that also tracks its all-time maximum (high watermark). */
+class Gauge
+{
+  public:
+    /** Add `delta` (may be negative) and fold the result into the peak. */
+    void
+    add(int64_t delta)
+    {
+        const int64_t now =
+            value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+        int64_t seen = peak_.load(std::memory_order_relaxed);
+        while (now > seen &&
+               !peak_.compare_exchange_weak(seen, now,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
+    /** Fold a directly observed level into the peak (no running value). */
+    void
+    observe(int64_t level)
+    {
+        int64_t seen = peak_.load(std::memory_order_relaxed);
+        while (level > seen &&
+               !peak_.compare_exchange_weak(seen, level,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
+    int64_t get() const { return value_.load(std::memory_order_relaxed); }
+    int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+    void
+    reset()
+    {
+        value_.store(0, std::memory_order_relaxed);
+        peak_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> value_{0};
+    std::atomic<int64_t> peak_{0};
+};
+
+/** The process-wide metric registry. */
+struct Metrics
+{
+    // tensor substrate
+    Counter tensor_allocated_bytes;
+    Gauge tensor_live_bytes; ///< value = live, peak = high watermark
+
+    // collectives
+    Counter pg_count;   ///< collectives completed (per-rank entries)
+    Counter pg_wait_ns; ///< blocked waiting for peers (rendezvous wait)
+    Counter pg_copy_ns; ///< reduction compute + result copy
+
+    // pipeline
+    Counter pipeline_queue_wait_ns; ///< bubble: stage starved for input
+    Counter pipeline_push_wait_ns;  ///< back-pressure: output queue full
+    Gauge pipeline_queue_depth;     ///< peak = deepest inter-stage queue
+
+    // checkpointing
+    Counter checkpoint_write_bytes;
+    Counter checkpoint_write_ns;
+    Counter checkpoint_read_bytes;
+    Counter checkpoint_read_ns;
+
+    /** All metrics as (name, value), in a stable order. */
+    std::vector<std::pair<std::string, int64_t>> snapshot() const;
+
+    /** Snapshot rendered as a flat JSON object. */
+    std::string toJson() const;
+
+    /** Zero everything (tests; live_bytes of still-live tensors too, so
+     * only call between self-contained phases). */
+    void reset();
+};
+
+/** The global registry. */
+Metrics& metrics();
+
+} // namespace obs
+} // namespace slapo

@@ -1,0 +1,276 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace slapo {
+namespace obs {
+
+namespace {
+
+/** 4 sub-buckets per power-of-two octave: <= 19% relative error on p99. */
+constexpr int kSubBuckets = 4;
+constexpr int kNumBuckets = 64 * kSubBuckets;
+
+int
+bucketOf(int64_t ns)
+{
+    if (ns < kSubBuckets) {
+        return static_cast<int>(ns < 0 ? 0 : ns);
+    }
+    const uint64_t v = static_cast<uint64_t>(ns);
+    const int octave = 63 - __builtin_clzll(v);
+    const int sub = static_cast<int>((v >> (octave - 2)) & 3);
+    return octave * kSubBuckets + sub;
+}
+
+/** Inclusive upper bound of a bucket (inverse of bucketOf). */
+int64_t
+bucketUpperBound(int bucket)
+{
+    if (bucket < kSubBuckets) {
+        return bucket;
+    }
+    const int octave = bucket / kSubBuckets;
+    const int sub = bucket % kSubBuckets;
+    return ((static_cast<int64_t>(sub) + 5) << (octave - 2)) - 1;
+}
+
+std::atomic<OpProfiler*> g_current{nullptr};
+std::once_flag g_env_once;
+
+std::string
+formatUs(double ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", ns / 1000.0);
+    return buf;
+}
+
+} // namespace
+
+struct OpProfiler::Impl
+{
+    struct Agg
+    {
+        int64_t count = 0;
+        int64_t total_ns = 0;
+        int64_t buckets[kNumBuckets] = {};
+    };
+
+    mutable std::mutex mutex;
+    // Ordered map keyed by (op, module_path): deterministic report order
+    // for ties, and no hashing of composite keys.
+    std::map<std::pair<std::string, std::string>, Agg> aggs;
+};
+
+OpProfiler::OpProfiler() : impl_(new Impl()) {}
+
+OpProfiler::~OpProfiler()
+{
+    delete impl_;
+}
+
+void
+OpProfiler::record(const std::string& op, const std::string& module_path,
+                   int64_t duration_ns)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    Impl::Agg& agg = impl_->aggs[{op, module_path}];
+    ++agg.count;
+    agg.total_ns += duration_ns;
+    ++agg.buckets[bucketOf(duration_ns)];
+}
+
+std::vector<OpStats>
+OpProfiler::report() const
+{
+    std::vector<OpStats> stats;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        stats.reserve(impl_->aggs.size());
+        for (const auto& [key, agg] : impl_->aggs) {
+            OpStats s;
+            s.op = key.first;
+            s.module_path = key.second;
+            s.count = agg.count;
+            s.total_ns = agg.total_ns;
+            s.mean_ns = static_cast<double>(agg.total_ns) /
+                        static_cast<double>(agg.count);
+            // p99: first bucket at which the cumulative count covers 99%.
+            const int64_t threshold = (agg.count * 99 + 99) / 100;
+            int64_t seen = 0;
+            for (int b = 0; b < kNumBuckets; ++b) {
+                seen += agg.buckets[b];
+                if (seen >= threshold) {
+                    s.p99_ns = bucketUpperBound(b);
+                    break;
+                }
+            }
+            stats.push_back(std::move(s));
+        }
+    }
+    std::stable_sort(stats.begin(), stats.end(),
+                     [](const OpStats& a, const OpStats& b) {
+                         return a.total_ns > b.total_ns;
+                     });
+    return stats;
+}
+
+std::string
+OpProfiler::table() const
+{
+    const std::vector<OpStats> stats = report();
+    int64_t grand_total = 0;
+    size_t op_width = 2, path_width = 6;
+    for (const OpStats& s : stats) {
+        grand_total += s.total_ns;
+        op_width = std::max(op_width, s.op.size());
+        path_width = std::max(path_width,
+                              std::max<size_t>(s.module_path.size(), 6));
+    }
+    std::ostringstream os;
+    char line[512];
+    std::snprintf(line, sizeof line,
+                  "%-*s  %-*s  %8s  %12s  %10s  %10s  %6s\n",
+                  static_cast<int>(op_width), "op",
+                  static_cast<int>(path_width), "module", "count",
+                  "total(us)", "mean(us)", "p99(us)", "%");
+    os << line;
+    for (const OpStats& s : stats) {
+        const double pct =
+            grand_total > 0
+                ? 100.0 * static_cast<double>(s.total_ns) /
+                      static_cast<double>(grand_total)
+                : 0.0;
+        std::snprintf(line, sizeof line,
+                      "%-*s  %-*s  %8lld  %12s  %10s  %10s  %5.1f%%\n",
+                      static_cast<int>(op_width), s.op.c_str(),
+                      static_cast<int>(path_width),
+                      s.module_path.empty() ? "(root)" : s.module_path.c_str(),
+                      static_cast<long long>(s.count),
+                      formatUs(static_cast<double>(s.total_ns)).c_str(),
+                      formatUs(s.mean_ns).c_str(),
+                      formatUs(static_cast<double>(s.p99_ns)).c_str(), pct);
+        os << line;
+    }
+    std::snprintf(line, sizeof line, "total: %s us across %zu (op, module) pairs\n",
+                  formatUs(static_cast<double>(grand_total)).c_str(),
+                  stats.size());
+    os << line;
+    return os.str();
+}
+
+std::string
+OpProfiler::toJson() const
+{
+    std::string out = "[";
+    bool first = true;
+    for (const OpStats& s : report()) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"op\":\"" + s.op + "\",\"module\":\"" + s.module_path +
+               "\",\"count\":" + std::to_string(s.count) +
+               ",\"total_ns\":" + std::to_string(s.total_ns) +
+               ",\"mean_ns\":" + std::to_string(s.mean_ns) +
+               ",\"p99_ns\":" + std::to_string(s.p99_ns) + "}";
+    }
+    out += "]";
+    return out;
+}
+
+void
+OpProfiler::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->aggs.clear();
+}
+
+OpProfiler*
+OpProfiler::current()
+{
+    OpProfiler* p = g_current.load(std::memory_order_relaxed);
+    if (p != nullptr) {
+        return p;
+    }
+    // One-time environment probe: SLAPO_OP_PROFILE=1 (table to stderr at
+    // exit) or SLAPO_OP_PROFILE=report.json (JSON file at exit).
+    std::call_once(g_env_once, [] {
+        const char* env = std::getenv("SLAPO_OP_PROFILE");
+        if (env == nullptr || env[0] == '\0') {
+            return;
+        }
+        static OpProfiler* profiler = new OpProfiler();
+        static std::string out = env;
+        g_current.store(profiler, std::memory_order_relaxed);
+        std::atexit([] {
+            if (out == "1") {
+                std::fputs(profiler->table().c_str(), stderr);
+            } else {
+                if (std::FILE* f = std::fopen(out.c_str(), "wb")) {
+                    const std::string json = profiler->toJson();
+                    std::fwrite(json.data(), 1, json.size(), f);
+                    std::fputc('\n', f);
+                    std::fclose(f);
+                }
+            }
+        });
+    });
+    return g_current.load(std::memory_order_relaxed);
+}
+
+OpProfilerGuard::OpProfilerGuard(OpProfiler* profiler)
+    : previous_(g_current.load(std::memory_order_relaxed))
+{
+    g_current.store(profiler, std::memory_order_relaxed);
+}
+
+OpProfilerGuard::~OpProfilerGuard()
+{
+    g_current.store(previous_, std::memory_order_relaxed);
+}
+
+namespace {
+thread_local std::string t_module_path;
+} // namespace
+
+ModuleScope::ModuleScope(const std::string& name) : restore_len_(SIZE_MAX)
+{
+    if (!active()) {
+        return;
+    }
+    restore_len_ = t_module_path.size();
+    if (!t_module_path.empty()) {
+        t_module_path += '.';
+    }
+    t_module_path += name;
+}
+
+ModuleScope::~ModuleScope()
+{
+    if (restore_len_ != SIZE_MAX) {
+        t_module_path.resize(restore_len_);
+    }
+}
+
+const std::string&
+ModuleScope::currentPath()
+{
+    return t_module_path;
+}
+
+bool
+ModuleScope::active()
+{
+    return OpProfiler::current() != nullptr || tracingEnabled();
+}
+
+} // namespace obs
+} // namespace slapo

@@ -1,11 +1,15 @@
 #include "runtime/autograd.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
+#include <optional>
 
 #include "nn/functional.h"
 #include "nn/interpreter.h"
 #include "nn/tracer.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "runtime/process_group.h"
 #include "tensor/ops.h"
 
@@ -81,6 +85,47 @@ struct AutogradEngine::Frame
 };
 
 namespace {
+
+/**
+ * Per-node timing for the autograd loops: a trace span plus an
+ * OpProfiler record under the thread's module-path scope. `suffix`
+ * separates backward executions (".bwd") from forward ones in the
+ * aggregate report. Disabled cost: two relaxed atomic loads.
+ */
+class OpTimer
+{
+  public:
+    OpTimer(const char* op, const char* suffix)
+        : profiler_(obs::OpProfiler::current())
+    {
+        if (profiler_ != nullptr || obs::tracingEnabled()) {
+            name_ = op;
+            name_ += suffix;
+            span_.emplace(name_, "op");
+            if (!obs::ModuleScope::currentPath().empty()) {
+                span_->arg("module", obs::ModuleScope::currentPath());
+            }
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    ~OpTimer()
+    {
+        if (profiler_ != nullptr) {
+            const int64_t ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+            profiler_->record(name_, obs::ModuleScope::currentPath(), ns);
+        }
+    }
+
+  private:
+    obs::OpProfiler* profiler_;
+    std::string name_;
+    std::optional<obs::TraceSpan> span_;
+    std::chrono::steady_clock::time_point start_;
+};
 
 /** Numeric collective honoring the thread's DistContext (or identity). */
 Tensor
@@ -319,6 +364,7 @@ AutogradEngine::forwardGraph(const Graph& g, Module* owner,
             break;
           }
           case NodeKind::CallOp: {
+            OpTimer timer(opKindName(node->op()), "");
             std::vector<Value> ins;
             for (const Node* in : node->inputs()) {
                 ins.emplace_back(frame->at(in)[0]);
@@ -342,6 +388,7 @@ AutogradEngine::forwardGraph(const Graph& g, Module* owner,
                 node->checkpointed() || child->meta().checkpointed;
             auto child_frame = std::make_unique<Frame>();
             child_frame->counted = frame->counted && !checkpointed;
+            obs::ModuleScope scope(node->target());
             std::vector<Tensor> outs =
                 forwardGraph(*child_graph, child, ins, child_frame.get());
             if (!outs.empty()) {
@@ -475,6 +522,7 @@ AutogradEngine::backwardGraph(const Graph& g, Module* owner, Frame& frame,
             break;
           }
           case NodeKind::CallOp: {
+            OpTimer timer(opKindName(node->op()), ".bwd");
             std::vector<Tensor> x;
             for (const Node* in : node->inputs()) {
                 x.push_back(value(in));
@@ -515,6 +563,7 @@ AutogradEngine::backwardGraph(const Graph& g, Module* owner, Frame& frame,
             }
             // Note: forward syncs with all-reduce have identity backward;
             // per-spec backward syncs fire on the input gradient below.
+            obs::ModuleScope scope(node->target());
             std::vector<Tensor> child_in_grads =
                 backwardGraph(*child_graph, child, *child_frame, slots);
             if (!child_in_grads.empty() &&
@@ -580,15 +629,27 @@ AutogradEngine::run(Module& model, const std::vector<Tensor>& inputs)
     result_ = GradResult{};
     std::vector<Shape> shapes;
     for (const Tensor& t : inputs) shapes.push_back(t.shape());
-    auto g = graphFor(model, shapes);
+    std::shared_ptr<Graph> g;
+    {
+        // First call traces the module (expensive); later calls hit the
+        // cache, so this span shows the one-time tracing cost distinctly.
+        obs::TraceSpan trace_span("autograd.trace", "autograd");
+        g = graphFor(model, shapes);
+    }
 
     Frame frame;
-    result_.outputs = forwardGraph(*g, &model, inputs, &frame);
+    {
+        obs::TraceSpan fwd_span("autograd.forward", "autograd");
+        result_.outputs = forwardGraph(*g, &model, inputs, &frame);
+    }
     SLAPO_CHECK(result_.outputs.size() == 1 &&
                     result_.outputs[0].numel() == 1,
                 "autograd: model must produce a single scalar loss");
-    result_.input_grads =
-        backwardGraph(*g, &model, frame, {Tensor::full({1}, 1.0f)});
+    {
+        obs::TraceSpan bwd_span("autograd.backward", "autograd");
+        result_.input_grads =
+            backwardGraph(*g, &model, frame, {Tensor::full({1}, 1.0f)});
+    }
     return result_;
 }
 

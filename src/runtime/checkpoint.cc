@@ -1,10 +1,13 @@
 #include "runtime/checkpoint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/crc32.h"
 
 namespace slapo {
@@ -87,6 +90,9 @@ listCheckpoints(const std::string& dir)
 void
 saveCheckpoint(const std::string& path, const CheckpointState& state)
 {
+    obs::TraceSpan span("checkpoint.save", "checkpoint");
+    const auto t0 = std::chrono::steady_clock::now();
+    int64_t payload_bytes = 0;
     const std::string tmp = path + ".tmp";
     {
         File file;
@@ -118,6 +124,7 @@ saveCheckpoint(const std::string& path, const CheckpointState& state)
             writeScalar<uint32_t>(
                 file.f, support::crc32(entry.tensor.data(), bytes), tmp);
             writeBytes(file.f, entry.tensor.data(), bytes, tmp);
+            payload_bytes += static_cast<int64_t>(bytes);
         }
         if (std::fflush(file.f) != 0) {
             throw CheckpointError(tmp, "flush failed");
@@ -128,11 +135,23 @@ saveCheckpoint(const std::string& path, const CheckpointState& state)
     if (ec) {
         throw CheckpointError(path, "atomic rename failed: " + ec.message());
     }
+    obs::metrics().checkpoint_write_bytes.add(payload_bytes);
+    obs::metrics().checkpoint_write_ns.add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    if (span.live()) {
+        span.arg("bytes", payload_bytes);
+        span.arg("tensors", static_cast<int64_t>(state.tensors.size()));
+    }
 }
 
 CheckpointState
 loadCheckpoint(const std::string& path)
 {
+    obs::TraceSpan span("checkpoint.load", "checkpoint");
+    const auto t0 = std::chrono::steady_clock::now();
+    int64_t payload_bytes = 0;
     File file;
     file.f = std::fopen(path.c_str(), "rb");
     if (!file.f) {
@@ -171,6 +190,7 @@ loadCheckpoint(const std::string& path)
         const size_t bytes =
             static_cast<size_t>(entry.tensor.numel()) * sizeof(float);
         readBytes(file.f, entry.tensor.data(), bytes, path);
+        payload_bytes += static_cast<int64_t>(bytes);
         const uint32_t actual_crc = support::crc32(entry.tensor.data(), bytes);
         if (actual_crc != expected_crc) {
             throw CheckpointError(
@@ -180,6 +200,15 @@ loadCheckpoint(const std::string& path)
                           std::to_string(actual_crc) + ")");
         }
         state.tensors.push_back(std::move(entry));
+    }
+    obs::metrics().checkpoint_read_bytes.add(payload_bytes);
+    obs::metrics().checkpoint_read_ns.add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    if (span.live()) {
+        span.arg("bytes", payload_bytes);
+        span.arg("tensors", static_cast<int64_t>(state.tensors.size()));
     }
     return state;
 }

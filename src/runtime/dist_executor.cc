@@ -3,6 +3,7 @@
 #include <exception>
 #include <thread>
 
+#include "obs/trace.h"
 #include "support/failpoint.h"
 #include "tensor/ops.h"
 
@@ -85,6 +86,9 @@ DistExecutor::run(const std::vector<nn::ModulePtr>& replicas, const RankFn& fn)
     std::vector<std::exception_ptr> errors(world_size_);
     for (int r = 0; r < world_size_; ++r) {
         threads.emplace_back([this, r, &replicas, &fn, &errors] {
+            // Each rank gets its own process row in the trace (pid 1+r;
+            // pid 0 is the main process).
+            obs::setThreadTrack(1 + r, "rank " + std::to_string(r));
             nn::DistContext context;
             context.rank = r;
             context.world_size = world_size_;
@@ -92,6 +96,10 @@ DistExecutor::run(const std::vector<nn::ModulePtr>& replicas, const RankFn& fn)
             nn::DistGuard guard(&context);
             try {
                 support::failpoint::hit("executor.rank", r);
+                obs::TraceSpan span("executor.rank", "executor");
+                if (span.live()) {
+                    span.arg("rank", static_cast<int64_t>(r));
+                }
                 fn(r, *replicas[r], group_);
             } catch (const std::exception& e) {
                 errors[r] = std::current_exception();

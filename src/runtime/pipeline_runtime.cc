@@ -1,12 +1,15 @@
 #include "runtime/pipeline_runtime.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/failpoint.h"
 
 namespace slapo {
@@ -20,18 +23,20 @@ class TupleQueue
   public:
     explicit TupleQueue(size_t capacity) : capacity_(capacity) {}
 
-    /** Blocks while full; silently drops the tuple once aborted. */
-    void
+    /** Blocks while full; silently drops the tuple once aborted.
+     * Returns the queue depth right after the push (0 if dropped). */
+    size_t
     push(std::vector<Tensor> tuple)
     {
         std::unique_lock<std::mutex> lock(mutex_);
         not_full_.wait(lock,
                        [&] { return items_.size() < capacity_ || aborted_; });
         if (aborted_) {
-            return;
+            return 0;
         }
         items_.push_back(std::move(tuple));
         not_empty_.notify_one();
+        return items_.size();
     }
 
     /** Returns nullopt once closed and drained, or immediately after an
@@ -79,6 +84,38 @@ class TupleQueue
     bool aborted_ = false;
 };
 
+int64_t
+nsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Pop with bubble accounting: the time a stage thread spends here is
+ * time it is starved for input (pipeline.queue_wait_ns). */
+std::optional<std::vector<Tensor>>
+timedPop(TupleQueue& queue)
+{
+    obs::TraceSpan span("queue.pop", "pipeline");
+    const auto t0 = std::chrono::steady_clock::now();
+    auto tuple = queue.pop();
+    obs::metrics().pipeline_queue_wait_ns.add(nsSince(t0));
+    return tuple;
+}
+
+/** Push with back-pressure accounting and queue-depth watermark. */
+void
+timedPush(TupleQueue& queue, std::vector<Tensor> tuple)
+{
+    obs::TraceSpan span("queue.push", "pipeline");
+    const auto t0 = std::chrono::steady_clock::now();
+    const size_t depth = queue.push(std::move(tuple));
+    obs::metrics().pipeline_push_wait_ns.add(nsSince(t0));
+    obs::metrics().pipeline_queue_depth.observe(static_cast<int64_t>(depth));
+    obs::traceCounter("pipeline.queue_depth", static_cast<int64_t>(depth));
+}
+
 } // namespace
 
 PipelineRuntime::PipelineRuntime(std::vector<nn::ModulePtr> stages,
@@ -106,8 +143,12 @@ PipelineRuntime::forward(const std::vector<std::vector<Tensor>>& micro_batches)
     std::vector<std::thread> workers;
     for (size_t s = 0; s < num_stages; ++s) {
         workers.emplace_back([&, s] {
+            // Pipeline stage threads share pid 0 ("slapo") and get a
+            // labelled track each in the trace.
+            obs::setThreadTrack(0, "stage " + std::to_string(s));
+            int64_t micro_index = 0;
             try {
-                while (auto tuple = queues[s]->pop()) {
+                while (auto tuple = timedPop(*queues[s])) {
                     // Stage handoff failpoint: rank = stage index, one
                     // invocation per micro-batch this stage consumes.
                     support::failpoint::hit("pipeline.stage",
@@ -124,7 +165,16 @@ PipelineRuntime::forward(const std::vector<std::vector<Tensor>>& micro_batches)
                     for (Tensor& t : *tuple) {
                         values.emplace_back(std::move(t));
                     }
-                    std::vector<nn::Value> outputs = stages_[s]->call(values);
+                    std::vector<nn::Value> outputs;
+                    {
+                        obs::TraceSpan body_span("stage.run", "pipeline");
+                        if (body_span.live()) {
+                            body_span.arg("stage", static_cast<int64_t>(s));
+                            body_span.arg("micro_batch", micro_index);
+                        }
+                        outputs = stages_[s]->call(values);
+                    }
+                    ++micro_index;
                     std::vector<Tensor> next;
                     next.reserve(outputs.size());
                     for (nn::Value& v : outputs) {
@@ -133,7 +183,7 @@ PipelineRuntime::forward(const std::vector<std::vector<Tensor>>& micro_batches)
                     if (s + 1 == num_stages) {
                         in_flight.fetch_sub(1);
                     }
-                    queues[s + 1]->push(std::move(next));
+                    timedPush(*queues[s + 1], std::move(next));
                 }
                 queues[s + 1]->close();
             } catch (...) {
@@ -155,9 +205,10 @@ PipelineRuntime::forward(const std::vector<std::vector<Tensor>>& micro_batches)
     // (num_stages + 1) * capacity + num_stages tuples, feeding everything
     // before draining would deadlock once micro_batches exceeds that.
     std::thread feeder([&] {
+        obs::setThreadTrack(0, "feeder");
         try {
             for (const auto& micro : micro_batches) {
-                queues[0]->push(micro);
+                timedPush(*queues[0], micro);
             }
         } catch (...) {
             for (auto& q : queues) {

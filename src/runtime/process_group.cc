@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/failpoint.h"
 #include "tensor/ops.h"
 
@@ -123,10 +125,10 @@ ProcessGroup::reset()
 }
 
 void
-ProcessGroup::throwAborted() const
+ProcessGroup::throwAborted(int64_t waited_ms) const
 {
     throw CollectiveError(abort_site_, abort_rank_, abort_generation_,
-                          abort_reason_);
+                          abort_reason_, waited_ms);
 }
 
 Tensor
@@ -136,9 +138,26 @@ ProcessGroup::rendezvous(const char* site, int rank, const Tensor& tensor,
     SLAPO_CHECK(rank >= 0 && rank < world_size_,
                 "ProcessGroup: bad rank " << rank);
     support::failpoint::hit(site, rank);
+    // Observability: one span per collective entry, with the rendezvous
+    // wait (blocked on peers) separated from data movement (reduction
+    // compute + result copy) both as child spans and as the always-on
+    // pg.wait_ns / pg.copy_ns counters (docs/OBSERVABILITY.md).
+    using Clock = std::chrono::steady_clock;
+    auto ns_since = [](Clock::time_point t0) {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   Clock::now() - t0)
+            .count();
+    };
+    obs::TraceSpan span(site, "pg");
+    span.arg("rank", static_cast<int64_t>(rank));
+    obs::metrics().pg_count.add(1);
     if (world_size_ == 1) {
-        return compute({tensor})[0];
+        const auto t0 = Clock::now();
+        Tensor out = compute({tensor})[0];
+        obs::metrics().pg_copy_ns.add(ns_since(t0));
+        return out;
     }
+    const auto entry_time = Clock::now();
     std::unique_lock<std::mutex> lock(mutex_);
     if (aborted_) {
         throwAborted();
@@ -165,6 +184,8 @@ ProcessGroup::rendezvous(const char* site, int rank, const Tensor& tensor,
     }
     const int64_t my_generation = generation_;
     if (++arrived_ == world_size_) {
+        obs::TraceSpan compute_span("pg.compute", "pg");
+        const auto t0 = Clock::now();
         try {
             results_ = compute(slots_);
         } catch (const std::exception& e) {
@@ -172,30 +193,41 @@ ProcessGroup::rendezvous(const char* site, int rank, const Tensor& tensor,
             abortLocked(site, rank, e.what());
             throwAborted();
         }
+        obs::metrics().pg_copy_ns.add(ns_since(t0));
         arrived_ = 0;
         first_rank_ = -1;
         ++generation_;
         cv_.notify_all();
     } else {
+        obs::TraceSpan wait_span("pg.wait", "pg");
         auto ready = [&] { return generation_ != my_generation || aborted_; };
+        auto elapsed_ms = [&] {
+            return std::chrono::duration_cast<std::chrono::milliseconds>(
+                       Clock::now() - entry_time)
+                .count();
+        };
         if (timeout_ms_ > 0) {
             if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms_),
                               ready)) {
+                const int64_t waited = elapsed_ms();
+                obs::metrics().pg_wait_ns.add(ns_since(entry_time));
                 abortLocked(site, rank,
                             "rank " + std::to_string(rank) +
-                                " timed out after " +
-                                std::to_string(timeout_ms_) +
-                                "ms waiting for peers");
-                throwAborted();
+                                " timed out after waiting " +
+                                std::to_string(waited) +
+                                "ms for peers (timeout " +
+                                std::to_string(timeout_ms_) + "ms)");
+                throwAborted(waited);
             }
         } else {
             cv_.wait(lock, ready);
         }
+        obs::metrics().pg_wait_ns.add(ns_since(entry_time));
         // A completed collective beats a later abort: if the generation
         // advanced, this rank's result is valid even if the group was
         // aborted afterwards.
         if (generation_ == my_generation) {
-            throwAborted();
+            throwAborted(elapsed_ms());
         }
     }
     // Read under the lock: the next collective cannot overwrite results_
@@ -204,7 +236,11 @@ ProcessGroup::rendezvous(const char* site, int rank, const Tensor& tensor,
     // share storage — an in-place update on one rank's result must not
     // leak into (or race with) another rank's copy, exactly as separate
     // processes behave.
-    return results_[rank].clone();
+    obs::TraceSpan copy_span("pg.copy", "pg");
+    const auto t1 = Clock::now();
+    Tensor result = results_[rank].clone();
+    obs::metrics().pg_copy_ns.add(ns_since(t1));
+    return result;
 }
 
 Tensor

@@ -106,8 +106,9 @@ class ProcessGroup
     void abortLocked(const std::string& site, int rank,
                      const std::string& reason);
 
-    /** Throw the recorded abort as a CollectiveError (requires aborted_). */
-    [[noreturn]] void throwAborted() const;
+    /** Throw the recorded abort as a CollectiveError (requires aborted_).
+     * `waited_ms` = how long this rank was blocked (-1 = unknown). */
+    [[noreturn]] void throwAborted(int64_t waited_ms = -1) const;
 
     int world_size_;
     int64_t timeout_ms_;

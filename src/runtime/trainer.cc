@@ -4,6 +4,7 @@
 #include <exception>
 #include <filesystem>
 
+#include "obs/trace.h"
 #include "runtime/checkpoint.h"
 #include "support/failpoint.h"
 
@@ -36,6 +37,10 @@ runWithRecovery(
         std::filesystem::create_directories(dir, ec);
     }
     auto save_at = [&](int64_t step) {
+        obs::TraceSpan span("trainer.checkpoint", "trainer");
+        if (span.live()) {
+            span.arg("step", step);
+        }
         saveCheckpoint((dir / checkpointFileName(step)).string(),
                        capture(step));
     };
@@ -57,6 +62,7 @@ runWithRecovery(
                 std::rethrow_exception(original);
             }
             bool restored = false;
+            obs::TraceSpan restore_span("trainer.restore", "trainer");
             auto checkpoints = listCheckpoints(recovery.checkpoint_dir);
             for (auto it = checkpoints.rbegin(); it != checkpoints.rend();
                  ++it) {
@@ -105,11 +111,18 @@ Trainer::step(const std::vector<std::vector<Tensor>>& micro_batches)
 {
     support::failpoint::hit("trainer.step");
     SLAPO_CHECK(!micro_batches.empty(), "Trainer: no micro-batches");
+    obs::TraceSpan step_span("trainer.step", "trainer");
     TrainStepStats stats;
     stats.micro_batches = static_cast<int64_t>(micro_batches.size());
 
     std::vector<Tensor> grads;
+    int64_t micro_index = 0;
     for (const std::vector<Tensor>& inputs : micro_batches) {
+        obs::TraceSpan micro_span("trainer.micro_batch", "trainer");
+        if (micro_span.live()) {
+            micro_span.arg("micro_batch", micro_index);
+        }
+        ++micro_index;
         AutogradEngine engine;
         GradResult result = engine.run(*model_, inputs);
         stats.loss += result.outputs[0].at(0);
@@ -132,7 +145,10 @@ Trainer::step(const std::vector<std::vector<Tensor>>& micro_batches)
     for (Tensor& g : grads) {
         g.scaleInPlace(inv);
     }
-    optimizer_.step(grads);
+    {
+        obs::TraceSpan optim_span("trainer.optim", "trainer");
+        optimizer_.step(grads);
+    }
     stats.loss /= static_cast<double>(micro_batches.size());
     return stats;
 }
@@ -186,6 +202,7 @@ DataParallelTrainer::step(
     const std::vector<std::vector<Tensor>>& per_rank_inputs)
 {
     support::failpoint::hit("dp_trainer.step");
+    obs::TraceSpan step_span("dp_trainer.step", "trainer");
     const int world = executor_.worldSize();
     SLAPO_CHECK(static_cast<int>(per_rank_inputs.size()) == world,
                 "DataParallelTrainer: need one input tuple per rank");
@@ -201,12 +218,17 @@ DataParallelTrainer::step(
         // Average data-parallel gradients, then step this rank's
         // optimizer; identical updates keep the replicas in lock-step.
         std::vector<Tensor> grads;
-        for (auto& [path, tensor] : params_[rank]) {
-            Tensor g = AutogradEngine::gradFor(result, *tensor);
-            g = group.allReduce(rank, g);
-            g.scaleInPlace(1.0f / static_cast<float>(world));
-            grads.push_back(std::move(g));
+        {
+            obs::TraceSpan allreduce_span("trainer.grad_allreduce",
+                                          "trainer");
+            for (auto& [path, tensor] : params_[rank]) {
+                Tensor g = AutogradEngine::gradFor(result, *tensor);
+                g = group.allReduce(rank, g);
+                g.scaleInPlace(1.0f / static_cast<float>(world));
+                grads.push_back(std::move(g));
+            }
         }
+        obs::TraceSpan optim_span("trainer.optim", "trainer");
         optimizers_[rank]->step(grads);
     });
 

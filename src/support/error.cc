@@ -7,11 +7,15 @@ namespace slapo {
 
 CollectiveError::CollectiveError(std::string site, int rank,
                                  int64_t generation,
-                                 const std::string& detail)
+                                 const std::string& detail, int64_t waited_ms)
     : SlapoError("collective error at " + site + " (origin rank " +
                  std::to_string(rank) + ", generation " +
-                 std::to_string(generation) + "): " + detail),
-      site_(std::move(site)), rank_(rank), generation_(generation)
+                 std::to_string(generation) + "): " + detail +
+                 (waited_ms >= 0 ? " [this rank waited " +
+                                       std::to_string(waited_ms) + "ms]"
+                                 : "")),
+      site_(std::move(site)), rank_(rank), generation_(generation),
+      waited_ms_(waited_ms)
 {
 }
 

@@ -43,8 +43,10 @@ class SlapoError : public std::runtime_error
 class CollectiveError : public SlapoError
 {
   public:
+    /** @param waited_ms how long the *throwing* rank had been blocked in
+     * the rendezvous when it gave up (-1 = not applicable/unknown). */
     CollectiveError(std::string site, int rank, int64_t generation,
-                    const std::string& detail);
+                    const std::string& detail, int64_t waited_ms = -1);
 
     /** Collective site of the origin failure, e.g. "pg.allreduce". */
     const std::string& site() const { return site_; }
@@ -52,11 +54,14 @@ class CollectiveError : public SlapoError
     int rank() const { return rank_; }
     /** ProcessGroup generation (collective count) at failure time. */
     int64_t generation() const { return generation_; }
+    /** Elapsed wait of the throwing rank in ms (-1 if unknown). */
+    int64_t waitedMs() const { return waited_ms_; }
 
   private:
     std::string site_;
     int rank_;
     int64_t generation_;
+    int64_t waited_ms_;
 };
 
 /** A checkpoint file could not be written, read, or verified. */

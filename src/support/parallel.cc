@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "support/error.h"
 
 namespace slapo {
@@ -135,7 +136,12 @@ class Pool
                 ++claims_;
                 body = body_;
             }
-            runChunks(*body);
+            {
+                // One span per job this worker participates in: pool
+                // tasks show up as their own rows in the trace.
+                obs::TraceSpan task_span("pool.task", "parallel");
+                runChunks(*body);
+            }
             {
                 std::lock_guard<std::mutex> lk(m_);
                 if (--pending_ == 0) {
@@ -196,6 +202,11 @@ parallelFor(int64_t begin, int64_t end, int64_t grain,
     };
     const int helpers =
         static_cast<int>(std::min<int64_t>(threads - 1, num_chunks - 1));
+    obs::TraceSpan span("parallel_for", "parallel");
+    if (span.live()) {
+        span.arg("chunks", num_chunks);
+        span.arg("helpers", static_cast<int64_t>(helpers));
+    }
     Pool::instance().run(num_chunks, helpers, chunk_body);
 }
 

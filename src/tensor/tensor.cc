@@ -4,9 +4,37 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "support/parallel.h"
 
 namespace slapo {
+
+namespace {
+
+/**
+ * Allocate tensor storage with byte accounting: cumulative allocated
+ * bytes, live bytes, and the live high watermark feed the obs metrics
+ * registry (a couple of relaxed atomic adds — noise next to the heap
+ * allocation itself). The custom deleter observes the free, so
+ * live_bytes tracks exactly the storage still reachable from tensors.
+ */
+template <typename... Args>
+std::shared_ptr<std::vector<float>>
+makeStorage(Args&&... args)
+{
+    auto* vec = new std::vector<float>(std::forward<Args>(args)...);
+    const int64_t bytes =
+        static_cast<int64_t>(vec->capacity() * sizeof(float));
+    obs::metrics().tensor_allocated_bytes.add(bytes);
+    obs::metrics().tensor_live_bytes.add(bytes);
+    return std::shared_ptr<std::vector<float>>(
+        vec, [bytes](std::vector<float>* p) {
+            obs::metrics().tensor_live_bytes.add(-bytes);
+            delete p;
+        });
+}
+
+} // namespace
 
 int64_t
 numelOf(const Shape& shape)
@@ -56,14 +84,14 @@ Tensor::meta(Shape shape)
 Tensor
 Tensor::zeros(Shape shape)
 {
-    auto storage = std::make_shared<std::vector<float>>(numelOf(shape), 0.0f);
+    auto storage = makeStorage(numelOf(shape), 0.0f);
     return Tensor(std::move(shape), std::move(storage));
 }
 
 Tensor
 Tensor::full(Shape shape, float value)
 {
-    auto storage = std::make_shared<std::vector<float>>(numelOf(shape), value);
+    auto storage = makeStorage(numelOf(shape), value);
     return Tensor(std::move(shape), std::move(storage));
 }
 
@@ -74,7 +102,7 @@ Tensor::fromValues(Shape shape, std::vector<float> values)
                 "fromValues: shape " << shapeToString(shape) << " needs "
                                      << numelOf(shape) << " values, got "
                                      << values.size());
-    auto storage = std::make_shared<std::vector<float>>(std::move(values));
+    auto storage = makeStorage(std::move(values));
     return Tensor(std::move(shape), std::move(storage));
 }
 
@@ -172,7 +200,7 @@ Tensor::clone() const
     if (isMeta()) {
         return meta(shape_);
     }
-    auto storage = std::make_shared<std::vector<float>>(*storage_);
+    auto storage = makeStorage(*storage_);
     return Tensor(shape_, std::move(storage));
 }
 
@@ -180,7 +208,7 @@ void
 Tensor::materializeZeros()
 {
     if (!storage_) {
-        storage_ = std::make_shared<std::vector<float>>(numel(), 0.0f);
+        storage_ = makeStorage(numel(), 0.0f);
     }
 }
 

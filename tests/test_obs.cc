@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Observability subsystem tests (docs/OBSERVABILITY.md): Chrome-trace
+ * span recording (nesting, multi-thread emission, JSON validity,
+ * disabled fast path), the per-op aggregate profiler against
+ * hand-counted node executions, always-on metrics, and the
+ * elapsed-wait annotation on CollectiveError.
+ */
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "nn/layers.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+#include "runtime/autograd.h"
+#include "support/error.h"
+#include "tensor/tensor.h"
+
+namespace slapo {
+namespace {
+
+// --- minimal JSON validator ------------------------------------------------
+// Enough of RFC 8259 to reject any structurally broken trace dump:
+// objects, arrays, strings with escapes, numbers, literals.
+
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string& text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value()) {
+            return false;
+        }
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') { ++pos_; return true; }
+        for (;;) {
+            skipWs();
+            if (!string()) return false;
+            skipWs();
+            if (peek() != ':') return false;
+            ++pos_;
+            skipWs();
+            if (!value()) return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') { ++pos_; return true; }
+        for (;;) {
+            skipWs();
+            if (!value()) return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (static_cast<unsigned char>(c) < 0x20) return false;
+            if (c == '"') { ++pos_; return true; }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size()) return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= s_.size() || !std::isxdigit(s_[pos_])) {
+                            return false;
+                        }
+                    }
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        const size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(s_[pos_]) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+                s_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        const size_t len = std::strlen(word);
+        if (s_.compare(pos_, len, word) != 0) return false;
+        pos_ += len;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    const std::string& s_;
+    size_t pos_ = 0;
+};
+
+/** The dump line of the first 'X' event named `name` ("" if absent). */
+std::string
+eventLine(const std::string& dump, const std::string& name)
+{
+    const std::string needle = "{\"name\":\"" + name + "\"";
+    size_t at = 0;
+    while ((at = dump.find(needle, at)) != std::string::npos) {
+        const size_t end = dump.find('\n', at);
+        std::string line = dump.substr(at, end - at);
+        if (line.find("\"ph\":\"X\"") != std::string::npos) {
+            return line;
+        }
+        at += needle.size();
+    }
+    return "";
+}
+
+/** Parse `"key":<number>` out of an event line. */
+double
+numField(const std::string& line, const char* key)
+{
+    const std::string needle = std::string("\"") + key + "\":";
+    const size_t at = line.find(needle);
+    EXPECT_NE(at, std::string::npos) << key << " missing in " << line;
+    if (at == std::string::npos) return -1;
+    return std::atof(line.c_str() + at + needle.size());
+}
+
+int
+countOccurrences(const std::string& text, const std::string& needle)
+{
+    int n = 0;
+    for (size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + needle.size())) {
+        ++n;
+    }
+    return n;
+}
+
+// --- trace recorder --------------------------------------------------------
+
+TEST(Trace, DisabledPathIsNoOp)
+{
+    ASSERT_FALSE(obs::tracingEnabled());
+    obs::clearTrace();
+    {
+        obs::TraceSpan span("never.recorded", "test");
+        EXPECT_FALSE(span.live());
+        span.arg("ignored", static_cast<int64_t>(1));
+    }
+    obs::traceCounter("never.counted", 7);
+    EXPECT_EQ(obs::stopTracing(), 0);
+    const std::string dump = obs::dumpTraceJson();
+    EXPECT_EQ(dump.find("never.recorded"), std::string::npos);
+    EXPECT_EQ(dump.find("never.counted"), std::string::npos);
+}
+
+TEST(Trace, SpansNestCorrectly)
+{
+    obs::startTracing();
+    {
+        obs::TraceSpan outer("outer.span", "test");
+        EXPECT_TRUE(outer.live());
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        {
+            obs::TraceSpan inner("inner.span", "test");
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    obs::stopTracing();
+    const std::string dump = obs::dumpTraceJson();
+
+    const std::string outer = eventLine(dump, "outer.span");
+    const std::string inner = eventLine(dump, "inner.span");
+    ASSERT_FALSE(outer.empty()) << dump;
+    ASSERT_FALSE(inner.empty()) << dump;
+    const double outer_ts = numField(outer, "ts");
+    const double outer_dur = numField(outer, "dur");
+    const double inner_ts = numField(inner, "ts");
+    const double inner_dur = numField(inner, "dur");
+    // The inner span opens after and closes before the outer one.
+    EXPECT_GE(inner_ts, outer_ts);
+    EXPECT_LE(inner_ts + inner_dur, outer_ts + outer_dur);
+    EXPECT_GE(outer_dur, inner_dur);
+}
+
+TEST(Trace, DumpIsValidChromeTraceJson)
+{
+    obs::startTracing();
+    {
+        // Dynamic name with characters that need escaping.
+        obs::TraceSpan span(std::string("weird \"name\"\nwith\tescapes"),
+                            "test");
+        span.arg("str", std::string("value with \"quotes\""));
+        span.arg("num", static_cast<int64_t>(-42));
+    }
+    obs::traceCounter("test.counter", 5);
+    obs::stopTracing();
+    const std::string dump = obs::dumpTraceJson();
+
+    EXPECT_TRUE(JsonValidator(dump).valid()) << dump;
+    EXPECT_NE(dump.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(dump.find("\"ph\":\"M\""), std::string::npos); // metadata rows
+    EXPECT_NE(dump.find("\"ph\":\"X\""), std::string::npos); // complete spans
+    EXPECT_NE(dump.find("\"ph\":\"C\""), std::string::npos); // counters
+    EXPECT_NE(dump.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(dump.find("\"thread_name\""), std::string::npos);
+}
+
+TEST(Trace, MultiThreadEmissionIsRaceFree)
+{
+    constexpr int kThreads = 4;
+    constexpr int kSpansPerThread = 500;
+    obs::startTracing();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            obs::setThreadTrack(0, "emitter " + std::to_string(t));
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                obs::TraceSpan span("mt.span", "test");
+                span.arg("i", static_cast<int64_t>(i));
+                obs::traceCounter("mt.counter", i);
+            }
+        });
+    }
+    // Concurrent dump while the emitters are running: must be safe.
+    (void)obs::dumpTraceJson();
+    for (auto& t : threads) {
+        t.join();
+    }
+    const int64_t events = obs::stopTracing();
+    EXPECT_GE(events, static_cast<int64_t>(2 * kThreads * kSpansPerThread));
+    const std::string dump = obs::dumpTraceJson();
+    EXPECT_TRUE(JsonValidator(dump).valid());
+    EXPECT_EQ(countOccurrences(dump, "{\"name\":\"mt.span\""),
+              kThreads * kSpansPerThread);
+    EXPECT_EQ(countOccurrences(dump, "{\"name\":\"mt.counter\""),
+              kThreads * kSpansPerThread);
+}
+
+TEST(Trace, StartClearsPreviousEvents)
+{
+    obs::startTracing();
+    { obs::TraceSpan span("first.trace", "test"); }
+    obs::stopTracing();
+    obs::startTracing();
+    { obs::TraceSpan span("second.trace", "test"); }
+    obs::stopTracing();
+    const std::string dump = obs::dumpTraceJson();
+    EXPECT_EQ(dump.find("first.trace"), std::string::npos);
+    EXPECT_NE(dump.find("second.trace"), std::string::npos);
+    obs::clearTrace();
+}
+
+// --- per-op profiler -------------------------------------------------------
+
+/** The stats row for (op, module) or a zeroed row if absent. */
+obs::OpStats
+statsFor(const obs::OpProfiler& profiler, const std::string& op,
+         const std::string& module)
+{
+    for (const obs::OpStats& s : profiler.report()) {
+        if (s.op == op && s.module_path == module) {
+            return s;
+        }
+    }
+    return {};
+}
+
+TEST(OpProfiler, AggregatesMatchHandCountedNodeExecutions)
+{
+    // withMseLoss(Linear): the loss wrapper's graph is exactly one
+    // CallModule ("model" -> linear once traced) plus one mse_loss op.
+    // Per engine.run: 1 linear + 1 mse_loss forward, and the same two
+    // backward (.bwd). Three runs => count 3 for each.
+    auto model = runtime::withMseLoss(std::make_shared<nn::Linear>(3, 1));
+    model->initializeParams(7);
+
+    obs::OpProfiler profiler;
+    constexpr int kRuns = 3;
+    {
+        obs::OpProfilerGuard guard(&profiler);
+        for (int i = 0; i < kRuns; ++i) {
+            runtime::AutogradEngine engine;
+            engine.run(*model, {Tensor::full({2, 3}, 0.5f),
+                                Tensor::full({2, 1}, 1.0f)});
+        }
+    }
+
+    EXPECT_EQ(statsFor(profiler, "linear", "model").count, kRuns);
+    EXPECT_EQ(statsFor(profiler, "mse_loss", "").count, kRuns);
+    EXPECT_EQ(statsFor(profiler, "linear.bwd", "model").count, kRuns);
+    EXPECT_EQ(statsFor(profiler, "mse_loss.bwd", "").count, kRuns);
+
+    // Nothing recorded outside the guard.
+    profiler.clear();
+    runtime::AutogradEngine engine;
+    engine.run(*model,
+               {Tensor::full({2, 3}, 0.5f), Tensor::full({2, 1}, 1.0f)});
+    EXPECT_TRUE(profiler.report().empty());
+}
+
+TEST(OpProfiler, MeanExactAndP99WithinHistogramError)
+{
+    obs::OpProfiler profiler;
+    for (int i = 0; i < 100; ++i) {
+        profiler.record("op", "", 1000);
+    }
+    const obs::OpStats s = statsFor(profiler, "op", "");
+    EXPECT_EQ(s.count, 100);
+    EXPECT_EQ(s.total_ns, 100000);
+    EXPECT_DOUBLE_EQ(s.mean_ns, 1000.0);
+    // p99 reports the log-bucket upper bound: within 25% above the truth.
+    EXPECT_GE(s.p99_ns, 1000);
+    EXPECT_LE(s.p99_ns, 1250);
+
+    const std::string table = profiler.table();
+    EXPECT_NE(table.find("op"), std::string::npos);
+    EXPECT_NE(table.find("(root)"), std::string::npos);
+    EXPECT_TRUE(JsonValidator(profiler.toJson()).valid());
+}
+
+TEST(OpProfiler, ModuleScopeOnlyTracksWhenActive)
+{
+    ASSERT_EQ(obs::OpProfiler::current(), nullptr);
+    ASSERT_FALSE(obs::tracingEnabled());
+    {
+        obs::ModuleScope scope("ignored");
+        EXPECT_EQ(obs::ModuleScope::currentPath(), "");
+    }
+    obs::OpProfiler profiler;
+    obs::OpProfilerGuard guard(&profiler);
+    obs::ModuleScope outer("encoder");
+    EXPECT_EQ(obs::ModuleScope::currentPath(), "encoder");
+    {
+        obs::ModuleScope inner("layer.0");
+        EXPECT_EQ(obs::ModuleScope::currentPath(), "encoder.layer.0");
+    }
+    EXPECT_EQ(obs::ModuleScope::currentPath(), "encoder");
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(Metrics, TensorStorageAccounting)
+{
+    obs::Metrics& m = obs::metrics();
+    const int64_t allocated_before = m.tensor_allocated_bytes.get();
+    const int64_t live_before = m.tensor_live_bytes.get();
+    {
+        Tensor t = Tensor::zeros({256});
+        EXPECT_GE(m.tensor_allocated_bytes.get(),
+                  allocated_before + 256 * static_cast<int64_t>(sizeof(float)));
+        EXPECT_GE(m.tensor_live_bytes.get(),
+                  live_before + 256 * static_cast<int64_t>(sizeof(float)));
+    }
+    EXPECT_EQ(m.tensor_live_bytes.get(), live_before);
+    EXPECT_GE(m.tensor_live_bytes.peak(),
+              live_before + 256 * static_cast<int64_t>(sizeof(float)));
+}
+
+TEST(Metrics, SnapshotAndJson)
+{
+    obs::Metrics& m = obs::metrics();
+    Tensor warm = Tensor::zeros({8}); // each ctest case is a fresh process
+    const auto snapshot = m.snapshot();
+    ASSERT_FALSE(snapshot.empty());
+    bool found = false;
+    for (const auto& [name, value] : snapshot) {
+        if (name == "tensor.allocated_bytes") {
+            found = true;
+            EXPECT_GT(value, 0);
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_TRUE(JsonValidator(m.toJson()).valid());
+}
+
+// --- CollectiveError wait annotation ---------------------------------------
+
+TEST(CollectiveErrorWait, MessageIncludesElapsedWait)
+{
+    CollectiveError with_wait("pg.allreduce", 1, 7, "timed out", 123);
+    EXPECT_NE(std::string(with_wait.what()).find("[this rank waited 123ms]"),
+              std::string::npos)
+        << with_wait.what();
+    EXPECT_EQ(with_wait.waitedMs(), 123);
+
+    CollectiveError without("pg.allreduce", 1, 7, "shape mismatch");
+    EXPECT_EQ(std::string(without.what()).find("waited"), std::string::npos)
+        << without.what();
+    EXPECT_EQ(without.waitedMs(), -1);
+}
+
+} // namespace
+} // namespace slapo
