@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Run-log smoke test: run a 4-rank data-parallel training loop
+# (examples/distributed_telemetry) and validate the emitted run.jsonl
+# against the schema documented in docs/OBSERVABILITY.md — every line is
+# a JSON object carrying "kind", the step records have the full field
+# set with sane values, the checkpoint cadence shows up, and the final
+# dist_metrics record aggregates all four ranks. Registered as the
+# `runlog_smoke` ctest.
+#
+# Usage: bench/run_runlog.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+example_bin="$build_dir/examples/distributed_telemetry"
+
+if [[ ! -x "$example_bin" ]]; then
+    echo "error: $example_bin not built; run:" >&2
+    echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" -j" >&2
+    exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+(cd "$workdir" && "$example_bin")
+
+runlog="$workdir/run.jsonl"
+if [[ ! -s "$runlog" ]]; then
+    echo "error: $runlog missing or empty" >&2
+    exit 1
+fi
+
+python3 - "$runlog" <<'PY'
+import json, math, sys
+
+WORLD_SIZE = 4
+STEPS = 4
+
+records = []
+with open(sys.argv[1]) as f:
+    for i, line in enumerate(f, 1):
+        rec = json.loads(line)  # every line must parse on its own
+        assert isinstance(rec, dict) and "kind" in rec, f"line {i}: no kind"
+        records.append(rec)
+
+by_kind = {}
+for rec in records:
+    by_kind.setdefault(rec["kind"], []).append(rec)
+
+# step records: one per optimizer step, full documented field set.
+steps = by_kind.get("step", [])
+assert len(steps) == STEPS, f"expected {STEPS} step records, got {len(steps)}"
+step_fields = {"step", "loss", "grad_norm", "micro_batches", "tokens",
+               "tokens_per_s", "step_ms", "mem_peak_bytes", "world_size",
+               "anomaly_nan", "anomaly_loss_spike"}
+for want, rec in enumerate(steps):
+    missing = step_fields - rec.keys()
+    assert not missing, f"step record missing fields: {sorted(missing)}"
+    assert rec["step"] == want, f"step index {rec['step']} != {want}"
+    assert rec["world_size"] == WORLD_SIZE
+    assert math.isfinite(rec["loss"]) and rec["loss"] > 0
+    assert math.isfinite(rec["grad_norm"]) and rec["grad_norm"] > 0
+    assert rec["tokens"] > 0 and rec["step_ms"] > 0
+    assert rec["mem_peak_bytes"] > 0
+    assert rec["anomaly_nan"] is False, "healthy run flagged NaN"
+
+# checkpoint cadence: checkpoint_every=2 over 4 steps saves at 0, 2,
+# plus the final state.
+saves = by_kind.get("checkpoint.save", [])
+assert len(saves) >= 2, f"expected >=2 checkpoint.save records, got {len(saves)}"
+for rec in saves:
+    assert rec["bytes"] > 0 and rec["write_ms"] >= 0 and rec["path"]
+
+# dist_metrics: rank 0's merged view with per-rank rows for all ranks.
+dist = by_kind.get("dist_metrics", [])
+assert len(dist) == 1, f"expected 1 dist_metrics record, got {len(dist)}"
+metrics = dist[0]["metrics"]
+assert dist[0]["world_size"] == WORLD_SIZE
+for name in ("pg.count", "pg.wait_ns", "pg.copy_ns",
+             "tensor.allocated_bytes", "tensor.peak_bytes"):
+    stat = metrics[name]
+    assert len(stat["per_rank"]) == WORLD_SIZE, f"{name}: wrong rank count"
+    assert stat["min"] == min(stat["per_rank"]), name
+    assert stat["max"] == max(stat["per_rank"]), name
+    assert stat["spread"] == stat["max"] - stat["min"], name
+# Every rank ran the same collective schedule.
+assert metrics["pg.count"]["spread"] == 0, "pg.count skew in lockstep run"
+assert metrics["pg.count"]["min"] > 0, "no collectives recorded"
+
+print(f"run log OK: {len(records)} records "
+      f"({', '.join(f'{k}x{len(v)}' for k, v in sorted(by_kind.items()))})")
+PY
+
+echo "run log smoke test passed"

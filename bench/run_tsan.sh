@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Build the whole tree under ThreadSanitizer and run the tier-1 test
 # suite. The thread-per-rank collectives, the ProcessGroup abort/timeout
-# paths, and the pipeline queues are exactly where TSan earns its keep —
-# this is the gate for any change to src/runtime/ concurrency.
+# paths, the pipeline queues, and the lock-free flight-recorder rings
+# (tests/test_dist_obs.cc — including the watchdog thread dumping a ring
+# while rank threads are mid-collective) are exactly where TSan earns
+# its keep — this is the gate for any change to src/runtime/ or src/obs/
+# concurrency.
 #
 # Usage: bench/run_tsan.sh [extra ctest args, e.g. -R Fault]
 set -euo pipefail

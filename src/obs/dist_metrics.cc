@@ -1,0 +1,131 @@
+#include "obs/dist_metrics.h"
+
+#include <cstdio>
+
+#include "obs/json_util.h"
+
+namespace slapo {
+namespace obs {
+
+std::vector<std::string>
+distMetricNames()
+{
+    return {
+        "pg.count",          // collectives this rank entered
+        "pg.wait_ns",        // this rank blocked on peers
+        "pg.copy_ns",        // this rank's reduction/copy time
+        "tensor.allocated_bytes",
+        "tensor.peak_bytes",
+        "pipeline.queue_wait_ns", // bubble time
+    };
+}
+
+std::vector<float>
+packInt64s(const std::vector<int64_t>& values)
+{
+    std::vector<float> out;
+    out.reserve(values.size() * kFloatsPerInt64);
+    for (const int64_t v : values) {
+        // Zigzag: sign bit moves to bit 0, so negatives stay small and
+        // the uint64 splits cleanly into chunks.
+        const uint64_t z = (static_cast<uint64_t>(v) << 1) ^
+                           static_cast<uint64_t>(v >> 63);
+        for (size_t c = 0; c < kFloatsPerInt64; ++c) {
+            out.push_back(
+                static_cast<float>((z >> (16 * c)) & 0xffffULL));
+        }
+    }
+    return out;
+}
+
+std::vector<int64_t>
+unpackInt64s(const float* data, size_t count)
+{
+    std::vector<int64_t> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        uint64_t z = 0;
+        for (size_t c = 0; c < kFloatsPerInt64; ++c) {
+            const uint64_t chunk = static_cast<uint64_t>(
+                data[i * kFloatsPerInt64 + c]);
+            z |= (chunk & 0xffffULL) << (16 * c);
+        }
+        out.push_back(static_cast<int64_t>((z >> 1) ^
+                                           (~(z & 1) + 1)));
+    }
+    return out;
+}
+
+DistMetricsReport
+buildDistMetricsReport(const std::vector<std::string>& names,
+                       const std::vector<std::vector<int64_t>>& per_rank)
+{
+    DistMetricsReport report;
+    report.world_size = static_cast<int>(per_rank.size());
+    for (size_t m = 0; m < names.size(); ++m) {
+        DistMetricStat stat;
+        stat.name = names[m];
+        double sum = 0.0;
+        for (size_t r = 0; r < per_rank.size(); ++r) {
+            const int64_t v =
+                m < per_rank[r].size() ? per_rank[r][m] : 0;
+            stat.per_rank.push_back(v);
+            if (r == 0 || v < stat.min) stat.min = v;
+            if (r == 0 || v > stat.max) stat.max = v;
+            sum += static_cast<double>(v);
+        }
+        stat.mean = per_rank.empty()
+                        ? 0.0
+                        : sum / static_cast<double>(per_rank.size());
+        stat.spread = stat.max - stat.min;
+        report.stats.push_back(std::move(stat));
+    }
+    return report;
+}
+
+std::string
+DistMetricsReport::toJson() const
+{
+    std::string out = "{\"kind\":\"dist_metrics\",\"world_size\":" +
+                      std::to_string(world_size) + ",\"metrics\":{";
+    bool first = true;
+    for (const DistMetricStat& stat : stats) {
+        if (!first) out += ",";
+        first = false;
+        out += json::quoted(stat.name) + ":{\"per_rank\":[";
+        for (size_t r = 0; r < stat.per_rank.size(); ++r) {
+            if (r != 0) out += ",";
+            out += std::to_string(stat.per_rank[r]);
+        }
+        out += "],\"min\":" + std::to_string(stat.min);
+        out += ",\"max\":" + std::to_string(stat.max);
+        out += ",\"mean\":" + json::number(stat.mean);
+        out += ",\"spread\":" + std::to_string(stat.spread);
+        out += "}";
+    }
+    out += "}}";
+    return out;
+}
+
+std::string
+DistMetricsReport::table() const
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof line, "%-26s %14s %14s %14s %14s\n",
+                  "metric", "min", "max", "mean", "spread");
+    out += line;
+    for (const DistMetricStat& stat : stats) {
+        std::snprintf(line, sizeof line,
+                      "%-26s %14lld %14lld %14.1f %14lld\n",
+                      stat.name.c_str(),
+                      static_cast<long long>(stat.min),
+                      static_cast<long long>(stat.max), stat.mean,
+                      static_cast<long long>(stat.spread));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace slapo

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cross-rank metric aggregation (docs/OBSERVABILITY.md).
+ *
+ * A single-process metrics snapshot hides skew: one slow rank shows up
+ * only as everyone else's pg.wait_ns. This module defines the pure half
+ * of the aggregation — which per-rank values are shared, how they are
+ * packed bit-exactly into the float tensors the collectives move, and
+ * the min/max/mean skew report rank 0 renders. The actual all-gather
+ * lives in the runtime (`DataParallelTrainer::gatherMetrics()`), which
+ * piggybacks on the training ProcessGroup; obs sits below the tensor
+ * layer and never touches it.
+ *
+ * Packing: float32 cannot represent ns-scale int64 counters exactly
+ * (> 2^24), so each int64 is zigzag-encoded to uint64 and split into
+ * four 16-bit chunks, each ≤ 65535 and therefore exact in a float.
+ * Round-trip is bit-exact for the full int64 range.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slapo {
+namespace obs {
+
+/** Floats per packed int64 (four 16-bit chunks). */
+inline constexpr size_t kFloatsPerInt64 = 4;
+
+/** The per-rank values every rank contributes, in wire order. */
+std::vector<std::string> distMetricNames();
+
+/** Pack int64s into exact-in-float32 chunks (4 floats per value). */
+std::vector<float> packInt64s(const std::vector<int64_t>& values);
+
+/** Inverse of packInt64s. `data` holds `count * kFloatsPerInt64` floats. */
+std::vector<int64_t> unpackInt64s(const float* data, size_t count);
+
+/** One metric aggregated across ranks. */
+struct DistMetricStat
+{
+    std::string name;
+    std::vector<int64_t> per_rank;
+    int64_t min = 0;
+    int64_t max = 0;
+    double mean = 0.0;
+    /** max − min: the rank-skew headline number. */
+    int64_t spread = 0;
+};
+
+/** Rank 0's merged view of every rank's snapshot. */
+struct DistMetricsReport
+{
+    int world_size = 0;
+    std::vector<DistMetricStat> stats;
+
+    /** `{"kind":"dist_metrics",...}` — also a valid run-log record. */
+    std::string toJson() const;
+    /** Human-readable aligned table (for examples/reports). */
+    std::string table() const;
+};
+
+/**
+ * Build the report from per-rank rows: `per_rank[r]` holds rank r's
+ * values, one per `names` entry (rows shorter than `names` are padded
+ * with zeros).
+ */
+DistMetricsReport buildDistMetricsReport(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<int64_t>>& per_rank);
+
+} // namespace obs
+} // namespace slapo

@@ -1,0 +1,508 @@
+#include "obs/flight_recorder.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/json_util.h"
+
+namespace slapo {
+namespace obs {
+
+namespace {
+
+int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Fold `value` into `target` if larger (relaxed CAS max). */
+void
+atomicMax(std::atomic<int64_t>& target, int64_t value)
+{
+    int64_t seen = target.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !target.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+/** Global list of live recorders (leaked: outlives late dtors). */
+struct RecorderRegistry
+{
+    std::mutex mutex;
+    std::vector<FlightRecorder*> recorders;
+};
+
+RecorderRegistry&
+recorderRegistry()
+{
+    static RecorderRegistry* r = new RecorderRegistry();
+    return *r;
+}
+
+/** Automatic-dump destination ("" = stderr). */
+struct DumpPath
+{
+    std::mutex mutex;
+    std::string path;
+    bool env_probed = false;
+};
+
+DumpPath&
+dumpPath()
+{
+    static DumpPath* p = new DumpPath();
+    return *p;
+}
+
+/** Append one dump (a single JSON line) to the configured destination. */
+void
+writeDump(const std::string& json)
+{
+    const std::string path = flightDumpPath();
+    if (path.empty()) {
+        std::fprintf(stderr, "[slapo flight recorder] %s\n", json.c_str());
+        return;
+    }
+    std::ofstream file(path, std::ios::binary | std::ios::app);
+    if (file.good()) {
+        file << json << "\n";
+    }
+}
+
+std::once_flag g_watchdog_env_once;
+
+} // namespace
+
+// --- ring storage -----------------------------------------------------------
+
+/**
+ * One retained event. Every field is a relaxed atomic, so concurrent
+ * record/dump is well-defined (TSan-clean) without any lock. The `seq`
+ * field doubles as the validity marker: the writer zeroes it, fills the
+ * payload, then publishes the new sequence; a reader that sees the
+ * sequence change mid-read discards the slot. A torn-but-published read
+ * can still mix fields in principle — acceptable for diagnostic data,
+ * never undefined behaviour.
+ */
+struct FlightRecorder::Slot
+{
+    std::atomic<int64_t> seq{0}; ///< 0 = empty/being written
+    std::atomic<const char*> site{nullptr};
+    std::atomic<int64_t> enter_ns{0};
+    std::atomic<int64_t> exit_ns{0};
+    std::atomic<int> ndim{0};
+    std::atomic<int64_t> dims[kMaxDims] = {};
+};
+
+struct FlightRecorder::RankRing
+{
+    std::unique_ptr<Slot[]> slots;
+    std::atomic<int64_t> started{0};   ///< collectives entered
+    std::atomic<int64_t> finished{0};  ///< exited, successfully or not
+    std::atomic<int64_t> completed{0}; ///< exited successfully
+};
+
+FlightRecorder::FlightRecorder(int world_size, size_t capacity)
+    : world_size_(world_size < 1 ? 1 : world_size),
+      capacity_(capacity < 1 ? 1 : capacity),
+      rings_(new std::vector<RankRing>(
+          static_cast<size_t>(world_size < 1 ? 1 : world_size)))
+{
+    for (RankRing& ring : *rings_) {
+        ring.slots = std::make_unique<Slot[]>(capacity_);
+    }
+    {
+        RecorderRegistry& reg = recorderRegistry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        reg.recorders.push_back(this);
+    }
+    // First recorder gets a chance to arm the watchdog from the
+    // environment, mirroring failpoint::configureFromEnv.
+    std::call_once(g_watchdog_env_once, [] {
+        const char* env = std::getenv("SLAPO_WATCHDOG_MS");
+        if (env != nullptr && env[0] != '\0') {
+            const long long ms = std::atoll(env);
+            if (ms > 0) {
+                startWatchdog(ms);
+            }
+        }
+    });
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    {
+        RecorderRegistry& reg = recorderRegistry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        for (auto it = reg.recorders.begin(); it != reg.recorders.end(); ++it) {
+            if (*it == this) {
+                reg.recorders.erase(it);
+                break;
+            }
+        }
+    }
+    delete rings_;
+}
+
+void
+FlightRecorder::setLabel(const std::string& label)
+{
+    label_ = label;
+}
+
+int64_t
+FlightRecorder::begin(int rank, const char* site, const int64_t* dims,
+                      int ndim)
+{
+    if (rank < 0 || rank >= world_size_) {
+        return 0;
+    }
+    RankRing& ring = (*rings_)[static_cast<size_t>(rank)];
+    const int64_t seq =
+        ring.started.fetch_add(1, std::memory_order_relaxed) + 1;
+    Slot& slot = ring.slots[static_cast<size_t>(seq - 1) % capacity_];
+    slot.seq.store(0, std::memory_order_release); // invalidate for readers
+    slot.site.store(site, std::memory_order_relaxed);
+    slot.enter_ns.store(nowNs(), std::memory_order_relaxed);
+    slot.exit_ns.store(0, std::memory_order_relaxed);
+    slot.ndim.store(ndim, std::memory_order_relaxed);
+    const int keep = ndim < kMaxDims ? ndim : kMaxDims;
+    for (int d = 0; d < keep; ++d) {
+        slot.dims[d].store(dims[d], std::memory_order_relaxed);
+    }
+    slot.seq.store(seq, std::memory_order_release);
+    return seq;
+}
+
+void
+FlightRecorder::end(int rank, int64_t token, bool aborted)
+{
+    if (rank < 0 || rank >= world_size_ || token <= 0) {
+        return;
+    }
+    RankRing& ring = (*rings_)[static_cast<size_t>(rank)];
+    Slot& slot = ring.slots[static_cast<size_t>(token - 1) % capacity_];
+    if (slot.seq.load(std::memory_order_acquire) == token) {
+        slot.exit_ns.store(aborted ? -1 : nowNs(),
+                           std::memory_order_relaxed);
+    }
+    atomicMax(ring.finished, token);
+    if (!aborted) {
+        atomicMax(ring.completed, token);
+    }
+}
+
+std::vector<FlightEvent>
+FlightRecorder::events() const
+{
+    std::vector<FlightEvent> out;
+    for (int rank = 0; rank < world_size_; ++rank) {
+        const RankRing& ring = (*rings_)[static_cast<size_t>(rank)];
+        const int64_t last = ring.started.load(std::memory_order_relaxed);
+        const int64_t first =
+            last > static_cast<int64_t>(capacity_)
+                ? last - static_cast<int64_t>(capacity_) + 1
+                : 1;
+        for (int64_t seq = first; seq <= last; ++seq) {
+            const Slot& slot =
+                ring.slots[static_cast<size_t>(seq - 1) % capacity_];
+            const int64_t s1 = slot.seq.load(std::memory_order_acquire);
+            if (s1 != seq) {
+                continue; // overwritten or mid-write
+            }
+            FlightEvent e;
+            e.rank = rank;
+            e.seq = seq;
+            const char* site = slot.site.load(std::memory_order_relaxed);
+            e.site = site != nullptr ? site : "?";
+            e.enter_ns = slot.enter_ns.load(std::memory_order_relaxed);
+            e.exit_ns = slot.exit_ns.load(std::memory_order_relaxed);
+            const int ndim = slot.ndim.load(std::memory_order_relaxed);
+            const int keep = ndim < kMaxDims ? ndim : kMaxDims;
+            for (int d = 0; d < keep; ++d) {
+                e.shape.push_back(
+                    slot.dims[d].load(std::memory_order_relaxed));
+            }
+            if (slot.seq.load(std::memory_order_acquire) != seq) {
+                continue; // overwritten while reading
+            }
+            out.push_back(std::move(e));
+        }
+    }
+    return out;
+}
+
+FlightAnalysis
+FlightRecorder::analyze() const
+{
+    FlightAnalysis a;
+    a.last_started.resize(static_cast<size_t>(world_size_));
+    a.last_completed.resize(static_cast<size_t>(world_size_));
+    std::vector<int64_t> finished(static_cast<size_t>(world_size_));
+    for (int rank = 0; rank < world_size_; ++rank) {
+        const RankRing& ring = (*rings_)[static_cast<size_t>(rank)];
+        a.last_started[rank] = ring.started.load(std::memory_order_relaxed);
+        a.last_completed[rank] =
+            ring.completed.load(std::memory_order_relaxed);
+        finished[rank] = ring.finished.load(std::memory_order_relaxed);
+    }
+    // The stuck collective: the highest sequence any rank is still
+    // inside. Ranks whose last started sequence is lower never arrived —
+    // they are the stragglers the dump must name.
+    int64_t stuck = -1;
+    for (int rank = 0; rank < world_size_; ++rank) {
+        if (a.last_started[rank] > finished[rank] &&
+            a.last_started[rank] > stuck) {
+            stuck = a.last_started[rank];
+        }
+    }
+    if (stuck <= 0) {
+        return a;
+    }
+    a.stalled = true;
+    a.stuck_seq = stuck;
+    for (int rank = 0; rank < world_size_; ++rank) {
+        if (a.last_started[rank] == stuck &&
+            a.last_started[rank] > finished[rank]) {
+            a.waiting_ranks.push_back(rank);
+            if (a.stuck_site.empty()) {
+                const RankRing& ring = (*rings_)[static_cast<size_t>(rank)];
+                const Slot& slot =
+                    ring.slots[static_cast<size_t>(stuck - 1) % capacity_];
+                if (slot.seq.load(std::memory_order_acquire) == stuck) {
+                    const char* site =
+                        slot.site.load(std::memory_order_relaxed);
+                    a.stuck_site = site != nullptr ? site : "?";
+                }
+            }
+        } else if (a.last_started[rank] < stuck) {
+            a.missing_ranks.push_back(rank);
+        }
+    }
+    return a;
+}
+
+std::string
+FlightRecorder::dumpJson() const
+{
+    const FlightAnalysis a = analyze();
+    std::string out = "{\"label\":" + json::quoted(label_);
+    out += ",\"world_size\":" + std::to_string(world_size_);
+    out += ",\"capacity\":" + std::to_string(capacity_);
+    out += ",\"analysis\":{\"stalled\":";
+    out += a.stalled ? "true" : "false";
+    out += ",\"stuck_site\":" + json::quoted(a.stuck_site);
+    out += ",\"stuck_seq\":" + std::to_string(a.stuck_seq);
+    auto int_array = [](const auto& values) {
+        std::string s = "[";
+        bool first = true;
+        for (const auto v : values) {
+            if (!first) s += ",";
+            first = false;
+            s += std::to_string(v);
+        }
+        return s + "]";
+    };
+    out += ",\"waiting_ranks\":" + int_array(a.waiting_ranks);
+    out += ",\"missing_ranks\":" + int_array(a.missing_ranks);
+    out += ",\"last_started\":" + int_array(a.last_started);
+    out += ",\"last_completed\":" + int_array(a.last_completed);
+    out += "},\"events\":[";
+    bool first = true;
+    for (const FlightEvent& e : events()) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"rank\":" + std::to_string(e.rank);
+        out += ",\"seq\":" + std::to_string(e.seq);
+        out += ",\"site\":" + json::quoted(e.site);
+        out += ",\"dtype\":" + json::quoted(e.dtype);
+        out += ",\"shape\":" + int_array(e.shape);
+        out += ",\"enter_ns\":" + std::to_string(e.enter_ns);
+        out += ",\"exit_ns\":" + std::to_string(e.exit_ns);
+        out += ",\"state\":";
+        out += e.exit_ns == 0   ? "\"in_flight\""
+               : e.exit_ns < 0 ? "\"aborted\""
+                                : "\"done\"";
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+void
+FlightRecorder::autoDumpOnError()
+{
+    if (auto_dumped_.exchange(true, std::memory_order_relaxed)) {
+        return; // one dump per failure, not one per victim rank
+    }
+    writeDump(dumpJson());
+}
+
+void
+FlightRecorder::rearmAutoDump()
+{
+    auto_dumped_.store(false, std::memory_order_relaxed);
+}
+
+// --- free functions ---------------------------------------------------------
+
+std::string
+dumpFlightRecorder()
+{
+    RecorderRegistry& reg = recorderRegistry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::string out;
+    for (const FlightRecorder* recorder : reg.recorders) {
+        out += recorder->dumpJson();
+        out += "\n";
+    }
+    return out;
+}
+
+void
+setFlightDumpPath(const std::string& path)
+{
+    DumpPath& p = dumpPath();
+    std::lock_guard<std::mutex> lock(p.mutex);
+    p.path = path;
+    p.env_probed = true; // an explicit path beats the environment
+}
+
+std::string
+flightDumpPath()
+{
+    DumpPath& p = dumpPath();
+    std::lock_guard<std::mutex> lock(p.mutex);
+    if (!p.env_probed) {
+        p.env_probed = true;
+        const char* env = std::getenv("SLAPO_FLIGHT_DUMP");
+        if (env != nullptr && env[0] != '\0') {
+            p.path = env;
+        }
+    }
+    return p.path;
+}
+
+// --- watchdog ---------------------------------------------------------------
+
+struct WatchdogThread
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::thread thread;
+    bool running = false;
+    bool stop_requested = false;
+    std::atomic<int64_t> deadline_ms{0};
+
+    void
+    loop()
+    {
+        for (;;) {
+            const int64_t deadline =
+                deadline_ms.load(std::memory_order_relaxed);
+            int64_t interval_ms = deadline / 4;
+            if (interval_ms < 10) interval_ms = 10;
+            if (interval_ms > 250) interval_ms = 250;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                cv.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                            [&] { return stop_requested; });
+                if (stop_requested) {
+                    return;
+                }
+            }
+            scan(deadline);
+        }
+    }
+
+    /** Dump any recorder with a collective in flight past the deadline
+     * (once per stuck sequence — a stall produces one dump, not a
+     * stream of them). */
+    void
+    scan(int64_t deadline)
+    {
+        const int64_t now = nowNs();
+        RecorderRegistry& reg = recorderRegistry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        for (FlightRecorder* recorder : reg.recorders) {
+            const FlightAnalysis a = recorder->analyze();
+            if (!a.stalled) {
+                continue;
+            }
+            // Age of the stuck collective = oldest enter among the
+            // waiting ranks' current events.
+            int64_t oldest_enter = now;
+            for (const FlightEvent& e : recorder->events()) {
+                if (e.seq == a.stuck_seq && e.exit_ns == 0 &&
+                    e.enter_ns < oldest_enter) {
+                    oldest_enter = e.enter_ns;
+                }
+            }
+            if (now - oldest_enter < deadline * 1000000) {
+                continue;
+            }
+            int64_t dumped = recorder->watchdog_dumped_seq_.load(
+                std::memory_order_relaxed);
+            if (a.stuck_seq <= dumped) {
+                continue;
+            }
+            recorder->watchdog_dumped_seq_.store(
+                a.stuck_seq, std::memory_order_relaxed);
+            writeDump(recorder->dumpJson());
+        }
+    }
+};
+
+namespace {
+
+WatchdogThread&
+watchdog()
+{
+    static WatchdogThread* w = new WatchdogThread();
+    return *w;
+}
+
+} // namespace
+
+void
+startWatchdog(int64_t deadline_ms)
+{
+    WatchdogThread& w = watchdog();
+    std::lock_guard<std::mutex> lock(w.mutex);
+    w.deadline_ms.store(deadline_ms, std::memory_order_relaxed);
+    if (!w.running) {
+        w.stop_requested = false;
+        w.running = true;
+        w.thread = std::thread([&w] { w.loop(); });
+    }
+}
+
+void
+stopWatchdog()
+{
+    WatchdogThread& w = watchdog();
+    {
+        std::lock_guard<std::mutex> lock(w.mutex);
+        if (!w.running) {
+            return;
+        }
+        w.stop_requested = true;
+        w.cv.notify_all();
+    }
+    w.thread.join();
+    std::lock_guard<std::mutex> lock(w.mutex);
+    w.running = false;
+}
+
+} // namespace slapo
+} // namespace obs

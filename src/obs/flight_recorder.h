@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Collective flight recorder — the distributed half of the observability
+ * stack (docs/OBSERVABILITY.md).
+ *
+ * On a real cluster the hardest question is "which rank is stuck in
+ * which collective?"; the answer is gone by the time anyone can attach a
+ * debugger. The flight recorder keeps it: every ProcessGroup owns one
+ * recorder with a per-rank ring buffer of the last N collective events
+ * (site, per-rank sequence number, shape/dtype, enter/exit timestamps),
+ * written lock-free by the rank threads (relaxed atomics only — TSan
+ * clean, no mutex on the hot path) and readable at any moment by a
+ * dumper.
+ *
+ * `analyze()` merges the rings: because SPMD ranks issue collectives in
+ * lock-step, comparing per-rank sequence numbers names the stuck
+ * collective (highest sequence some rank entered but nobody finished),
+ * the ranks blocked inside it, and the ranks that never arrived — the
+ * straggler/victim split a hang post-mortem needs.
+ *
+ * Dumps fire three ways:
+ *   - on demand: `dumpFlightRecorder()` (all live groups) or
+ *     `ProcessGroup::flightRecorder().dumpJson()`;
+ *   - on failure: the first abort/timeout of a group writes one dump to
+ *     the `SLAPO_FLIGHT_DUMP` path (or `setFlightDumpPath()`), captured
+ *     *before* the failing rank unwinds, so the dump shows who was
+ *     still blocked;
+ *   - on deadline: `SLAPO_WATCHDOG_MS=<ms>` (or `startWatchdog()`) arms
+ *     a watchdog thread that scans all recorders and dumps automatically
+ *     when any in-flight collective exceeds the deadline — once per
+ *     stuck sequence, not repeatedly.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slapo {
+namespace obs {
+
+/** One recorded collective entry, in merged snapshot form. */
+struct FlightEvent
+{
+    int rank = 0;
+    int64_t seq = 0;       ///< per-rank collective sequence (1-based)
+    std::string site;      ///< "pg.allreduce", ...
+    std::vector<int64_t> shape;
+    std::string dtype = "f32";
+    int64_t enter_ns = 0;  ///< steady-clock ns (process epoch)
+    int64_t exit_ns = 0;   ///< 0 = in flight, -1 = aborted, >0 = done
+};
+
+/** Merged cross-rank view of where every rank is. */
+struct FlightAnalysis
+{
+    std::vector<int64_t> last_started;   ///< per rank: last seq entered
+    std::vector<int64_t> last_completed; ///< per rank: last seq finished OK
+    /** True while some rank sits inside an unfinished collective. */
+    bool stalled = false;
+    /** The unfinished collective with the highest sequence number. */
+    std::string stuck_site;
+    int64_t stuck_seq = -1;
+    std::vector<int> waiting_ranks; ///< entered stuck_seq, still inside
+    std::vector<int> missing_ranks; ///< never reached stuck_seq
+};
+
+/**
+ * Per-rank ring buffers of recent collective events. One writer per
+ * rank (the rank's thread); any thread may snapshot/dump concurrently.
+ */
+class FlightRecorder
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 64;
+    static constexpr int kMaxDims = 4;
+
+    explicit FlightRecorder(int world_size,
+                            size_t capacity = kDefaultCapacity);
+    ~FlightRecorder();
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    int worldSize() const { return world_size_; }
+    size_t capacity() const { return capacity_; }
+
+    /** Group label shown in dumps ("pg" by default). */
+    void setLabel(const std::string& label);
+
+    /**
+     * Record entry into a collective. `site` must be a string literal
+     * (stored by pointer); returns a token for `end()`. Lock-free.
+     */
+    int64_t begin(int rank, const char* site, const int64_t* dims,
+                  int ndim);
+
+    /** Record the matching exit. `aborted` marks an abandoned wait
+     * (timeout/abort) — it never advances the completed counter. */
+    void end(int rank, int64_t token, bool aborted = false);
+
+    /** All retained events, oldest first within each rank. */
+    std::vector<FlightEvent> events() const;
+
+    /** Merge the rings into a stuck-site / missing-ranks verdict. */
+    FlightAnalysis analyze() const;
+
+    /** Full JSON dump: label, analysis, and every retained event. */
+    std::string dumpJson() const;
+
+    /**
+     * Write one dump to the configured flight-dump path (or stderr when
+     * none is set), at most once per arming — the error path of a group
+     * calls this from every rank, and only the first does I/O. No-op
+     * when no dump destination exists and `force` is false.
+     */
+    void autoDumpOnError();
+
+    /** Re-enable autoDumpOnError after a group reset (retried step). */
+    void rearmAutoDump();
+
+  private:
+    struct Slot;
+    struct RankRing;
+
+    const int world_size_;
+    const size_t capacity_;
+    std::string label_ = "pg";
+    std::vector<RankRing>* rings_; ///< pimpl: keeps atomics out of the ABI
+    std::atomic<bool> auto_dumped_{false};
+    /** Highest stuck_seq the watchdog has already dumped for. */
+    std::atomic<int64_t> watchdog_dumped_seq_{-1};
+
+    friend struct WatchdogThread;
+};
+
+/** Dump every live recorder (one JSON object per line). */
+std::string dumpFlightRecorder();
+
+/**
+ * Where automatic dumps (abort/timeout/watchdog) go. "" (the default)
+ * means stderr. The `SLAPO_FLIGHT_DUMP` environment variable, probed on
+ * first use, overrides; dumps append one JSON object per line.
+ */
+void setFlightDumpPath(const std::string& path);
+std::string flightDumpPath();
+
+/**
+ * Start the collective watchdog: every `deadline_ms / 4` (clamped to
+ * [10, 250] ms) it scans all live recorders and writes a dump for any
+ * collective in flight longer than `deadline_ms`. Also armed by the
+ * `SLAPO_WATCHDOG_MS` environment variable when the first recorder is
+ * created. Restarting replaces the previous deadline.
+ */
+void startWatchdog(int64_t deadline_ms);
+void stopWatchdog();
+
+} // namespace obs
+} // namespace slapo

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tiny JSON-emission helpers shared by the observability writers
+ * (trace dumps, flight-recorder dumps, the run log). Emission only — the
+ * repo deliberately has no JSON parser; tests validate output with their
+ * own minimal RFC 8259 checker.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace slapo {
+namespace obs {
+namespace json {
+
+inline void
+appendEscaped(std::string& out, const char* s)
+{
+    for (; *s; ++s) {
+        const char c = *s;
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof hex, "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+inline std::string
+quoted(const char* s)
+{
+    std::string out = "\"";
+    appendEscaped(out, s);
+    out += '"';
+    return out;
+}
+
+inline std::string
+quoted(const std::string& s)
+{
+    return quoted(s.c_str());
+}
+
+/** Doubles render shortest-roundtrip; NaN/Inf (not JSON) become null. */
+inline std::string
+number(double v)
+{
+    if (!std::isfinite(v)) {
+        return "null";
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+inline std::string
+number(int64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace json
+} // namespace obs
+} // namespace slapo

@@ -54,11 +54,56 @@ Metrics::reset()
     checkpoint_read_ns.reset();
 }
 
+std::vector<std::pair<std::string, int64_t>>
+Metrics::snapshotAndReset()
+{
+    std::vector<std::pair<std::string, int64_t>> snap = snapshot();
+    reset();
+    return snap;
+}
+
 Metrics&
 metrics()
 {
     static Metrics* m = new Metrics(); // leaked: tensor dtors may run late
     return *m;
+}
+
+namespace {
+
+/** Snapshot entries that are levels/watermarks, not monotonic counters. */
+bool
+isLevelMetric(const std::string& name)
+{
+    return name == "tensor.live_bytes" || name == "tensor.peak_bytes" ||
+           name == "pipeline.peak_queue_depth";
+}
+
+} // namespace
+
+MetricsDelta::MetricsDelta() : baseline_(metrics().snapshot()) {}
+
+std::vector<std::pair<std::string, int64_t>>
+MetricsDelta::values() const
+{
+    std::vector<std::pair<std::string, int64_t>> now = metrics().snapshot();
+    for (size_t i = 0; i < now.size() && i < baseline_.size(); ++i) {
+        if (!isLevelMetric(now[i].first)) {
+            now[i].second -= baseline_[i].second;
+        }
+    }
+    return now;
+}
+
+int64_t
+MetricsDelta::get(const std::string& name) const
+{
+    for (const auto& [key, value] : values()) {
+        if (key == name) {
+            return value;
+        }
+    }
+    return 0;
 }
 
 } // namespace obs

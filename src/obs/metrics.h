@@ -128,10 +128,39 @@ struct Metrics
     /** Zero everything (tests; live_bytes of still-live tensors too, so
      * only call between self-contained phases). */
     void reset();
+
+    /** Atomically-enough read-then-zero for per-phase readings: returns
+     * `snapshot()` and resets. Concurrent updates between the read and
+     * the zeroing land in the *next* window — nothing is double-counted
+     * into the returned snapshot. */
+    std::vector<std::pair<std::string, int64_t>> snapshotAndReset();
 };
 
 /** The global registry. */
 Metrics& metrics();
+
+/**
+ * Scoped metric window: captures a baseline at construction so a test or
+ * tuner trial can read its own contribution without zeroing the registry
+ * under other threads' feet. Counter entries report current − baseline;
+ * level/peak entries (`tensor.live_bytes`, `tensor.peak_bytes`,
+ * `pipeline.peak_queue_depth`) report the current absolute value, since
+ * a high watermark has no meaningful difference.
+ */
+class MetricsDelta
+{
+  public:
+    MetricsDelta();
+
+    /** (name, windowed value) in the same stable order as snapshot(). */
+    std::vector<std::pair<std::string, int64_t>> values() const;
+
+    /** Windowed value of one metric by snapshot name (0 if unknown). */
+    int64_t get(const std::string& name) const;
+
+  private:
+    std::vector<std::pair<std::string, int64_t>> baseline_;
+};
 
 } // namespace obs
 } // namespace slapo

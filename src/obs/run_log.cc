@@ -1,0 +1,198 @@
+#include "obs/run_log.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/json_util.h"
+
+namespace slapo {
+namespace obs {
+
+// --- RunLogRecord -----------------------------------------------------------
+
+RunLogRecord::RunLogRecord(const char* kind)
+{
+    body_ = "{\"kind\":" + json::quoted(kind);
+}
+
+RunLogRecord&
+RunLogRecord::num(const char* key, int64_t value)
+{
+    body_ += ",";
+    body_ += json::quoted(key);
+    body_ += ":";
+    body_ += json::number(value);
+    return *this;
+}
+
+RunLogRecord&
+RunLogRecord::num(const char* key, double value)
+{
+    body_ += ",";
+    body_ += json::quoted(key);
+    body_ += ":";
+    body_ += json::number(value);
+    return *this;
+}
+
+RunLogRecord&
+RunLogRecord::str(const char* key, const std::string& value)
+{
+    body_ += ",";
+    body_ += json::quoted(key);
+    body_ += ":";
+    body_ += json::quoted(value);
+    return *this;
+}
+
+RunLogRecord&
+RunLogRecord::flag(const char* key, bool value)
+{
+    body_ += ",";
+    body_ += json::quoted(key);
+    body_ += value ? ":true" : ":false";
+    return *this;
+}
+
+RunLogRecord&
+RunLogRecord::raw(const char* key, const std::string& json_value)
+{
+    body_ += ",";
+    body_ += json::quoted(key);
+    body_ += ":";
+    body_ += json_value;
+    return *this;
+}
+
+std::string
+RunLogRecord::json() const
+{
+    return body_ + "}";
+}
+
+// --- RunLog -----------------------------------------------------------------
+
+RunLog::RunLog(const std::string& path)
+    : file_(path, std::ios::binary | std::ios::trunc), path_(path)
+{
+    good_ = file_.good();
+}
+
+void
+RunLog::write(const RunLogRecord& record)
+{
+    writeLine(record.json());
+}
+
+void
+RunLog::writeLine(const std::string& json_object)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!good_) {
+        return;
+    }
+    file_ << json_object << "\n";
+    file_.flush();
+}
+
+void
+RunLog::logStep(const StepRecord& step)
+{
+    const bool nan_anomaly =
+        !std::isfinite(step.loss) || !std::isfinite(step.grad_norm);
+
+    bool spike = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (recent_losses_.size() >= 4 && std::isfinite(step.loss)) {
+            double mean = 0.0;
+            for (const double l : recent_losses_) {
+                mean += l;
+            }
+            mean /= static_cast<double>(recent_losses_.size());
+            spike = step.loss > 2.0 * mean && step.loss > mean + 1.0;
+        }
+        if (std::isfinite(step.loss)) {
+            recent_losses_.push_back(step.loss);
+            while (recent_losses_.size() > 8) {
+                recent_losses_.pop_front();
+            }
+        }
+    }
+
+    const double tokens_per_s =
+        step.step_ms > 0.0
+            ? static_cast<double>(step.tokens) / (step.step_ms / 1000.0)
+            : 0.0;
+
+    RunLogRecord record("step");
+    record.num("step", step.step)
+        .num("loss", step.loss)
+        .num("grad_norm", step.grad_norm)
+        .num("micro_batches", step.micro_batches)
+        .num("tokens", step.tokens)
+        .num("tokens_per_s", tokens_per_s)
+        .num("step_ms", step.step_ms)
+        .num("mem_peak_bytes", step.mem_peak_bytes)
+        .num("world_size", static_cast<int64_t>(step.world_size))
+        .flag("anomaly_nan", nan_anomaly)
+        .flag("anomaly_loss_spike", spike);
+    write(record);
+}
+
+// --- global sink ------------------------------------------------------------
+
+namespace {
+
+std::atomic<RunLog*> g_run_log{nullptr};
+std::once_flag g_env_once;
+std::mutex g_open_mutex;
+
+void
+openLocked(const std::string& path)
+{
+    RunLog* next = path.empty() ? nullptr : new RunLog(path);
+    if (next != nullptr && !next->good()) {
+        delete next;
+        next = nullptr;
+    }
+    RunLog* prev = g_run_log.exchange(next, std::memory_order_acq_rel);
+    // Leak the previous sink instead of deleting it: a concurrent writer
+    // may still hold the pointer. Run logs are opened O(1) times.
+    (void)prev;
+}
+
+} // namespace
+
+RunLog*
+runLog()
+{
+    std::call_once(g_env_once, [] {
+        const char* env = std::getenv("SLAPO_RUN_LOG");
+        if (env != nullptr && env[0] != '\0') {
+            std::lock_guard<std::mutex> lock(g_open_mutex);
+            openLocked(env);
+        }
+    });
+    return g_run_log.load(std::memory_order_acquire);
+}
+
+void
+openRunLog(const std::string& path)
+{
+    std::call_once(g_env_once, [] {}); // an explicit open beats the env
+    std::lock_guard<std::mutex> lock(g_open_mutex);
+    openLocked(path);
+}
+
+void
+closeRunLog()
+{
+    std::call_once(g_env_once, [] {});
+    std::lock_guard<std::mutex> lock(g_open_mutex);
+    openLocked("");
+}
+
+} // namespace obs
+} // namespace slapo

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Structured run log: one JSON object per line (JSONL), one record per
+ * training event — the durable "what did this run actually do?" answer
+ * (docs/OBSERVABILITY.md documents the schema).
+ *
+ * Enabled by `SLAPO_RUN_LOG=run.jsonl` in the environment (probed once,
+ * same discipline as SLAPO_TRACE) or programmatically with
+ * `openRunLog(path)`. When disabled, every call site pays one relaxed
+ * atomic load. Record kinds emitted by the runtime:
+ *
+ *   step                one per optimizer step (Trainer /
+ *                       DataParallelTrainer): step index, loss, global
+ *                       grad norm, tokens/s, step wall time, memory
+ *                       peak, NaN/Inf and loss-spike anomaly flags
+ *   pipeline.forward    one per PipelineRuntime forward: micro-batches,
+ *                       bubble (queue-wait) ns, wall time
+ *   checkpoint.save /   one per checkpoint write/load: step, path,
+ *   checkpoint.restore  bytes, wall time
+ *   recovery            one per retry inside runWithRecovery: attempt
+ *                       number, failed step, error text
+ *   tuner.trial         one per tuner evaluation: config, value,
+ *                       whether it is the best so far
+ *   dist_metrics        one per cross-rank aggregation (dist_metrics.h)
+ *
+ * Writers hold one mutex per record — the run log is per-step, not
+ * per-op, so contention is irrelevant.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+namespace slapo {
+namespace obs {
+
+/** Builder for one JSONL record. Keys must be literal/ASCII. */
+class RunLogRecord
+{
+  public:
+    explicit RunLogRecord(const char* kind);
+
+    RunLogRecord& num(const char* key, int64_t value);
+    RunLogRecord& num(const char* key, double value); ///< NaN/Inf -> null
+    RunLogRecord& str(const char* key, const std::string& value);
+    RunLogRecord& flag(const char* key, bool value);
+    /** Pre-rendered JSON value (object/array), inserted verbatim. */
+    RunLogRecord& raw(const char* key, const std::string& json_value);
+
+    /** The finished one-line JSON object. */
+    std::string json() const;
+
+  private:
+    std::string body_;
+};
+
+/** Per-step payload for `RunLog::logStep` (anomaly flags are derived). */
+struct StepRecord
+{
+    int64_t step = 0;        ///< optimizer step index (0-based)
+    double loss = 0.0;
+    double grad_norm = 0.0;  ///< global L2 norm of the (averaged) grads
+    int64_t micro_batches = 0;
+    int64_t tokens = 0;      ///< input elements consumed this step
+    double step_ms = 0.0;    ///< wall time of the step
+    int64_t mem_peak_bytes = 0;
+    int world_size = 1;      ///< 1 for single-process Trainer
+};
+
+/**
+ * A JSONL sink. Thread-safe; every record is flushed so a crashed run
+ * keeps everything up to the failing step.
+ */
+class RunLog
+{
+  public:
+    explicit RunLog(const std::string& path);
+
+    bool good() const { return good_; }
+    const std::string& path() const { return path_; }
+
+    /** Append one record as a line. */
+    void write(const RunLogRecord& record);
+
+    /** Append a pre-rendered one-line JSON object (must carry "kind"). */
+    void writeLine(const std::string& json_object);
+
+    /**
+     * Append a `step` record with derived anomaly flags:
+     * `anomaly_nan` when loss or grad norm is non-finite;
+     * `anomaly_loss_spike` when the loss jumps far above the trailing
+     * window (≥ 4 recent finite losses, loss > 2× their mean and
+     * > mean + 1.0 — robust to both large and near-zero loss scales).
+     */
+    void logStep(const StepRecord& step);
+
+  private:
+    std::mutex mutex_;
+    std::ofstream file_;
+    bool good_ = false;
+    std::string path_;
+    std::deque<double> recent_losses_; ///< trailing finite losses (≤ 8)
+};
+
+/**
+ * The process-wide run log, or nullptr when disabled. First call probes
+ * `SLAPO_RUN_LOG`; `openRunLog()` overrides (closing any previous log).
+ */
+RunLog* runLog();
+void openRunLog(const std::string& path);
+void closeRunLog();
+
+} // namespace obs
+} // namespace slapo

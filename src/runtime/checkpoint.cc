@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "obs/metrics.h"
+#include "obs/run_log.h"
 #include "obs/trace.h"
 #include "support/crc32.h"
 
@@ -135,14 +136,23 @@ saveCheckpoint(const std::string& path, const CheckpointState& state)
     if (ec) {
         throw CheckpointError(path, "atomic rename failed: " + ec.message());
     }
-    obs::metrics().checkpoint_write_bytes.add(payload_bytes);
-    obs::metrics().checkpoint_write_ns.add(
+    const int64_t write_ns =
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
-            .count());
+            .count();
+    obs::metrics().checkpoint_write_bytes.add(payload_bytes);
+    obs::metrics().checkpoint_write_ns.add(write_ns);
     if (span.live()) {
         span.arg("bytes", payload_bytes);
         span.arg("tensors", static_cast<int64_t>(state.tensors.size()));
+    }
+    if (obs::RunLog* log = obs::runLog()) {
+        obs::RunLogRecord record("checkpoint.save");
+        record.num("step", state.step)
+            .str("path", path)
+            .num("bytes", payload_bytes)
+            .num("write_ms", static_cast<double>(write_ns) / 1e6);
+        log->write(record);
     }
 }
 
@@ -201,14 +211,23 @@ loadCheckpoint(const std::string& path)
         }
         state.tensors.push_back(std::move(entry));
     }
-    obs::metrics().checkpoint_read_bytes.add(payload_bytes);
-    obs::metrics().checkpoint_read_ns.add(
+    const int64_t read_ns =
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
-            .count());
+            .count();
+    obs::metrics().checkpoint_read_bytes.add(payload_bytes);
+    obs::metrics().checkpoint_read_ns.add(read_ns);
     if (span.live()) {
         span.arg("bytes", payload_bytes);
         span.arg("tensors", static_cast<int64_t>(state.tensors.size()));
+    }
+    if (obs::RunLog* log = obs::runLog()) {
+        obs::RunLogRecord record("checkpoint.restore");
+        record.num("step", state.step)
+            .str("path", path)
+            .num("bytes", payload_bytes)
+            .num("read_ms", static_cast<double>(read_ns) / 1e6);
+        log->write(record);
     }
     return state;
 }

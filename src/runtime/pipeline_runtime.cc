@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/run_log.h"
 #include "obs/trace.h"
 #include "support/failpoint.h"
 
@@ -129,6 +130,8 @@ PipelineRuntime::PipelineRuntime(std::vector<nn::ModulePtr> stages,
 PipelineRunResult
 PipelineRuntime::forward(const std::vector<std::vector<Tensor>>& micro_batches)
 {
+    const auto forward_start = std::chrono::steady_clock::now();
+    obs::MetricsDelta metrics_window;
     const size_t num_stages = stages_.size();
     // Queue i feeds stage i; queue num_stages collects outputs.
     std::vector<std::unique_ptr<TupleQueue>> queues;
@@ -234,6 +237,25 @@ PipelineRuntime::forward(const std::vector<std::vector<Tensor>>& micro_batches)
     SLAPO_CHECK(result.outputs.size() == micro_batches.size(),
                 "PipelineRuntime: lost micro-batches (stage failure?)");
     result.peak_in_flight = peak.load();
+    if (obs::RunLog* log = obs::runLog()) {
+        const double wall_ms =
+            std::chrono::duration_cast<
+                std::chrono::duration<double, std::milli>>(
+                std::chrono::steady_clock::now() - forward_start)
+                .count();
+        obs::RunLogRecord record("pipeline.forward");
+        record.num("stages", static_cast<int64_t>(num_stages))
+            .num("micro_batches",
+                 static_cast<int64_t>(micro_batches.size()))
+            .num("wall_ms", wall_ms)
+            .num("bubble_ns",
+                 metrics_window.get("pipeline.queue_wait_ns"))
+            .num("push_wait_ns",
+                 metrics_window.get("pipeline.push_wait_ns"))
+            .num("peak_in_flight",
+                 static_cast<int64_t>(result.peak_in_flight));
+        log->write(record);
+    }
     return result;
 }
 

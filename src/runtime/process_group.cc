@@ -52,13 +52,41 @@ validateGatherShape(const Tensor& ref, const Tensor& mine, int64_t axis)
     return {};
 }
 
+/** Marks the flight-recorder exit on every path out of a rendezvous:
+ * normal return → completed, exception unwind → aborted. */
+struct FlightGuard
+{
+    obs::FlightRecorder& recorder;
+    int rank;
+    int64_t token;
+    bool ok = false;
+
+    ~FlightGuard() { recorder.end(rank, token, !ok); }
+};
+
 } // namespace
 
 ProcessGroup::ProcessGroup(int world_size, ProcessGroupOptions options)
     : world_size_(world_size), timeout_ms_(options.timeout_ms),
-      slots_(world_size), results_(world_size)
+      slots_(world_size), results_(world_size), flight_(world_size),
+      rank_counters_(new RankCounters[static_cast<size_t>(
+          world_size < 1 ? 1 : world_size)])
 {
     SLAPO_CHECK(world_size >= 1, "ProcessGroup: world size must be >= 1");
+}
+
+RankPgStats
+ProcessGroup::rankStats(int rank) const
+{
+    RankPgStats out;
+    if (rank < 0 || rank >= world_size_) {
+        return out;
+    }
+    const RankCounters& c = rank_counters_[static_cast<size_t>(rank)];
+    out.count = c.count.load(std::memory_order_relaxed);
+    out.wait_ns = c.wait_ns.load(std::memory_order_relaxed);
+    out.copy_ns = c.copy_ns.load(std::memory_order_relaxed);
+    return out;
 }
 
 void
@@ -80,6 +108,10 @@ ProcessGroup::abortLocked(const std::string& site, int rank,
     abort_rank_ = rank;
     abort_generation_ = generation_;
     abort_reason_ = reason;
+    // Capture the flight-recorder dump *now*, before any blocked rank
+    // unwinds: the dump must show who was still inside the collective
+    // and who never arrived (docs/OBSERVABILITY.md).
+    flight_.autoDumpOnError();
     cv_.notify_all();
 }
 
@@ -122,6 +154,7 @@ ProcessGroup::reset()
     for (Tensor& slot : slots_) {
         slot = Tensor();
     }
+    flight_.rearmAutoDump();
 }
 
 void
@@ -151,10 +184,19 @@ ProcessGroup::rendezvous(const char* site, int rank, const Tensor& tensor,
     obs::TraceSpan span(site, "pg");
     span.arg("rank", static_cast<int64_t>(rank));
     obs::metrics().pg_count.add(1);
+    RankCounters& rc = rank_counters_[static_cast<size_t>(rank)];
+    rc.count.fetch_add(1, std::memory_order_relaxed);
+    const Shape& dims = tensor.shape();
+    FlightGuard flight{flight_, rank,
+                       flight_.begin(rank, site, dims.data(),
+                                     static_cast<int>(dims.size()))};
     if (world_size_ == 1) {
         const auto t0 = Clock::now();
         Tensor out = compute({tensor})[0];
-        obs::metrics().pg_copy_ns.add(ns_since(t0));
+        const int64_t copy_ns = ns_since(t0);
+        obs::metrics().pg_copy_ns.add(copy_ns);
+        rc.copy_ns.fetch_add(copy_ns, std::memory_order_relaxed);
+        flight.ok = true;
         return out;
     }
     const auto entry_time = Clock::now();
@@ -193,7 +235,9 @@ ProcessGroup::rendezvous(const char* site, int rank, const Tensor& tensor,
             abortLocked(site, rank, e.what());
             throwAborted();
         }
-        obs::metrics().pg_copy_ns.add(ns_since(t0));
+        const int64_t compute_ns = ns_since(t0);
+        obs::metrics().pg_copy_ns.add(compute_ns);
+        rc.copy_ns.fetch_add(compute_ns, std::memory_order_relaxed);
         arrived_ = 0;
         first_rank_ = -1;
         ++generation_;
@@ -211,6 +255,8 @@ ProcessGroup::rendezvous(const char* site, int rank, const Tensor& tensor,
                               ready)) {
                 const int64_t waited = elapsed_ms();
                 obs::metrics().pg_wait_ns.add(ns_since(entry_time));
+                rc.wait_ns.fetch_add(ns_since(entry_time),
+                                     std::memory_order_relaxed);
                 abortLocked(site, rank,
                             "rank " + std::to_string(rank) +
                                 " timed out after waiting " +
@@ -223,6 +269,8 @@ ProcessGroup::rendezvous(const char* site, int rank, const Tensor& tensor,
             cv_.wait(lock, ready);
         }
         obs::metrics().pg_wait_ns.add(ns_since(entry_time));
+        rc.wait_ns.fetch_add(ns_since(entry_time),
+                             std::memory_order_relaxed);
         // A completed collective beats a later abort: if the generation
         // advanced, this rank's result is valid even if the group was
         // aborted afterwards.
@@ -239,7 +287,10 @@ ProcessGroup::rendezvous(const char* site, int rank, const Tensor& tensor,
     obs::TraceSpan copy_span("pg.copy", "pg");
     const auto t1 = Clock::now();
     Tensor result = results_[rank].clone();
-    obs::metrics().pg_copy_ns.add(ns_since(t1));
+    const int64_t clone_ns = ns_since(t1);
+    obs::metrics().pg_copy_ns.add(clone_ns);
+    rc.copy_ns.fetch_add(clone_ns, std::memory_order_relaxed);
+    flight.ok = true;
     return result;
 }
 

@@ -21,16 +21,28 @@
  */
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "tensor/tensor.h"
 
 namespace slapo {
 namespace runtime {
+
+/** One rank's collective counters (global metrics aggregate all ranks;
+ * these keep the per-rank split that cross-rank skew reports need). */
+struct RankPgStats
+{
+    int64_t count = 0;   ///< collectives this rank entered
+    int64_t wait_ns = 0; ///< time this rank blocked on peers
+    int64_t copy_ns = 0; ///< this rank's reduction/copy time
+};
 
 /** Tunables of a ProcessGroup's failure behaviour. */
 struct ProcessGroupOptions
@@ -86,9 +98,23 @@ class ProcessGroup
     /**
      * Clear the abort flag and any half-deposited collective so the
      * group can be reused. Call only after every rank thread has been
-     * joined — concurrent use during reset is undefined.
+     * joined — concurrent use during reset is undefined. The flight
+     * recorder's rings are deliberately kept (post-mortem value); only
+     * its one-dump-per-failure latch is re-armed.
      */
     void reset();
+
+    /**
+     * This group's collective flight recorder (obs/flight_recorder.h):
+     * every rendezvous records enter/exit; on the group's first
+     * abort/timeout one merged JSON dump goes to the flight-dump path.
+     */
+    obs::FlightRecorder& flightRecorder() { return flight_; }
+    const obs::FlightRecorder& flightRecorder() const { return flight_; }
+
+    /** Per-rank collective counters (rank-skew reporting). Note that
+     * barrier() records under rank 0 for every participant. */
+    RankPgStats rankStats(int rank) const;
 
   private:
     using ComputeFn =
@@ -125,6 +151,19 @@ class ProcessGroup
     int abort_rank_ = -1;
     int64_t abort_generation_ = 0;
     std::string abort_reason_;
+
+    obs::FlightRecorder flight_;
+
+    /** Per-rank atomic counter cells. Rank threads are recreated on
+     * every DistExecutor::run, so thread-locals would reset; these live
+     * with the group. */
+    struct RankCounters
+    {
+        std::atomic<int64_t> count{0};
+        std::atomic<int64_t> wait_ns{0};
+        std::atomic<int64_t> copy_ns{0};
+    };
+    std::unique_ptr<RankCounters[]> rank_counters_;
 };
 
 } // namespace runtime

@@ -1,9 +1,13 @@
 #include "runtime/trainer.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <exception>
 #include <filesystem>
 
+#include "obs/metrics.h"
+#include "obs/run_log.h"
 #include "obs/trace.h"
 #include "runtime/checkpoint.h"
 #include "support/failpoint.h"
@@ -12,6 +16,64 @@ namespace slapo {
 namespace runtime {
 
 namespace {
+
+using StepClock = std::chrono::steady_clock;
+
+double
+msSince(StepClock::time_point t0)
+{
+    return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+               StepClock::now() - t0)
+        .count();
+}
+
+/**
+ * Global L2 norm of the gradient set. Accumulated sequentially in
+ * double, in parameter order — no parallel reduction — so the result is
+ * bitwise identical across kernel thread counts as long as the grads
+ * themselves are (which the determinism contract guarantees).
+ */
+double
+globalGradNorm(const std::vector<Tensor>& grads)
+{
+    double sum = 0.0;
+    for (const Tensor& g : grads) {
+        const float* data = g.data();
+        const int64_t n = g.numel();
+        for (int64_t i = 0; i < n; ++i) {
+            const double v = static_cast<double>(data[i]);
+            sum += v * v;
+        }
+    }
+    return std::sqrt(sum);
+}
+
+/** Input elements consumed by one step (first tensor of each tuple —
+ * the token ids for the language models trained here). */
+int64_t
+countTokens(const std::vector<std::vector<Tensor>>& batches)
+{
+    int64_t tokens = 0;
+    for (const std::vector<Tensor>& inputs : batches) {
+        if (!inputs.empty()) {
+            tokens += inputs[0].numel();
+        }
+    }
+    return tokens;
+}
+
+/** What a thrown step error says (for the run-log recovery record). */
+std::string
+describeCurrentException()
+{
+    try {
+        throw;
+    } catch (const std::exception& e) {
+        return e.what();
+    } catch (...) {
+        return "unknown error";
+    }
+}
 
 /**
  * The recovery state machine shared by both trainers
@@ -41,6 +103,8 @@ runWithRecovery(
         if (span.live()) {
             span.arg("step", step);
         }
+        // saveCheckpoint itself appends the "checkpoint.save" run-log
+        // record (it knows path, bytes, and timing exactly).
         saveCheckpoint((dir / checkpointFileName(step)).string(),
                        capture(step));
     };
@@ -58,6 +122,8 @@ runWithRecovery(
             ++stats.steps_run;
         } catch (...) {
             std::exception_ptr original = std::current_exception();
+            const std::string error_text = describeCurrentException();
+            const int64_t failed_step = step;
             if (!enabled || stats.recoveries >= recovery.max_retries) {
                 std::rethrow_exception(original);
             }
@@ -67,6 +133,8 @@ runWithRecovery(
             for (auto it = checkpoints.rbegin(); it != checkpoints.rend();
                  ++it) {
                 try {
+                    // loadCheckpoint appends the "checkpoint.restore"
+                    // run-log record on success.
                     CheckpointState state = loadCheckpoint(it->second);
                     restore(state);
                     step = state.step;
@@ -80,6 +148,14 @@ runWithRecovery(
                 std::rethrow_exception(original);
             }
             ++stats.recoveries;
+            if (obs::RunLog* log = obs::runLog()) {
+                obs::RunLogRecord record("recovery");
+                record.num("attempt", static_cast<int64_t>(stats.recoveries))
+                    .num("failed_step", failed_step)
+                    .str("error", error_text)
+                    .num("restored_to_step", step);
+                log->write(record);
+            }
         }
     }
     if (enabled && recovery.checkpoint_every > 0) {
@@ -112,8 +188,10 @@ Trainer::step(const std::vector<std::vector<Tensor>>& micro_batches)
     support::failpoint::hit("trainer.step");
     SLAPO_CHECK(!micro_batches.empty(), "Trainer: no micro-batches");
     obs::TraceSpan step_span("trainer.step", "trainer");
+    const auto step_start = StepClock::now();
     TrainStepStats stats;
     stats.micro_batches = static_cast<int64_t>(micro_batches.size());
+    stats.tokens = countTokens(micro_batches);
 
     std::vector<Tensor> grads;
     int64_t micro_index = 0;
@@ -145,11 +223,24 @@ Trainer::step(const std::vector<std::vector<Tensor>>& micro_batches)
     for (Tensor& g : grads) {
         g.scaleInPlace(inv);
     }
+    stats.grad_norm = globalGradNorm(grads);
     {
         obs::TraceSpan optim_span("trainer.optim", "trainer");
         optimizer_.step(grads);
     }
     stats.loss /= static_cast<double>(micro_batches.size());
+    if (obs::RunLog* log = obs::runLog()) {
+        obs::StepRecord record;
+        record.step = optimizer_.stepCount() - 1;
+        record.loss = stats.loss;
+        record.grad_norm = stats.grad_norm;
+        record.micro_batches = stats.micro_batches;
+        record.tokens = stats.tokens;
+        record.step_ms = msSince(step_start);
+        record.mem_peak_bytes = obs::metrics().tensor_live_bytes.peak();
+        record.world_size = 1;
+        log->logStep(record);
+    }
     return stats;
 }
 
@@ -203,11 +294,13 @@ DataParallelTrainer::step(
 {
     support::failpoint::hit("dp_trainer.step");
     obs::TraceSpan step_span("dp_trainer.step", "trainer");
+    const auto step_start = StepClock::now();
     const int world = executor_.worldSize();
     SLAPO_CHECK(static_cast<int>(per_rank_inputs.size()) == world,
                 "DataParallelTrainer: need one input tuple per rank");
     std::vector<double> losses(world);
     std::vector<int64_t> recomputed(world);
+    double grad_norm = 0.0; // written by rank 0 only
 
     executor_.run(replicas_, [&](int rank, nn::Module& replica,
                                  ProcessGroup& group) {
@@ -228,25 +321,85 @@ DataParallelTrainer::step(
                 grads.push_back(std::move(g));
             }
         }
+        if (rank == 0) {
+            // Post-allreduce grads are identical on every rank; rank 0's
+            // norm is the global one.
+            grad_norm = globalGradNorm(grads);
+        }
         obs::TraceSpan optim_span("trainer.optim", "trainer");
         optimizers_[rank]->step(grads);
     });
 
     TrainStepStats stats;
     stats.micro_batches = world;
+    stats.tokens = countTokens(per_rank_inputs);
+    stats.grad_norm = grad_norm;
     for (int r = 0; r < world; ++r) {
         stats.loss += losses[r];
         stats.recomputed_nodes += recomputed[r];
     }
     stats.loss /= world;
+    if (obs::RunLog* log = obs::runLog()) {
+        obs::StepRecord record;
+        record.step = optimizers_[0]->stepCount() - 1;
+        record.loss = stats.loss;
+        record.grad_norm = stats.grad_norm;
+        record.micro_batches = stats.micro_batches;
+        record.tokens = stats.tokens;
+        record.step_ms = msSince(step_start);
+        record.mem_peak_bytes = obs::metrics().tensor_live_bytes.peak();
+        record.world_size = world;
+        log->logStep(record);
+    }
     return stats;
+}
+
+obs::DistMetricsReport
+DataParallelTrainer::gatherMetrics()
+{
+    const int world = executor_.worldSize();
+    const std::vector<std::string> names = obs::distMetricNames();
+    std::vector<std::vector<int64_t>> per_rank(world);
+
+    executor_.run(replicas_, [&](int rank, nn::Module& /*replica*/,
+                                 ProcessGroup& group) {
+        const RankPgStats mine = group.rankStats(rank);
+        const obs::Metrics& m = obs::metrics();
+        const std::vector<int64_t> values = {
+            mine.count,
+            mine.wait_ns,
+            mine.copy_ns,
+            m.tensor_allocated_bytes.get(),
+            m.tensor_live_bytes.peak(),
+            m.pipeline_queue_wait_ns.get(),
+        };
+        // Move the packed snapshots through the group itself: the
+        // aggregation uses (and therefore exercises) the same collective
+        // path it reports on.
+        const std::vector<float> packed = obs::packInt64s(values);
+        Tensor mine_t = Tensor::fromValues(
+            {1, static_cast<int64_t>(packed.size())}, packed);
+        Tensor gathered = group.allGather(rank, mine_t, 0);
+        if (rank == 0) {
+            const float* data = gathered.data();
+            const size_t floats_per_rank =
+                names.size() * obs::kFloatsPerInt64;
+            for (int r = 0; r < world; ++r) {
+                per_rank[r] = obs::unpackInt64s(
+                    data + static_cast<size_t>(r) * floats_per_rank,
+                    names.size());
+            }
+        }
+    });
+
+    return obs::buildDistMetricsReport(names, per_rank);
 }
 
 TrainRunStats
 DataParallelTrainer::trainSteps(const BatchProvider& batches,
                                 int64_t num_steps)
 {
-    return runWithRecovery(
+    TrainRunStats stats = runWithRecovery(
         recovery_, batches, num_steps,
         [this](const std::vector<std::vector<Tensor>>& per_rank) {
             return step(per_rank);
@@ -264,6 +417,10 @@ DataParallelTrainer::trainSteps(const BatchProvider& batches,
                 restoreTrainerState(state, params_[r], *optimizers_[r]);
             }
         });
+    if (obs::RunLog* log = obs::runLog()) {
+        log->writeLine(gatherMetrics().toJson());
+    }
+    return stats;
 }
 
 } // namespace runtime

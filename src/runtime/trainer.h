@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "nn/module.h"
+#include "obs/dist_metrics.h"
 #include "runtime/autograd.h"
 #include "runtime/dist_executor.h"
 #include "tensor/optim.h"
@@ -26,7 +27,15 @@ namespace runtime {
 struct TrainStepStats
 {
     double loss = 0;               ///< mean loss over micro-batches/ranks
+    /**
+     * Global L2 norm of the averaged gradients, accumulated
+     * sequentially in double over the bit-identical float grads — so it
+     * is itself bitwise identical across kernel thread counts
+     * (tests/test_parallel.cc asserts this).
+     */
+    double grad_norm = 0;
     int64_t micro_batches = 0;     ///< gradient-accumulation count
+    int64_t tokens = 0;            ///< input elements consumed this step
     int64_t stored_activation_bytes = 0;
     int64_t recomputed_nodes = 0;
 };
@@ -136,6 +145,17 @@ class DataParallelTrainer
 
     /** The executor's collective group (e.g. to tune its timeout). */
     ProcessGroup& group() { return executor_.group(); }
+
+    /**
+     * Cross-rank metric aggregation (obs/dist_metrics.h): every rank
+     * packs its per-rank counters (collective count/wait/copy plus the
+     * process-wide tensor/pipeline numbers), the group all-gathers the
+     * packed snapshots — exercising the same collectives it reports on —
+     * and rank 0 unpacks them into a min/max/mean/spread skew report.
+     * Also appended to the run log (kind "dist_metrics") at the end of
+     * every trainSteps call when a run log is open.
+     */
+    obs::DistMetricsReport gatherMetrics();
 
   private:
     DistExecutor executor_;

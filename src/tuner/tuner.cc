@@ -1,14 +1,32 @@
 #include "tuner/tuner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 
+#include "obs/json_util.h"
+#include "obs/metrics.h"
+#include "obs/run_log.h"
 #include "tensor/tensor.h"
 
 namespace slapo {
 namespace tuner {
 
 namespace {
+
+/** A Config rendered as a flat JSON object (for run-log records). */
+std::string
+configJson(const Config& config)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [name, value] : config) {
+        if (!first) out += ",";
+        first = false;
+        out += obs::json::quoted(name) + ":" + obs::json::number(value);
+    }
+    return out + "}";
+}
 
 /** Memoizing evaluation wrapper shared by both algorithms. */
 class Evaluator
@@ -23,13 +41,34 @@ class Evaluator
         if (it != cache_.end()) {
             return it->second;
         }
+        // Scoped metric window + wall clock per trial: trials see their
+        // own contribution, not the accumulated run.
+        const obs::MetricsDelta window;
+        const auto t0 = std::chrono::steady_clock::now();
         const double value = eval_(config);
         cache_.emplace(config, value);
         ++result.evaluated;
         result.history.emplace_back(config, value);
-        if (value > result.best_value) {
+        const bool is_best = value > result.best_value;
+        if (is_best) {
             result.best_value = value;
             result.best = config;
+        }
+        if (obs::RunLog* log = obs::runLog()) {
+            const double eval_ms =
+                std::chrono::duration_cast<
+                    std::chrono::duration<double, std::milli>>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            obs::RunLogRecord record("tuner.trial");
+            record.num("trial", static_cast<int64_t>(result.evaluated))
+                .raw("config", configJson(config))
+                .num("value", value)
+                .flag("is_best", is_best)
+                .num("eval_ms", eval_ms)
+                .num("pg_wait_ns", window.get("pg.wait_ns"))
+                .num("mem_peak_bytes", window.get("tensor.peak_bytes"));
+            log->write(record);
         }
         return value;
     }

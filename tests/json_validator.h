@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Minimal JSON validator shared by the observability tests. Enough of
+ * RFC 8259 to reject any structurally broken dump — objects, arrays,
+ * strings with escapes, numbers, literals. The repo deliberately ships
+ * no JSON parser; tests check emitted output with this instead.
+ */
+#pragma once
+
+#include <cctype>
+#include <cstring>
+#include <string>
+
+namespace slapo {
+namespace testutil {
+
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string& text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value()) {
+            return false;
+        }
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') { ++pos_; return true; }
+        for (;;) {
+            skipWs();
+            if (!string()) return false;
+            skipWs();
+            if (peek() != ':') return false;
+            ++pos_;
+            skipWs();
+            if (!value()) return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == '}') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') { ++pos_; return true; }
+        for (;;) {
+            skipWs();
+            if (!value()) return false;
+            skipWs();
+            if (peek() == ',') { ++pos_; continue; }
+            if (peek() == ']') { ++pos_; return true; }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"') return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (static_cast<unsigned char>(c) < 0x20) return false;
+            if (c == '"') { ++pos_; return true; }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size()) return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= s_.size() || !std::isxdigit(s_[pos_])) {
+                            return false;
+                        }
+                    }
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        const size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(s_[pos_]) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+                s_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        const size_t len = std::strlen(word);
+        if (s_.compare(pos_, len, word) != 0) return false;
+        pos_ += len;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                s_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    const std::string& s_;
+    size_t pos_ = 0;
+};
+
+} // namespace testutil
+} // namespace slapo

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * Distributed telemetry tests (docs/OBSERVABILITY.md): the collective
+ * flight recorder (ring semantics, stall analysis, failpoint-induced
+ * hang dumps, the watchdog), bit-exact int64 packing for cross-rank
+ * metric aggregation, and the run-log integration of the data-parallel
+ * trainer. The acceptance bar: a hung collective must produce a JSON
+ * dump that names the stuck site and the rank that never arrived.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "json_validator.h"
+#include "models/registry.h"
+#include "nn/layers.h"
+#include "obs/dist_metrics.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/run_log.h"
+#include "runtime/dist_executor.h"
+#include "runtime/trainer.h"
+#include "support/failpoint.h"
+
+namespace slapo {
+namespace runtime {
+namespace {
+
+namespace fp = support::failpoint;
+using nn::ModulePtr;
+using testutil::JsonValidator;
+
+/** Fresh scratch file path under the gtest temp root. */
+std::string
+scratchFile(const std::string& name)
+{
+    const auto path =
+        std::filesystem::path(::testing::TempDir()) / ("slapo_" + name);
+    std::filesystem::remove(path);
+    return path.string();
+}
+
+std::vector<std::string>
+readLines(const std::string& path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+}
+
+ModulePtr
+buildLossModel(uint64_t seed)
+{
+    auto model = withCrossEntropyLoss(models::buildTinyModel("bert"));
+    model->initializeParams(seed);
+    return model;
+}
+
+std::vector<std::vector<Tensor>>
+rankBatches(int world, int64_t step)
+{
+    std::vector<std::vector<Tensor>> per_rank;
+    for (int64_t r = 0; r < world; ++r) {
+        per_rank.push_back(
+            {Tensor::randint({1, 8}, 64, 3000 + 10 * step + r),
+             Tensor::randint({1, 8}, 64, 4000 + 10 * step + r)});
+    }
+    return per_rank;
+}
+
+/** Dist-obs tests redirect automatic flight dumps to a scratch file and
+ * must leave the process-wide dump path and failpoints clean. */
+class DistObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fp::clearAll(); }
+
+    void
+    TearDown() override
+    {
+        fp::clearAll();
+        obs::stopWatchdog();
+        obs::setFlightDumpPath("");
+        obs::closeRunLog();
+    }
+};
+
+// --- flight recorder unit semantics -----------------------------------------
+
+TEST_F(DistObsTest, RecorderTracksStallWaitingAndMissingRanks)
+{
+    obs::FlightRecorder recorder(3);
+    const int64_t dims[2] = {4, 8};
+
+    // Collective 1 completes on all ranks.
+    for (int r = 0; r < 3; ++r) {
+        const int64_t token = recorder.begin(r, "pg.allreduce", dims, 2);
+        recorder.end(r, token);
+    }
+    obs::FlightAnalysis a = recorder.analyze();
+    EXPECT_FALSE(a.stalled);
+    EXPECT_EQ(a.last_completed, (std::vector<int64_t>{1, 1, 1}));
+
+    // Collective 2: rank 0 enters and blocks, rank 1 sails through,
+    // rank 2 never arrives.
+    const int64_t stuck_token =
+        recorder.begin(0, "pg.allgather", dims, 2);
+    const int64_t done_token = recorder.begin(1, "pg.allgather", dims, 2);
+    recorder.end(1, done_token);
+
+    a = recorder.analyze();
+    EXPECT_TRUE(a.stalled);
+    EXPECT_EQ(a.stuck_site, "pg.allgather");
+    EXPECT_EQ(a.stuck_seq, 2);
+    EXPECT_EQ(a.waiting_ranks, (std::vector<int>{0}));
+    EXPECT_EQ(a.missing_ranks, (std::vector<int>{2}));
+    EXPECT_EQ(a.last_started, (std::vector<int64_t>{2, 2, 1}));
+    EXPECT_EQ(a.last_completed, (std::vector<int64_t>{1, 2, 1}));
+
+    // An aborted exit clears the stall but never counts as completed.
+    recorder.end(0, stuck_token, /*aborted=*/true);
+    a = recorder.analyze();
+    EXPECT_FALSE(a.stalled);
+    EXPECT_EQ(a.last_completed[0], 1);
+}
+
+TEST_F(DistObsTest, RingRetainsOnlyTheLastCapacityEvents)
+{
+    obs::FlightRecorder recorder(1, /*capacity=*/4);
+    const int64_t dims[1] = {16};
+    for (int i = 0; i < 10; ++i) {
+        const int64_t token = recorder.begin(0, "pg.allreduce", dims, 1);
+        recorder.end(0, token);
+    }
+    const auto events = recorder.events();
+    ASSERT_EQ(events.size(), 4u);
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].seq, 7 + static_cast<int64_t>(i));
+        EXPECT_GT(events[i].exit_ns, 0); // all done
+        EXPECT_EQ(events[i].shape, (std::vector<int64_t>{16}));
+    }
+}
+
+TEST_F(DistObsTest, DumpJsonIsValidAndNamesTheVerdict)
+{
+    obs::FlightRecorder recorder(2);
+    recorder.setLabel("test-group");
+    const int64_t dims[1] = {3};
+    recorder.begin(0, "pg.broadcast", dims, 1); // rank 1 never arrives
+
+    const std::string dump = recorder.dumpJson();
+    EXPECT_TRUE(JsonValidator(dump).valid()) << dump;
+    EXPECT_NE(dump.find("\"label\":\"test-group\""), std::string::npos);
+    EXPECT_NE(dump.find("\"stalled\":true"), std::string::npos);
+    EXPECT_NE(dump.find("\"stuck_site\":\"pg.broadcast\""),
+              std::string::npos);
+    EXPECT_NE(dump.find("\"missing_ranks\":[1]"), std::string::npos);
+    EXPECT_NE(dump.find("\"state\":\"in_flight\""), std::string::npos);
+
+    // dumpFlightRecorder() covers every live recorder, ours included.
+    const std::string all = obs::dumpFlightRecorder();
+    EXPECT_NE(all.find("test-group"), std::string::npos);
+}
+
+// --- failpoint-induced hang: automatic dump on timeout ----------------------
+
+TEST_F(DistObsTest, TimeoutDumpNamesStuckSiteAndNonArrivingRank)
+{
+    // Acceptance: rank 1 is delayed *before* it reaches the collective
+    // (the failpoint fires at the entry site), rank 0 times out inside
+    // pg.allreduce — the automatic dump must name the stuck site, the
+    // waiting rank, and the rank that never arrived.
+    const std::string dump_path = scratchFile("flight_timeout.json");
+    obs::setFlightDumpPath(dump_path);
+
+    fp::Spec delay;
+    delay.at = 0;
+    delay.action = fp::Action::Delay;
+    delay.delay_ms = 800;
+    delay.rank = 1;
+    fp::enable("pg.allreduce", delay);
+
+    DistExecutor executor(2, ProcessGroupOptions{.timeout_ms = 150});
+    std::vector<ModulePtr> replicas;
+    for (int r = 0; r < 2; ++r) {
+        replicas.push_back(std::make_shared<nn::Sequential>());
+    }
+    EXPECT_THROW(
+        executor.run(replicas,
+                     [&](int rank, nn::Module&, ProcessGroup& group) {
+                         group.allReduce(rank, Tensor::full({4}, 1.0f));
+                     }),
+        CollectiveError);
+
+    const auto lines = readLines(dump_path);
+    ASSERT_EQ(lines.size(), 1u) << "one failure, one dump";
+    const std::string& dump = lines[0];
+    EXPECT_TRUE(JsonValidator(dump).valid()) << dump;
+    EXPECT_NE(dump.find("\"stalled\":true"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("\"stuck_site\":\"pg.allreduce\""),
+              std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find("\"stuck_seq\":1"), std::string::npos) << dump;
+    EXPECT_NE(dump.find("\"waiting_ranks\":[0]"), std::string::npos)
+        << dump;
+    EXPECT_NE(dump.find("\"missing_ranks\":[1]"), std::string::npos)
+        << dump;
+
+    // Post-mortem: the group's recorder still holds the events after the
+    // executor reset the group (rings survive reset; only the dump latch
+    // is re-armed).
+    const auto events = executor.group().flightRecorder().events();
+    EXPECT_FALSE(events.empty());
+}
+
+TEST_F(DistObsTest, WatchdogDumpsACollectiveExceedingItsDeadline)
+{
+    const std::string dump_path = scratchFile("flight_watchdog.json");
+    obs::setFlightDumpPath(dump_path);
+
+    obs::FlightRecorder recorder(2);
+    recorder.setLabel("watchdog-group");
+    const int64_t dims[1] = {8};
+    const int64_t token = recorder.begin(0, "pg.reducescatter", dims, 1);
+
+    obs::startWatchdog(50);
+    // Give the watchdog several scan periods past the deadline.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    obs::stopWatchdog();
+    recorder.end(0, token, /*aborted=*/true);
+
+    const auto lines = readLines(dump_path);
+    ASSERT_EQ(lines.size(), 1u)
+        << "the watchdog dumps once per stuck collective, not per scan";
+    EXPECT_TRUE(JsonValidator(lines[0]).valid()) << lines[0];
+    EXPECT_NE(lines[0].find("\"label\":\"watchdog-group\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"stuck_site\":\"pg.reducescatter\""),
+              std::string::npos)
+        << lines[0];
+    EXPECT_NE(lines[0].find("\"missing_ranks\":[1]"), std::string::npos)
+        << lines[0];
+}
+
+// --- cross-rank metric aggregation ------------------------------------------
+
+TEST_F(DistObsTest, PackUnpackRoundTripsTheFullInt64Range)
+{
+    const std::vector<int64_t> values = {
+        0,
+        1,
+        -1,
+        65535,
+        65536,
+        -123456789012345,
+        123456789012345,
+        std::numeric_limits<int64_t>::max(),
+        std::numeric_limits<int64_t>::min(),
+    };
+    const std::vector<float> packed = obs::packInt64s(values);
+    ASSERT_EQ(packed.size(), values.size() * obs::kFloatsPerInt64);
+    // Every chunk must be exactly representable in a float32.
+    for (const float f : packed) {
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LE(f, 65535.0f);
+        EXPECT_EQ(f, static_cast<float>(static_cast<uint32_t>(f)));
+    }
+    const std::vector<int64_t> round =
+        obs::unpackInt64s(packed.data(), values.size());
+    EXPECT_EQ(round, values);
+}
+
+TEST_F(DistObsTest, DistMetricsReportAggregatesMinMaxMeanSpread)
+{
+    const std::vector<std::string> names = {"pg.wait_ns", "pg.count"};
+    const std::vector<std::vector<int64_t>> per_rank = {
+        {100, 4}, {300, 4}, {200, 4}};
+    const obs::DistMetricsReport report =
+        obs::buildDistMetricsReport(names, per_rank);
+
+    ASSERT_EQ(report.stats.size(), 2u);
+    EXPECT_EQ(report.world_size, 3);
+    EXPECT_EQ(report.stats[0].min, 100);
+    EXPECT_EQ(report.stats[0].max, 300);
+    EXPECT_DOUBLE_EQ(report.stats[0].mean, 200.0);
+    EXPECT_EQ(report.stats[0].spread, 200);
+    EXPECT_EQ(report.stats[1].spread, 0); // no skew
+
+    const std::string json = report.toJson();
+    EXPECT_TRUE(JsonValidator(json).valid()) << json;
+    EXPECT_NE(json.find("\"kind\":\"dist_metrics\""), std::string::npos);
+}
+
+TEST_F(DistObsTest, GatherMetricsMovesPerRankCountersThroughTheGroup)
+{
+    auto model = buildLossModel(7);
+    DataParallelTrainer trainer(*model, 2);
+    trainer.step(rankBatches(2, 0));
+
+    const obs::DistMetricsReport report = trainer.gatherMetrics();
+    EXPECT_EQ(report.world_size, 2);
+    ASSERT_EQ(report.stats.size(), obs::distMetricNames().size());
+    for (const obs::DistMetricStat& stat : report.stats) {
+        ASSERT_EQ(stat.per_rank.size(), 2u) << stat.name;
+        EXPECT_LE(stat.min, stat.max) << stat.name;
+        EXPECT_GE(stat.mean, static_cast<double>(stat.min)) << stat.name;
+        EXPECT_LE(stat.mean, static_cast<double>(stat.max)) << stat.name;
+        EXPECT_EQ(stat.spread, stat.max - stat.min) << stat.name;
+    }
+    // Both ranks all-reduced one gradient per parameter, in lock-step.
+    const obs::DistMetricStat& count = report.stats[0];
+    ASSERT_EQ(count.name, "pg.count");
+    EXPECT_GT(count.min, 0);
+    EXPECT_EQ(count.spread, 0);
+    EXPECT_TRUE(JsonValidator(report.toJson()).valid());
+}
+
+// --- run-log integration -----------------------------------------------------
+
+TEST_F(DistObsTest, DataParallelRunEmitsStepAndDistMetricsRecords)
+{
+    const std::string log_path = scratchFile("dp_run.jsonl");
+    obs::openRunLog(log_path);
+
+    auto model = buildLossModel(11);
+    DataParallelTrainer trainer(*model, 2);
+    trainer.trainSteps([](int64_t step) { return rankBatches(2, step); },
+                       3);
+    obs::closeRunLog();
+
+    const auto lines = readLines(log_path);
+    int steps = 0;
+    int dist_metrics = 0;
+    for (const std::string& line : lines) {
+        EXPECT_TRUE(JsonValidator(line).valid()) << line;
+        if (line.find("\"kind\":\"step\"") != std::string::npos) {
+            ++steps;
+            EXPECT_NE(line.find("\"world_size\":2"), std::string::npos)
+                << line;
+            EXPECT_NE(line.find("\"grad_norm\":"), std::string::npos);
+            EXPECT_NE(line.find("\"tokens_per_s\":"), std::string::npos);
+            EXPECT_NE(line.find("\"anomaly_nan\":false"),
+                      std::string::npos);
+        }
+        if (line.find("\"kind\":\"dist_metrics\"") != std::string::npos) {
+            ++dist_metrics;
+            EXPECT_NE(line.find("\"per_rank\":"), std::string::npos);
+        }
+    }
+    EXPECT_EQ(steps, 3);
+    EXPECT_EQ(dist_metrics, 1);
+}
+
+} // namespace
+} // namespace runtime
+} // namespace slapo

@@ -12,12 +12,17 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <thread>
 #include <vector>
 
+#include "json_validator.h"
 #include "nn/layers.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "obs/run_log.h"
 #include "obs/trace.h"
 #include "runtime/autograd.h"
 #include "support/error.h"
@@ -26,147 +31,7 @@
 namespace slapo {
 namespace {
 
-// --- minimal JSON validator ------------------------------------------------
-// Enough of RFC 8259 to reject any structurally broken trace dump:
-// objects, arrays, strings with escapes, numbers, literals.
-
-class JsonValidator
-{
-  public:
-    explicit JsonValidator(const std::string& text) : s_(text) {}
-
-    bool
-    valid()
-    {
-        skipWs();
-        if (!value()) {
-            return false;
-        }
-        skipWs();
-        return pos_ == s_.size();
-    }
-
-  private:
-    bool
-    value()
-    {
-        if (pos_ >= s_.size()) return false;
-        switch (s_[pos_]) {
-          case '{': return object();
-          case '[': return array();
-          case '"': return string();
-          case 't': return literal("true");
-          case 'f': return literal("false");
-          case 'n': return literal("null");
-          default: return number();
-        }
-    }
-
-    bool
-    object()
-    {
-        ++pos_; // '{'
-        skipWs();
-        if (peek() == '}') { ++pos_; return true; }
-        for (;;) {
-            skipWs();
-            if (!string()) return false;
-            skipWs();
-            if (peek() != ':') return false;
-            ++pos_;
-            skipWs();
-            if (!value()) return false;
-            skipWs();
-            if (peek() == ',') { ++pos_; continue; }
-            if (peek() == '}') { ++pos_; return true; }
-            return false;
-        }
-    }
-
-    bool
-    array()
-    {
-        ++pos_; // '['
-        skipWs();
-        if (peek() == ']') { ++pos_; return true; }
-        for (;;) {
-            skipWs();
-            if (!value()) return false;
-            skipWs();
-            if (peek() == ',') { ++pos_; continue; }
-            if (peek() == ']') { ++pos_; return true; }
-            return false;
-        }
-    }
-
-    bool
-    string()
-    {
-        if (peek() != '"') return false;
-        ++pos_;
-        while (pos_ < s_.size()) {
-            const char c = s_[pos_];
-            if (static_cast<unsigned char>(c) < 0x20) return false;
-            if (c == '"') { ++pos_; return true; }
-            if (c == '\\') {
-                ++pos_;
-                if (pos_ >= s_.size()) return false;
-                const char e = s_[pos_];
-                if (e == 'u') {
-                    for (int i = 0; i < 4; ++i) {
-                        ++pos_;
-                        if (pos_ >= s_.size() || !std::isxdigit(s_[pos_])) {
-                            return false;
-                        }
-                    }
-                } else if (std::string("\"\\/bfnrt").find(e) ==
-                           std::string::npos) {
-                    return false;
-                }
-            }
-            ++pos_;
-        }
-        return false;
-    }
-
-    bool
-    number()
-    {
-        const size_t start = pos_;
-        if (peek() == '-') ++pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(s_[pos_]) || s_[pos_] == '.' ||
-                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
-                s_[pos_] == '-')) {
-            ++pos_;
-        }
-        return pos_ > start;
-    }
-
-    bool
-    literal(const char* word)
-    {
-        const size_t len = std::strlen(word);
-        if (s_.compare(pos_, len, word) != 0) return false;
-        pos_ += len;
-        return true;
-    }
-
-    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
-                s_[pos_] == '\r')) {
-            ++pos_;
-        }
-    }
-
-    const std::string& s_;
-    size_t pos_ = 0;
-};
+using testutil::JsonValidator; // tests/json_validator.h
 
 /** The dump line of the first 'X' event named `name` ("" if absent). */
 std::string
@@ -460,6 +325,145 @@ TEST(CollectiveErrorWait, MessageIncludesElapsedWait)
     EXPECT_EQ(std::string(without.what()).find("waited"), std::string::npos)
         << without.what();
     EXPECT_EQ(without.waitedMs(), -1);
+}
+
+// --- scoped/resettable metrics ----------------------------------------------
+
+TEST(MetricsScoping, SnapshotAndResetZerosForTheNextWindow)
+{
+    obs::Metrics& m = obs::metrics();
+    m.reset();
+    m.pg_count.add(3);
+    m.pg_wait_ns.add(500);
+
+    auto first = m.snapshotAndReset();
+    int64_t pg_count = -1;
+    for (const auto& [name, value] : first) {
+        if (name == "pg.count") pg_count = value;
+    }
+    EXPECT_EQ(pg_count, 3);
+
+    // The next window starts from zero.
+    for (const auto& [name, value] : m.snapshot()) {
+        if (name == "pg.count" || name == "pg.wait_ns") {
+            EXPECT_EQ(value, 0) << name;
+        }
+    }
+}
+
+TEST(MetricsScoping, MetricsDeltaSeesOnlyItsOwnWindow)
+{
+    obs::Metrics& m = obs::metrics();
+    m.pg_count.add(7); // pre-window noise the delta must not see
+
+    obs::MetricsDelta window;
+    m.pg_count.add(2);
+    m.checkpoint_write_bytes.add(100);
+    EXPECT_EQ(window.get("pg.count"), 2);
+    EXPECT_EQ(window.get("checkpoint.write_bytes"), 100);
+    // Unknown names are zero, not an error.
+    EXPECT_EQ(window.get("no.such.metric"), 0);
+}
+
+// --- structured run log ------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+std::string
+runLogScratch(const std::string& name)
+{
+    const auto path = fs::path(::testing::TempDir()) / name;
+    fs::remove(path);
+    return path.string();
+}
+
+std::vector<std::string>
+readLines(const std::string& path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+}
+
+TEST(RunLog, WritesValidJsonlWithDerivedAnomalyFlags)
+{
+    const std::string path = runLogScratch("runlog_unit.jsonl");
+    obs::RunLog log(path);
+    ASSERT_TRUE(log.good());
+
+    // Steady losses, then a spike, then a NaN.
+    obs::StepRecord step;
+    for (int i = 0; i < 5; ++i) {
+        step.step = i;
+        step.loss = 1.0 + 0.01 * i;
+        step.grad_norm = 0.5;
+        step.micro_batches = 2;
+        step.tokens = 32;
+        step.step_ms = 10.0;
+        log.logStep(step);
+    }
+    step.step = 5;
+    step.loss = 10.0; // > 2x mean and > mean + 1.0
+    log.logStep(step);
+    step.step = 6;
+    step.loss = std::numeric_limits<double>::quiet_NaN();
+    log.logStep(step);
+
+    obs::RunLogRecord custom("recovery");
+    custom.num("attempt", static_cast<int64_t>(1))
+        .str("error", "site \"pg.allreduce\"\nkilled");
+    log.write(custom);
+
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 8u);
+    for (const std::string& line : lines) {
+        EXPECT_TRUE(JsonValidator(line).valid()) << line;
+    }
+    // Normal steps carry no anomalies.
+    EXPECT_NE(lines[0].find("\"anomaly_nan\":false"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"anomaly_loss_spike\":false"),
+              std::string::npos);
+    // The spike step is flagged.
+    EXPECT_NE(lines[5].find("\"anomaly_loss_spike\":true"),
+              std::string::npos)
+        << lines[5];
+    // The NaN step is flagged and its loss serializes as null (valid JSON).
+    EXPECT_NE(lines[6].find("\"anomaly_nan\":true"), std::string::npos)
+        << lines[6];
+    EXPECT_NE(lines[6].find("\"loss\":null"), std::string::npos) << lines[6];
+    // The custom record keeps its kind and escapes the error text.
+    EXPECT_NE(lines[7].find("\"kind\":\"recovery\""), std::string::npos);
+}
+
+TEST(RunLog, TokensPerSecondDerivedFromWallTime)
+{
+    const std::string path = runLogScratch("runlog_tps.jsonl");
+    obs::RunLog log(path);
+    obs::StepRecord step;
+    step.tokens = 500;
+    step.step_ms = 250.0; // 2000 tokens/s
+    log.logStep(step);
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("\"tokens_per_s\":2000"), std::string::npos)
+        << lines[0];
+}
+
+TEST(RunLog, GlobalSinkOpensAndCloses)
+{
+    const std::string path = runLogScratch("runlog_global.jsonl");
+    obs::openRunLog(path);
+    ASSERT_NE(obs::runLog(), nullptr);
+    obs::RunLogRecord record("step");
+    record.num("step", static_cast<int64_t>(0));
+    obs::runLog()->write(record);
+    obs::closeRunLog();
+    EXPECT_EQ(obs::runLog(), nullptr);
+    EXPECT_EQ(readLines(path).size(), 1u);
 }
 
 } // namespace

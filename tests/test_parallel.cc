@@ -9,9 +9,13 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
+#include "models/registry.h"
+#include "nn/layers.h"
+#include "runtime/trainer.h"
 #include "support/parallel.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
@@ -237,6 +241,39 @@ TEST(AccumulationPrecision, LinearMatchesMatmulComposition)
     Tensor composed =
         ops::add(ops::matmul(x, ops::transposeLast2(w)), bias);
     EXPECT_LE(maxAbsDiff(fused, composed), 1e-5f);
+}
+
+TEST(ParallelDeterminism, GlobalGradNormBitwiseStableAcrossThreadCounts)
+{
+    // The run log's global grad norm (TrainStepStats::grad_norm) is a
+    // sequential double accumulation over the averaged gradients, so the
+    // determinism contract extends to it: bit-identical at any kernel
+    // thread count. A fresh model per run — stepping mutates parameters.
+    ThreadGuard guard;
+    auto run_one_step = [] {
+        auto model =
+            runtime::withCrossEntropyLoss(models::buildTinyModel("bert"));
+        model->initializeParams(42);
+        runtime::Trainer trainer(model);
+        const std::vector<std::vector<Tensor>> micros = {
+            {Tensor::randint({2, 8}, 64, 100),
+             Tensor::randint({2, 8}, 64, 200)},
+            {Tensor::randint({2, 8}, 64, 300),
+             Tensor::randint({2, 8}, 64, 400)},
+        };
+        return trainer.step(micros).grad_norm;
+    };
+    setNumThreads(1);
+    const double reference = run_one_step();
+    EXPECT_TRUE(std::isfinite(reference));
+    EXPECT_GT(reference, 0.0);
+    for (int threads : {2, 7}) {
+        setNumThreads(threads);
+        const double got = run_one_step();
+        EXPECT_EQ(std::memcmp(&reference, &got, sizeof(double)), 0)
+            << "grad norm " << got << " != " << reference << " at "
+            << threads << " threads";
+    }
 }
 
 } // namespace
