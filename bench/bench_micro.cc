@@ -18,6 +18,7 @@
 #include "core/pipeline.h"
 #include "runtime/dist_executor.h"
 #include "runtime/trainer.h"
+#include "tensor/alloc.h"
 #include "tensor/ops.h"
 
 namespace {
@@ -256,6 +257,61 @@ BM_TrainerStepTinyBert(benchmark::State& state)
     state.SetLabel("fwd+bwd+AdamW on the tiny test model");
 }
 BENCHMARK(BM_TrainerStepTinyBert)->Unit(benchmark::kMillisecond);
+
+void
+BM_AllocStep(benchmark::State& state)
+{
+    // The A/B the caching allocator is judged by: one full training step
+    // (fwd+bwd+AdamW) with the size-class pool on (pool=1) vs plain heap
+    // alloc/free (pool=0). A warm-up step outside the timed loop fills
+    // the free lists, so in pool mode the timed steps perform zero
+    // tensor-storage heap allocations (tests/test_alloc.cc asserts the
+    // counter; this measures what that buys).
+    const bool pool = state.range(0) != 0;
+    alloc::setMode(pool ? alloc::Mode::Pool : alloc::Mode::Malloc);
+    auto model = runtime::withCrossEntropyLoss(models::buildTinyModel("bert"));
+    model->initializeParams(11);
+    runtime::Trainer trainer(model);
+    std::vector<std::vector<Tensor>> micros = {
+        {Tensor::randint({4, 16}, 64, 1), Tensor::randint({4, 16}, 64, 2)}};
+    trainer.step(micros);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trainer.step(micros));
+    }
+    state.SetLabel(pool ? "SLAPO_ALLOC=pool" : "SLAPO_ALLOC=malloc");
+    alloc::setMode(alloc::Mode::Pool);
+    alloc::clearPool();
+}
+BENCHMARK(BM_AllocStep)->Arg(0)->Arg(1)->ArgName("pool")
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_AllocAcquireRelease(benchmark::State& state)
+{
+    // Raw allocator hot path: acquire/release round-trips of a 1 MiB
+    // buffer, free-list hit vs heap round-trip.
+    const bool pool = state.range(0) != 0;
+    alloc::setMode(pool ? alloc::Mode::Pool : alloc::Mode::Malloc);
+    const int64_t numel = 256 * 1024;
+    // Touch one float per 4 KiB page, as every kernel writing its output
+    // would: a heap round-trip of an mmap-sized buffer re-faults freshly
+    // zeroed pages each iteration, a pooled buffer keeps its pages warm.
+    constexpr int64_t kFloatsPerPage = 4096 / sizeof(float);
+    for (auto _ : state) {
+        int64_t cap = 0;
+        float* p = alloc::acquire(numel, &cap);
+        for (int64_t i = 0; i < numel; i += kFloatsPerPage) {
+            p[i] = static_cast<float>(i);
+        }
+        benchmark::DoNotOptimize(p);
+        alloc::release(p, cap);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(pool ? "pool" : "malloc");
+    alloc::setMode(alloc::Mode::Pool);
+    alloc::clearPool();
+}
+BENCHMARK(BM_AllocAcquireRelease)->Arg(0)->Arg(1)->ArgName("pool");
 
 } // namespace
 

@@ -16,6 +16,7 @@ Graph::createNode(NodeKind kind, const std::string& base_name)
     node->setId(next_id_++);
     Node* raw = node.get();
     nodes_.push_back(std::move(node));
+    ++version_;
     return raw;
 }
 
@@ -31,6 +32,7 @@ Graph::createNodeBefore(NodeKind kind, const std::string& base_name,
                            [&](const auto& n) { return n.get() == anchor; });
     SLAPO_ASSERT(it != nodes_.end(), "anchor node not in graph");
     nodes_.insert(it, std::move(node));
+    ++version_;
     return raw;
 }
 
@@ -78,6 +80,7 @@ Graph::replaceAllUses(Node* from, Node* to)
             n->replaceInput(from, to);
         }
     }
+    ++version_;
     eraseNode(from);
 }
 
@@ -91,6 +94,7 @@ Graph::eraseNode(Node* node)
     }
     nodes_.erase(std::find_if(nodes_.begin(), nodes_.end(),
                               [&](const auto& n) { return n.get() == node; }));
+    ++version_;
 }
 
 void
@@ -116,6 +120,7 @@ Graph::eliminateDeadNodes()
         if (!live.count(it->get()) &&
             (*it)->kind() != NodeKind::Placeholder) {
             it = nodes_.erase(it);
+            ++version_;
         } else {
             ++it;
         }

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,20 @@
 
 namespace slapo {
 namespace graph {
+
+struct MemPlan; // liveness/buffer-reuse plan; defined in memplan.h
+
+/**
+ * Per-graph cache of memory plans (memplan.h), keyed by input-shape
+ * signature and invalidated wholesale when the owning graph's version
+ * changes. Lives inside Graph so plan lifetime tracks graph lifetime.
+ */
+struct MemPlanCache
+{
+    std::mutex mu;
+    uint64_t version = ~uint64_t{0}; ///< graph version the entries reflect
+    std::map<std::string, std::shared_ptr<const MemPlan>> plans;
+};
 
 /**
  * A static dataflow graph: an ordered list of nodes in topological
@@ -44,7 +60,12 @@ class Graph
 
     /** The unique Output node (null until sealed). */
     Node* outputNode() const { return output_; }
-    void setOutputNode(Node* node) { output_ = node; }
+    void
+    setOutputNode(Node* node)
+    {
+        output_ = node;
+        ++version_;
+    }
 
     /** Users of `node` within this graph. */
     std::vector<Node*> usersOf(const Node* node) const;
@@ -90,6 +111,17 @@ class Graph
      */
     int64_t idBound() const { return next_id_; }
 
+    /**
+     * Structure version: bumped by every mutation (node creation/erasure,
+     * output rewiring, subgraph rewrites). Cached analyses — notably the
+     * memory planner's buffer-reuse plan — key on this and rebuild when a
+     * schedule primitive touches the graph.
+     */
+    uint64_t version() const { return version_; }
+
+    /** Memory-plan cache slot for this graph (used by memplan.cc). */
+    MemPlanCache& memPlanCache() const { return plan_cache_; }
+
     /** Multi-line textual dump (fx-style) for debugging and tests. */
     std::string toString() const;
 
@@ -111,6 +143,8 @@ class Graph
     std::vector<std::unique_ptr<Node>> nodes_;
     Node* output_ = nullptr;
     int64_t next_id_ = 0;
+    uint64_t version_ = 0;
+    mutable MemPlanCache plan_cache_;
 };
 
 } // namespace graph

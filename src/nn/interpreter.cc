@@ -3,11 +3,13 @@
 #include <chrono>
 #include <optional>
 
+#include "graph/memplan.h"
 #include "nn/context.h"
 #include "nn/functional.h"
 #include "nn/module.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "tensor/ops.h"
 
 namespace slapo {
 namespace nn {
@@ -53,6 +55,45 @@ class NodeTimer
     std::optional<obs::TraceSpan> span_;
     std::chrono::steady_clock::time_point start_;
 };
+
+/**
+ * Dispatch a planner-marked CallOp to its in-place kernel twin,
+ * overwriting `t` (the dying, uniquely-owned first operand). `second`
+ * is the already-guarded second operand for binary ops (null
+ * otherwise). Returns false for ops without an in-place twin — the
+ * caller falls back to the out-of-place path.
+ */
+bool
+runOpInPlace(const graph::Node& node, Tensor& t, const Tensor* second)
+{
+    using graph::OpKind;
+    switch (node.op()) {
+      case OpKind::Add: ops::addInPlace(t, *second); return true;
+      case OpKind::Sub: ops::subInPlace(t, *second); return true;
+      case OpKind::Mul: ops::mulInPlace(t, *second); return true;
+      case OpKind::Div: ops::divInPlace(t, *second); return true;
+      case OpKind::Scale:
+        ops::scaleInPlace(t, static_cast<float>(node.attrFloat("factor")));
+        return true;
+      case OpKind::AddScalar:
+        ops::addScalarInPlace(t, static_cast<float>(node.attrFloat("value")));
+        return true;
+      case OpKind::Gelu: ops::geluInPlace(t); return true;
+      case OpKind::Relu: ops::reluInPlace(t); return true;
+      case OpKind::Tanh: ops::tanhInPlace(t); return true;
+      case OpKind::Clamp:
+        ops::clampScalarInPlace(t, static_cast<float>(node.attrFloat("lo")),
+                                static_cast<float>(node.attrFloat("hi")));
+        return true;
+      case OpKind::RangeMask:
+        ops::rangeMaskInPlace(t, static_cast<float>(node.attrFloat("lo")),
+                              static_cast<float>(node.attrFloat("hi")));
+        return true;
+      case OpKind::CausalMask: ops::causalMaskInPlace(t); return true;
+      case OpKind::Softmax: ops::softmaxInPlace(t); return true;
+      default: return false;
+    }
+}
 
 } // namespace
 
@@ -147,9 +188,24 @@ interpretGraph(const graph::Graph& graph, Module* self,
         return env[n->id()][0];
     };
 
+    // Memory plan: per-node env releases at last use plus in-place
+    // rewrites (graph/memplan.h). Cached in the graph, keyed by the
+    // runtime input shapes.
+    std::shared_ptr<const graph::MemPlan> plan;
+    if (graph::memPlanEnabled()) {
+        std::vector<Shape> in_shapes;
+        in_shapes.reserve(inputs.size());
+        for (const Value& v : inputs) {
+            in_shapes.push_back(v.shape());
+        }
+        plan = graph::memPlanFor(graph, in_shapes);
+    }
+
     Profiler* prof = Profiler::current();
 
     for (graph::Node* node : graph.nodes()) {
+        const graph::MemPlan::NodeActions* act =
+            plan != nullptr ? plan->at(node->id()) : nullptr;
         switch (node->kind()) {
           case graph::NodeKind::Placeholder:
             break;
@@ -161,11 +217,6 @@ interpretGraph(const graph::Graph& graph, Module* self,
           }
           case graph::NodeKind::CallOp: {
             NodeTimer timer(opKindName(node->op()), *node);
-            std::vector<Value> ins;
-            ins.reserve(node->inputs().size());
-            for (graph::Node* in : node->inputs()) {
-                ins.push_back(first(in));
-            }
             // A .checkpoint(subgraph) node: flag its kernel record (the
             // memory model drops it from activations) and account the
             // region boundary once, at entry nodes.
@@ -183,7 +234,53 @@ interpretGraph(const graph::Graph& graph, Module* self,
                 }
                 prof->beginModule("ckpt_subgraph", /*checkpointed=*/true);
             }
-            put(node, {interpretOp(*node, ins)});
+
+            // Planner in-place rewrite: input 0 dies here, so move it
+            // out of the env — if no aliases remain (no reshape views,
+            // caller handles, or parameters share the storage), the
+            // kernel may overwrite its buffer. Any failed guard falls
+            // back to the ordinary out-of-place execution using the
+            // moved handle, so results are identical either way.
+            bool executed = false;
+            if (act != nullptr && act->inplace) {
+                graph::Node* src = node->inputs()[0];
+                SLAPO_ASSERT(defined[src->id()],
+                             "interpret: undefined node " << src->name());
+                Value moved = std::move(env[src->id()][0]);
+                env[src->id()].clear();
+                defined[src->id()] = 0;
+
+                Tensor& t = moved.tensor();
+                const Tensor* second = nullptr;
+                bool ok = t.materialized() && t.shape() == node->shape() &&
+                          t.storageUseCount() == 1;
+                if (ok && node->inputs().size() > 1) {
+                    const Tensor& b = first(node->inputs()[1]).tensor();
+                    ok = b.materialized() && b.shape() == t.shape();
+                    second = &b;
+                }
+                if (ok && runOpInPlace(*node, t, second)) {
+                    put(node, {std::move(moved)});
+                    executed = true;
+                } else {
+                    std::vector<Value> ins;
+                    ins.reserve(node->inputs().size());
+                    ins.push_back(std::move(moved));
+                    for (size_t i = 1; i < node->inputs().size(); ++i) {
+                        ins.push_back(first(node->inputs()[i]));
+                    }
+                    put(node, {interpretOp(*node, ins)});
+                    executed = true;
+                }
+            }
+            if (!executed) {
+                std::vector<Value> ins;
+                ins.reserve(node->inputs().size());
+                for (graph::Node* in : node->inputs()) {
+                    ins.push_back(first(in));
+                }
+                put(node, {interpretOp(*node, ins)});
+            }
             if (ckpt_scope) {
                 prof->endModule();
             }
@@ -247,6 +344,15 @@ interpretGraph(const graph::Graph& graph, Module* self,
             }
             return outs;
           }
+        }
+        // Drop env entries whose producing node saw its last use here, so
+        // the storage returns to the allocator pool mid-graph instead of
+        // at function exit.
+        if (act != nullptr) {
+            for (int64_t id : act->release_after) {
+                env[id].clear();
+                defined[id] = 0;
+            }
         }
     }
     SLAPO_THROW("interpretGraph: graph has no output node");

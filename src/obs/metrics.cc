@@ -10,6 +10,10 @@ Metrics::snapshot() const
         {"tensor.allocated_bytes", tensor_allocated_bytes.get()},
         {"tensor.live_bytes", tensor_live_bytes.get()},
         {"tensor.peak_bytes", tensor_live_bytes.peak()},
+        {"alloc.pool_hits", alloc_pool_hits.get()},
+        {"alloc.pool_misses", alloc_pool_misses.get()},
+        {"alloc.reuse_bytes", alloc_reuse_bytes.get()},
+        {"alloc.pooled_bytes", alloc_pooled_bytes.get()},
         {"pg.count", pg_count.get()},
         {"pg.wait_ns", pg_wait_ns.get()},
         {"pg.copy_ns", pg_copy_ns.get()},
@@ -42,6 +46,10 @@ Metrics::reset()
 {
     tensor_allocated_bytes.reset();
     tensor_live_bytes.reset();
+    alloc_pool_hits.reset();
+    alloc_pool_misses.reset();
+    alloc_reuse_bytes.reset();
+    alloc_pooled_bytes.reset();
     pg_count.reset();
     pg_wait_ns.reset();
     pg_copy_ns.reset();
@@ -76,6 +84,7 @@ bool
 isLevelMetric(const std::string& name)
 {
     return name == "tensor.live_bytes" || name == "tensor.peak_bytes" ||
+           name == "alloc.pooled_bytes" ||
            name == "pipeline.peak_queue_depth";
 }
 

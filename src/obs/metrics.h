@@ -14,6 +14,13 @@
  *   tensor.allocated_bytes   cumulative tensor storage ever allocated
  *   tensor.live_bytes        currently live tensor storage
  *   tensor.peak_bytes        high watermark of live_bytes
+ *   alloc.pool_hits          storage requests served from the pool's
+ *                            free lists (tensor/alloc.h)
+ *   alloc.pool_misses        storage requests that hit the heap — flat
+ *                            across steady-state steps when the pool is
+ *                            warm (tests/test_alloc.cc asserts this)
+ *   alloc.reuse_bytes        cumulative bytes served from free lists
+ *   alloc.pooled_bytes       bytes parked on free lists right now
  *   pg.wait_ns / pg.count    time ranks spent blocked waiting for peers
  *                            inside collectives / number of collectives
  *   pg.copy_ns               collective compute + result-copy time
@@ -102,6 +109,12 @@ struct Metrics
     // tensor substrate
     Counter tensor_allocated_bytes;
     Gauge tensor_live_bytes; ///< value = live, peak = high watermark
+
+    // caching allocator (tensor/alloc.h)
+    Counter alloc_pool_hits;   ///< requests served from a free list
+    Counter alloc_pool_misses; ///< requests that touched the heap
+    Counter alloc_reuse_bytes; ///< cumulative bytes served from free lists
+    Gauge alloc_pooled_bytes;  ///< bytes currently parked on free lists
 
     // collectives
     Counter pg_count;   ///< collectives completed (per-rank entries)

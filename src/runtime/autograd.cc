@@ -5,6 +5,7 @@
 #include <functional>
 #include <optional>
 
+#include "graph/memplan.h"
 #include "nn/functional.h"
 #include "nn/interpreter.h"
 #include "nn/tracer.h"
@@ -489,13 +490,31 @@ AutogradEngine::backwardGraph(const Graph& g, Module* owner, Frame& frame,
 
     std::vector<Tensor> input_grads(g.placeholders().size());
 
+    // Last-use release of tape intermediates: the reverse walk guarantees
+    // every user of `node` has already run its backward by the time we
+    // reach it, so after processing (or skipping) a node its stored
+    // activation, child frame, and upstream-gradient slot are dead — drop
+    // them so their storage returns to the allocator pool mid-backward
+    // instead of at frame destruction. Purely a lifetime change: results
+    // are bit-identical with the release on or off.
+    const bool release_tape = graph::memPlanEnabled();
+    auto release_node = [&](Node* node) {
+        if (!release_tape) {
+            return;
+        }
+        frame.evict(node);
+        frame.children.erase(node);
+        gslots[node->id()].clear();
+    };
+
     for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
         Node* node = *it;
         if (node->kind() == NodeKind::Output) {
             continue;
         }
         if (!gdef[node->id()]) {
-            continue; // no gradient flows through this node
+            release_node(node); // dead branch: its activation is dead too
+            continue;
         }
         // Materialize missing output slots as zeros.
         auto& slots = gslots[node->id()];
@@ -597,6 +616,7 @@ AutogradEngine::backwardGraph(const Graph& g, Module* owner, Frame& frame,
           case NodeKind::Output:
             break;
         }
+        release_node(node);
     }
 
     // Inputs that never received a gradient (e.g. integer id tensors) get

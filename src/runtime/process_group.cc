@@ -308,6 +308,19 @@ ProcessGroup::allReduce(int rank, const Tensor& tensor)
 }
 
 Tensor
+ProcessGroup::allReduceBucket(int rank, const Tensor& tensor)
+{
+    return rendezvous("pg.allreduce.bucket", rank, tensor, validateSameShape,
+                      [this](const std::vector<Tensor>& slots) {
+                          Tensor sum = slots[0].clone();
+                          for (int r = 1; r < world_size_; ++r) {
+                              sum.addInPlace(slots[r]);
+                          }
+                          return std::vector<Tensor>(world_size_, sum);
+                      });
+}
+
+Tensor
 ProcessGroup::allGather(int rank, const Tensor& tensor, int64_t axis)
 {
     return rendezvous("pg.allgather", rank, tensor,

@@ -69,6 +69,14 @@ class ProcessGroup
     /** Elementwise sum across ranks; every rank gets the full result. */
     Tensor allReduce(int rank, const Tensor& tensor);
 
+    /**
+     * allReduce under the distinct site "pg.allreduce.bucket". Used by
+     * the data-parallel trainer's coalesced gradient exchange so each
+     * flat bucket shows up as its own flight-recorder/failpoint event,
+     * separable from single-tensor reductions in dumps and fault specs.
+     */
+    Tensor allReduceBucket(int rank, const Tensor& tensor);
+
     /** Concatenate rank shards along `axis`; every rank gets the result. */
     Tensor allGather(int rank, const Tensor& tensor, int64_t axis);
 

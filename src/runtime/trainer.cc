@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <filesystem>
 
@@ -46,6 +48,92 @@ globalGradNorm(const std::vector<Tensor>& grads)
         }
     }
     return std::sqrt(sum);
+}
+
+/**
+ * Gradient-allreduce bucket size in bytes. SLAPO_BUCKET_BYTES overrides
+ * the 4 MiB default; <= 0 disables coalescing (one allreduce per
+ * parameter, the pre-bucketing behaviour). Re-read on every step so
+ * tests can flip it without process-lifetime caching.
+ */
+int64_t
+gradBucketBytes()
+{
+    const char* env = std::getenv("SLAPO_BUCKET_BYTES");
+    if (env == nullptr || *env == '\0') {
+        return int64_t{4} << 20;
+    }
+    return static_cast<int64_t>(std::strtoll(env, nullptr, 10));
+}
+
+/**
+ * Average per-parameter gradients across ranks by packing them, in
+ * parameter order, into flat fixed-size buckets and running one
+ * allreduce per bucket instead of one per parameter. Packing is
+ * element-wise, and allReduce sums every element independently in rank
+ * order, so the result is bitwise identical to the per-parameter loop;
+ * only the rendezvous count changes (#buckets instead of #params).
+ * Each bucket records its own "pg.allreduce.bucket" flight-recorder
+ * event with the bucket length as its shape.
+ */
+std::vector<Tensor>
+bucketedGradAllReduce(ProcessGroup& group, int rank,
+                      const std::vector<Tensor>& local, int world)
+{
+    const float inv_world = 1.0f / static_cast<float>(world);
+    const int64_t bucket_bytes = gradBucketBytes();
+    std::vector<Tensor> grads;
+    grads.reserve(local.size());
+    if (bucket_bytes <= 0) {
+        for (const Tensor& g : local) {
+            Tensor r = group.allReduce(rank, g);
+            r.scaleInPlace(inv_world);
+            grads.push_back(std::move(r));
+        }
+        return grads;
+    }
+    const int64_t bucket_elems = std::max<int64_t>(
+        1, bucket_bytes / static_cast<int64_t>(sizeof(float)));
+    int64_t total = 0;
+    for (const Tensor& g : local) {
+        grads.push_back(Tensor::empty(g.shape()));
+        total += g.numel();
+    }
+    // Pack cursor (param pp, offset pc) and unpack cursor (up, uc)
+    // advance through the same flat element stream one bucket apart.
+    size_t pp = 0, up = 0;
+    int64_t pc = 0, uc = 0;
+    for (int64_t off = 0; off < total; off += bucket_elems) {
+        const int64_t n = std::min(bucket_elems, total - off);
+        Tensor bucket = Tensor::empty({n});
+        float* b = bucket.data();
+        for (int64_t filled = 0; filled < n;) {
+            const int64_t take = std::min(local[pp].numel() - pc, n - filled);
+            std::memcpy(b + filled, local[pp].data() + pc,
+                        static_cast<size_t>(take) * sizeof(float));
+            filled += take;
+            pc += take;
+            if (pc == local[pp].numel()) {
+                ++pp;
+                pc = 0;
+            }
+        }
+        Tensor reduced = group.allReduceBucket(rank, bucket);
+        reduced.scaleInPlace(inv_world);
+        const float* r = reduced.data();
+        for (int64_t drained = 0; drained < n;) {
+            const int64_t take = std::min(grads[up].numel() - uc, n - drained);
+            std::memcpy(grads[up].data() + uc, r + drained,
+                        static_cast<size_t>(take) * sizeof(float));
+            drained += take;
+            uc += take;
+            if (uc == grads[up].numel()) {
+                ++up;
+                uc = 0;
+            }
+        }
+    }
+    return grads;
 }
 
 /** Input elements consumed by one step (first tensor of each tuple —
@@ -314,12 +402,12 @@ DataParallelTrainer::step(
         {
             obs::TraceSpan allreduce_span("trainer.grad_allreduce",
                                           "trainer");
+            std::vector<Tensor> local;
+            local.reserve(params_[rank].size());
             for (auto& [path, tensor] : params_[rank]) {
-                Tensor g = AutogradEngine::gradFor(result, *tensor);
-                g = group.allReduce(rank, g);
-                g.scaleInPlace(1.0f / static_cast<float>(world));
-                grads.push_back(std::move(g));
+                local.push_back(AutogradEngine::gradFor(result, *tensor));
             }
+            grads = bucketedGradAllReduce(group, rank, local, world);
         }
         if (rank == 0) {
             // Post-allreduce grads are identical on every rank; rank 0's

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "support/parallel.h"
+#include "tensor/alloc.h"
 
 namespace slapo {
 namespace ops {
@@ -33,13 +34,31 @@ stridesOf(const Shape& shape)
     return strides;
 }
 
-/** Apply an elementwise binary functor with numpy broadcasting. */
+/**
+ * Same-shape elementwise binary core: po[i] = f(pa[i], pb[i]). `po` may
+ * alias `pa` (the planner's in-place path): element i is read before it
+ * is written and never revisited, so aliasing is bit-identical to a
+ * fresh output.
+ */
+template <typename F>
+void
+binarySameShapeInto(const float* pa, const float* pb, float* po, int64_t n,
+                    F&& f)
+{
+    support::parallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+    });
+}
+
+/** Apply an elementwise binary functor with numpy broadcasting. Every
+ * output element is written exactly once, so the output is allocated
+ * uninitialized. */
 template <typename F>
 Tensor
 broadcastBinary(const Tensor& a, const Tensor& b, F&& f)
 {
     const Shape out_shape = broadcastShapes(a.shape(), b.shape());
-    Tensor out = Tensor::zeros(out_shape);
+    Tensor out = Tensor::empty(out_shape);
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -47,9 +66,7 @@ broadcastBinary(const Tensor& a, const Tensor& b, F&& f)
 
     // Fast path: identical shapes — one contiguous pass, no index math.
     if (a.shape() == b.shape()) {
-        support::parallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
-        });
+        binarySameShapeInto(pa, pb, po, n, f);
         return out;
     }
     // Fast path: one operand is a single value (scale/shift tensors).
@@ -114,23 +131,48 @@ broadcastBinary(const Tensor& a, const Tensor& b, F&& f)
     return out;
 }
 
+/** Elementwise unary core: po[i] = f(pa[i]); po may alias pa. */
 template <typename F>
-Tensor
-unary(const Tensor& a, F&& f)
+void
+unaryInto(const float* pa, float* po, int64_t n, F&& f)
 {
-    Tensor out = Tensor::zeros(a.shape());
-    const float* pa = a.data();
-    float* po = out.data();
-    support::parallelFor(0, a.numel(), kElemGrain,
-                         [&](int64_t lo, int64_t hi) {
+    support::parallelFor(0, n, kElemGrain, [&](int64_t lo, int64_t hi) {
         for (int64_t i = lo; i < hi; ++i) {
             po[i] = f(pa[i]);
         }
     });
+}
+
+template <typename F>
+Tensor
+unary(const Tensor& a, F&& f)
+{
+    Tensor out = Tensor::empty(a.shape());
+    unaryInto(a.data(), out.data(), a.numel(), f);
     return out;
 }
 
 constexpr float kGeluC = 0.7978845608028654f; // sqrt(2/pi)
+
+// Scalar functions shared by the out-of-place kernels and their
+// in-place twins, so both paths run identical per-element arithmetic.
+inline float
+geluFn(float x)
+{
+    return 0.5f * x * (1.0f + std::tanh(kGeluC * (x + 0.044715f * x * x * x)));
+}
+
+inline float
+reluFn(float x)
+{
+    return x > 0.0f ? x : 0.0f;
+}
+
+inline float
+tanhFn(float x)
+{
+    return std::tanh(x);
+}
 
 } // namespace
 
@@ -158,6 +200,41 @@ div(const Tensor& a, const Tensor& b)
     return broadcastBinary(a, b, [](float x, float y) { return x / y; });
 }
 
+// In-place binary twins: same-shape only (the planner never marks a
+// broadcasting node in-place); `a` is both input 0 and the output.
+
+void
+addInPlace(Tensor& a, const Tensor& b)
+{
+    SLAPO_CHECK(a.shape() == b.shape(), "addInPlace: shape mismatch");
+    binarySameShapeInto(a.data(), b.data(), a.data(), a.numel(),
+                        [](float x, float y) { return x + y; });
+}
+
+void
+subInPlace(Tensor& a, const Tensor& b)
+{
+    SLAPO_CHECK(a.shape() == b.shape(), "subInPlace: shape mismatch");
+    binarySameShapeInto(a.data(), b.data(), a.data(), a.numel(),
+                        [](float x, float y) { return x - y; });
+}
+
+void
+mulInPlace(Tensor& a, const Tensor& b)
+{
+    SLAPO_CHECK(a.shape() == b.shape(), "mulInPlace: shape mismatch");
+    binarySameShapeInto(a.data(), b.data(), a.data(), a.numel(),
+                        [](float x, float y) { return x * y; });
+}
+
+void
+divInPlace(Tensor& a, const Tensor& b)
+{
+    SLAPO_CHECK(a.shape() == b.shape(), "divInPlace: shape mismatch");
+    binarySameShapeInto(a.data(), b.data(), a.data(), a.numel(),
+                        [](float x, float y) { return x / y; });
+}
+
 Tensor
 scale(const Tensor& a, float factor)
 {
@@ -170,19 +247,31 @@ addScalar(const Tensor& a, float value)
     return unary(a, [value](float x) { return x + value; });
 }
 
+void
+scaleInPlace(Tensor& a, float factor)
+{
+    unaryInto(a.data(), a.data(), a.numel(),
+              [factor](float x) { return x * factor; });
+}
+
+void
+addScalarInPlace(Tensor& a, float value)
+{
+    unaryInto(a.data(), a.data(), a.numel(),
+              [value](float x) { return x + value; });
+}
+
 Tensor
 gelu(const Tensor& a)
 {
-    return unary(a, [](float x) {
-        return 0.5f * x * (1.0f + std::tanh(kGeluC * (x + 0.044715f * x * x * x)));
-    });
+    return unary(a, geluFn);
 }
 
 Tensor
 geluBackward(const Tensor& grad, const Tensor& a)
 {
     SLAPO_CHECK(grad.shape() == a.shape(), "geluBackward: shape mismatch");
-    Tensor out = Tensor::zeros(a.shape());
+    Tensor out = Tensor::empty(a.shape());
     const float* pg = grad.data();
     const float* pa = a.data();
     float* po = out.data();
@@ -204,7 +293,25 @@ geluBackward(const Tensor& grad, const Tensor& a)
 Tensor
 relu(const Tensor& a)
 {
-    return unary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+    return unary(a, reluFn);
+}
+
+void
+geluInPlace(Tensor& a)
+{
+    unaryInto(a.data(), a.data(), a.numel(), geluFn);
+}
+
+void
+reluInPlace(Tensor& a)
+{
+    unaryInto(a.data(), a.data(), a.numel(), reluFn);
+}
+
+void
+tanhInPlace(Tensor& a)
+{
+    unaryInto(a.data(), a.data(), a.numel(), tanhFn);
 }
 
 Tensor
@@ -218,7 +325,7 @@ reluBackward(const Tensor& grad, const Tensor& a)
 Tensor
 tanhOp(const Tensor& a)
 {
-    return unary(a, [](float x) { return std::tanh(x); });
+    return unary(a, tanhFn);
 }
 
 Tensor
@@ -240,15 +347,27 @@ rangeMask(const Tensor& a, float lo, float hi)
     return unary(a, [lo, hi](float x) { return x >= lo && x < hi ? 1.0f : 0.0f; });
 }
 
-Tensor
-causalMask(const Tensor& scores)
+void
+clampScalarInPlace(Tensor& a, float lo, float hi)
 {
-    SLAPO_CHECK(scores.dim() >= 2, "causalMask: needs at least 2-D");
-    const int64_t sq = scores.size(-2);
-    const int64_t sk = scores.size(-1);
-    Tensor out = scores.clone();
-    float* po = out.data();
-    const int64_t batch = scores.numel() / (sq * sk);
+    unaryInto(a.data(), a.data(), a.numel(),
+              [lo, hi](float x) { return std::min(std::max(x, lo), hi); });
+}
+
+void
+rangeMaskInPlace(Tensor& a, float lo, float hi)
+{
+    unaryInto(a.data(), a.data(), a.numel(),
+              [lo, hi](float x) { return x >= lo && x < hi ? 1.0f : 0.0f; });
+}
+
+namespace {
+
+/** Additive causal mask applied to a buffer in place (shared by the
+ * copy-then-mask kernel and the planner's in-place twin). */
+void
+causalMaskApply(float* po, int64_t batch, int64_t sq, int64_t sk)
+{
     for (int64_t b = 0; b < batch; ++b) {
         for (int64_t i = 0; i < sq; ++i) {
             for (int64_t j = i + 1; j < sk; ++j) {
@@ -256,7 +375,28 @@ causalMask(const Tensor& scores)
             }
         }
     }
+}
+
+} // namespace
+
+Tensor
+causalMask(const Tensor& scores)
+{
+    SLAPO_CHECK(scores.dim() >= 2, "causalMask: needs at least 2-D");
+    const int64_t sq = scores.size(-2);
+    const int64_t sk = scores.size(-1);
+    Tensor out = scores.clone();
+    causalMaskApply(out.data(), scores.numel() / (sq * sk), sq, sk);
     return out;
+}
+
+void
+causalMaskInPlace(Tensor& scores)
+{
+    SLAPO_CHECK(scores.dim() >= 2, "causalMask: needs at least 2-D");
+    const int64_t sq = scores.size(-2);
+    const int64_t sk = scores.size(-1);
+    causalMaskApply(scores.data(), scores.numel() / (sq * sk), sq, sk);
 }
 
 namespace {
@@ -354,14 +494,14 @@ reduceToShape(const Tensor& grad_out, const Shape& shape)
     Shape aligned(rank, 1);
     std::copy(shape.begin(), shape.end(), aligned.begin() + (rank - shape.size()));
 
-    Tensor out = Tensor::zeros(aligned);
     const float* pg = grad_out.data();
-    float* po = out.data();
     const int64_t n = grad_out.numel();
 
     // Classify the reduced dims (aligned extent 1 where the gradient
-    // extent is > 1). Two contiguous layouts get fast loops; anything
-    // with interior broadcast dims falls back to the odometer walk.
+    // extent is > 1). Two contiguous layouts get fast loops over an
+    // uninitialized output (first touch assigns, later rows accumulate);
+    // anything with interior broadcast dims falls back to the odometer
+    // walk, whose scatter destinations repeat and so needs zeros.
     std::vector<bool> reduced(rank);
     int64_t first_kept = rank, last_kept = -1;
     int64_t first_reduced = rank, last_reduced = -1;
@@ -379,13 +519,23 @@ reduceToShape(const Tensor& grad_out, const Shape& shape)
     if (last_reduced >= 0 && last_reduced < first_kept) {
         // Pure leading reduce (e.g. grad [B, S, D] -> bias [D]): every
         // output element sums `outer` contiguous rows. The o-loop order is
-        // fixed; chunks split the contiguous inner axis, so results are
-        // bit-identical at any thread count.
+        // fixed (row 0 assigns, rows 1.. accumulate — the same ascending
+        // summation as before); chunks split the contiguous inner axis,
+        // so results are bit-identical at any thread count.
+        Tensor out = Tensor::empty(aligned);
+        float* po = out.data();
         const int64_t inner = out.numel();
         const int64_t outer = n / inner;
+        if (outer == 0) { // zero-extent reduced dim: nothing to sum
+            out.fill_(0.0f);
+            return out.reshape(shape);
+        }
         support::parallelFor(0, inner, kElemGrain,
                              [&](int64_t lo, int64_t hi) {
-            for (int64_t o = 0; o < outer; ++o) {
+            for (int64_t i = lo; i < hi; ++i) {
+                po[i] = pg[i];
+            }
+            for (int64_t o = 1; o < outer; ++o) {
                 const float* row = pg + o * inner;
                 for (int64_t i = lo; i < hi; ++i) {
                     po[i] += row[i];
@@ -397,6 +547,8 @@ reduceToShape(const Tensor& grad_out, const Shape& shape)
     if (last_kept >= 0 && last_kept < first_reduced) {
         // Pure trailing reduce (e.g. grad [B, S, D] -> [B, 1, 1]): each
         // output element is one independent contiguous row sum.
+        Tensor out = Tensor::empty(aligned);
+        float* po = out.data();
         int64_t inner = 1;
         for (int64_t d = first_reduced; d < rank; ++d) {
             inner *= grad_out.size(d);
@@ -416,6 +568,8 @@ reduceToShape(const Tensor& grad_out, const Shape& shape)
 
     // General case (interior/mixed broadcast dims): serial odometer walk —
     // a scatter-add whose destination repeats, kept serial for determinism.
+    Tensor out = Tensor::zeros(aligned);
+    float* po = out.data();
     const auto stro = stridesOf(grad_out.shape());
     const auto stra = stridesOf(aligned);
     std::vector<int64_t> eff(rank);
@@ -586,7 +740,8 @@ matmul(const Tensor& a, const Tensor& b)
     Shape out_shape = batch;
     out_shape.push_back(m);
     out_shape.push_back(n);
-    Tensor out = Tensor::zeros(out_shape);
+    // gemmRows writes every C element exactly once: no zero-init needed.
+    Tensor out = Tensor::empty(out_shape);
 
     // Per-batch flat offsets honoring broadcast on batch dims, computed
     // up front so the parallel loop body is pure arithmetic.
@@ -668,8 +823,8 @@ linear(const Tensor& x, const Tensor& weight, const Tensor& bias)
     // float with blocked summation — the same convention as matmul, so
     // linear(x, W, b) and add(matmul(x, W^T), b) agree within float
     // rounding (see tests/test_parallel.cc).
-    Tensor out = Tensor::zeros({rows, out_f});
-    std::vector<float> wt(static_cast<size_t>(in) * out_f);
+    Tensor out = Tensor::empty({rows, out_f});
+    alloc::Scratch wt(in * out_f);
     transposePack(weight.data(), wt.data(), out_f, in);
     const float* pb = nullptr;
     if (bias.numel() > 0) {
@@ -697,14 +852,14 @@ linearBackward(const Tensor& grad_out, const Tensor& x, const Tensor& weight,
     LinearGrads grads;
     // grad_x [rows, in] = g [rows, out] @ W [out, in]: W is already in
     // row-major microkernel layout, no packing needed.
-    grads.grad_x = Tensor::zeros({rows, in});
+    grads.grad_x = Tensor::empty({rows, in});
     gemmParallel(pg, weight.data(), grads.grad_x.data(), rows, out_f, in,
                  nullptr);
     grads.grad_x = grads.grad_x.reshape(x.shape());
 
     // grad_W [out, in] = g^T [out, rows] @ x [rows, in].
-    grads.grad_weight = Tensor::zeros({out_f, in});
-    std::vector<float> gt(static_cast<size_t>(rows) * out_f);
+    grads.grad_weight = Tensor::empty({out_f, in});
+    alloc::Scratch gt(rows * out_f);
     transposePack(pg, gt.data(), rows, out_f);
     gemmParallel(gt.data(), x2.data(), grads.grad_weight.data(), out_f, rows,
                  in, nullptr);
@@ -727,14 +882,16 @@ linearBackward(const Tensor& grad_out, const Tensor& x, const Tensor& weight,
     return grads;
 }
 
-Tensor
-softmax(const Tensor& a)
+namespace {
+
+/**
+ * Row softmax core; `po` may alias `pa`: the max pass only reads, the
+ * exp pass reads row[i] immediately before writing orow[i], and the
+ * scale pass touches only the output — so in-place is bit-identical.
+ */
+void
+softmaxInto(const float* pa, float* po, int64_t rows, int64_t d)
 {
-    const int64_t d = a.size(-1);
-    const int64_t rows = a.numel() / d;
-    Tensor out = Tensor::zeros(a.shape());
-    const float* pa = a.data();
-    float* po = out.data();
     support::parallelFor(0, rows, rowGrain(d), [&](int64_t lo, int64_t hi) {
         for (int64_t r = lo; r < hi; ++r) {
             const float* row = pa + r * d;
@@ -750,7 +907,24 @@ softmax(const Tensor& a)
             for (int64_t i = 0; i < d; ++i) orow[i] *= inv;
         }
     });
+}
+
+} // namespace
+
+Tensor
+softmax(const Tensor& a)
+{
+    const int64_t d = a.size(-1);
+    Tensor out = Tensor::empty(a.shape());
+    softmaxInto(a.data(), out.data(), a.numel() / d, d);
     return out;
+}
+
+void
+softmaxInPlace(Tensor& a)
+{
+    const int64_t d = a.size(-1);
+    softmaxInto(a.data(), a.data(), a.numel() / d, d);
 }
 
 Tensor
@@ -758,7 +932,7 @@ softmaxBackward(const Tensor& grad, const Tensor& y)
 {
     const int64_t d = y.size(-1);
     const int64_t rows = y.numel() / d;
-    Tensor out = Tensor::zeros(y.shape());
+    Tensor out = Tensor::empty(y.shape());
     const float* pg = grad.data();
     const float* py = y.data();
     float* po = out.data();
@@ -784,7 +958,7 @@ layerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps)
     SLAPO_CHECK(gamma.numel() == d && beta.numel() == d,
                 "layerNorm: affine param size mismatch");
     const int64_t rows = x.numel() / d;
-    Tensor out = Tensor::zeros(x.shape());
+    Tensor out = Tensor::empty(x.shape());
     const float* px = x.data();
     const float* pg = gamma.data();
     const float* pb = beta.data();
@@ -821,8 +995,8 @@ layerNormBackward(const Tensor& grad_out, const Tensor& x, const Tensor& gamma,
     const int64_t d = x.size(-1);
     const int64_t rows = x.numel() / d;
     LayerNormGrads grads;
-    grads.grad_x = Tensor::zeros(x.shape());
-    grads.grad_gamma = Tensor::zeros({d});
+    grads.grad_x = Tensor::empty(x.shape()); // every row fully written
+    grads.grad_gamma = Tensor::zeros({d});   // accumulated: keep zeros
     grads.grad_beta = Tensor::zeros({d});
 
     const float* px = x.data();
@@ -896,7 +1070,7 @@ dropout(const Tensor& a, float p, uint64_t seed)
         return a.clone();
     }
     SLAPO_CHECK(p < 1.0f, "dropout: p must be in [0, 1), got " << p);
-    Tensor out = Tensor::zeros(a.shape());
+    Tensor out = Tensor::empty(a.shape());
     Rng rng(seed);
     const float inv_keep = 1.0f / (1.0f - p);
     const float* pa = a.data();
@@ -936,7 +1110,7 @@ concat(const std::vector<Tensor>& parts, int64_t axis)
         total += t.size(ax);
     }
     out_shape[ax] = total;
-    Tensor out = Tensor::zeros(out_shape);
+    Tensor out = Tensor::empty(out_shape);
 
     // outer = product of dims before axis; inner = product after.
     int64_t outer = 1;
@@ -985,7 +1159,7 @@ narrow(const Tensor& a, int64_t axis, int64_t start, int64_t length)
                                   << a.size(ax));
     Shape out_shape = a.shape();
     out_shape[ax] = length;
-    Tensor out = Tensor::zeros(out_shape);
+    Tensor out = Tensor::empty(out_shape);
 
     int64_t outer = 1;
     for (int64_t d = 0; d < ax; ++d) outer *= a.size(d);
@@ -1035,7 +1209,7 @@ permute(const Tensor& a, const std::vector<int64_t>& perm)
     for (int64_t d = 0; d < a.dim(); ++d) {
         out_shape[d] = a.size(perm[d]);
     }
-    Tensor out = Tensor::zeros(out_shape);
+    Tensor out = Tensor::empty(out_shape);
     const auto in_strides = stridesOf(a.shape());
     const auto out_strides = stridesOf(out_shape);
     const float* pa = a.data();
@@ -1061,7 +1235,7 @@ embedding(const Tensor& ids, const Tensor& table)
     const int64_t dim = table.size(1);
     Shape out_shape = ids.shape();
     out_shape.push_back(dim);
-    Tensor out = Tensor::zeros(out_shape);
+    Tensor out = Tensor::empty(out_shape);
     const float* pi = ids.data();
     const float* pt = table.data();
     float* po = out.data();
@@ -1108,7 +1282,7 @@ mseLoss(const Tensor& pred, const Tensor& target)
 Tensor
 mseLossBackward(const Tensor& pred, const Tensor& target)
 {
-    Tensor out = Tensor::zeros(pred.shape());
+    Tensor out = Tensor::empty(pred.shape());
     const float* pp = pred.data();
     const float* pt = target.data();
     float* po = out.data();
@@ -1165,7 +1339,7 @@ conv2d(const Tensor& x, const Tensor& w, int64_t stride, int64_t pad)
     SLAPO_CHECK(w.size(1) == Cin, "conv2d: channel mismatch");
     const int64_t Ho = (H + 2 * pad - kh) / stride + 1;
     const int64_t Wo = (W + 2 * pad - kw) / stride + 1;
-    Tensor out = Tensor::zeros({B, Cout, Ho, Wo});
+    Tensor out = Tensor::empty({B, Cout, Ho, Wo});
     const float* px = x.data();
     const float* pw = w.data();
     float* po = out.data();
@@ -1210,7 +1384,7 @@ batchNorm2d(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps)
     const int64_t B = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
     SLAPO_CHECK(gamma.numel() == C && beta.numel() == C,
                 "batchNorm2d: affine size mismatch");
-    Tensor out = Tensor::zeros(x.shape());
+    Tensor out = Tensor::empty(x.shape());
     const float* px = x.data();
     const float* pg = gamma.data();
     const float* pb = beta.data();
@@ -1253,7 +1427,7 @@ globalAvgPool(const Tensor& x)
 {
     SLAPO_CHECK(x.dim() == 4, "globalAvgPool: expects NCHW");
     const int64_t B = x.size(0), C = x.size(1), HW = x.size(2) * x.size(3);
-    Tensor out = Tensor::zeros({B, C});
+    Tensor out = Tensor::empty({B, C});
     const float* px = x.data();
     float* po = out.data();
     for (int64_t b = 0; b < B; ++b) {

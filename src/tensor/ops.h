@@ -36,6 +36,26 @@ Tensor scale(const Tensor& a, float factor);
 /** a + scalar. */
 Tensor addScalar(const Tensor& a, float value);
 
+// In-place twins used by the memory planner's buffer-reuse rewrite
+// (graph/memplan.h). Each runs the exact same per-element arithmetic as
+// its out-of-place version (shared kernel cores), writing the result
+// over the first operand — so planner-on and planner-off execution are
+// bit-identical. The binary forms require identical shapes (no
+// broadcasting); the planner only marks such nodes.
+void addInPlace(Tensor& a, const Tensor& b);
+void subInPlace(Tensor& a, const Tensor& b);
+void mulInPlace(Tensor& a, const Tensor& b);
+void divInPlace(Tensor& a, const Tensor& b);
+void scaleInPlace(Tensor& a, float factor);
+void addScalarInPlace(Tensor& a, float value);
+void geluInPlace(Tensor& a);
+void reluInPlace(Tensor& a);
+void tanhInPlace(Tensor& a);
+void clampScalarInPlace(Tensor& a, float lo, float hi);
+void rangeMaskInPlace(Tensor& a, float lo, float hi);
+void causalMaskInPlace(Tensor& scores);
+void softmaxInPlace(Tensor& a);
+
 /** tanh-approximated GeLU (the variant BERT/GPT use). */
 Tensor gelu(const Tensor& a);
 /** Derivative of gelu at `a`, multiplied by upstream `grad`. */

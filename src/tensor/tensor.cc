@@ -6,32 +6,80 @@
 
 #include "obs/metrics.h"
 #include "support/parallel.h"
+#include "tensor/alloc.h"
 
 namespace slapo {
 
-namespace {
+namespace detail {
 
 /**
- * Allocate tensor storage with byte accounting: cumulative allocated
- * bytes, live bytes, and the live high watermark feed the obs metrics
- * registry (a couple of relaxed atomic adds — noise next to the heap
- * allocation itself). The custom deleter observes the free, so
- * live_bytes tracks exactly the storage still reachable from tensors.
+ * Element buffer of a materialized tensor, drawn from the caching
+ * size-class allocator (tensor/alloc.h). Construction and destruction
+ * carry the byte accounting: cumulative allocated bytes, live bytes,
+ * and the live high watermark feed the obs metrics registry (a couple
+ * of relaxed atomic adds — noise next to the allocation itself). The
+ * destructor observes the free, so live_bytes tracks exactly the
+ * storage still reachable from tensors; bytes parked on the pool's
+ * free lists are accounted separately (alloc.pooled_bytes).
  */
-template <typename... Args>
-std::shared_ptr<std::vector<float>>
-makeStorage(Args&&... args)
+class TensorStorage
 {
-    auto* vec = new std::vector<float>(std::forward<Args>(args)...);
-    const int64_t bytes =
-        static_cast<int64_t>(vec->capacity() * sizeof(float));
-    obs::metrics().tensor_allocated_bytes.add(bytes);
-    obs::metrics().tensor_live_bytes.add(bytes);
-    return std::shared_ptr<std::vector<float>>(
-        vec, [bytes](std::vector<float>* p) {
-            obs::metrics().tensor_live_bytes.add(-bytes);
-            delete p;
-        });
+  public:
+    explicit TensorStorage(int64_t numel)
+    {
+        data_ = alloc::acquire(numel, &capacity_);
+        const int64_t bytes = capacity_ * static_cast<int64_t>(sizeof(float));
+        obs::metrics().tensor_allocated_bytes.add(bytes);
+        obs::metrics().tensor_live_bytes.add(bytes);
+    }
+
+    ~TensorStorage()
+    {
+        obs::metrics().tensor_live_bytes.add(
+            -capacity_ * static_cast<int64_t>(sizeof(float)));
+        alloc::release(data_, capacity_);
+    }
+
+    TensorStorage(const TensorStorage&) = delete;
+    TensorStorage& operator=(const TensorStorage&) = delete;
+
+    float* data() { return data_; }
+    const float* data() const { return data_; }
+
+  private:
+    float* data_ = nullptr;
+    int64_t capacity_ = 0; ///< size-class capacity, in floats
+};
+
+} // namespace detail
+
+namespace {
+
+using detail::TensorStorage;
+
+/** Fresh storage with UNINITIALIZED contents. */
+std::shared_ptr<TensorStorage>
+makeStorage(int64_t numel)
+{
+    return std::make_shared<TensorStorage>(numel);
+}
+
+/** Fresh storage filled with `value`. */
+std::shared_ptr<TensorStorage>
+makeStorageFilled(int64_t numel, float value)
+{
+    auto storage = makeStorage(numel);
+    std::fill(storage->data(), storage->data() + numel, value);
+    return storage;
+}
+
+/** Fresh storage copied from `src`. */
+std::shared_ptr<TensorStorage>
+makeStorageCopy(const float* src, int64_t numel)
+{
+    auto storage = makeStorage(numel);
+    std::copy(src, src + numel, storage->data());
+    return storage;
 }
 
 } // namespace
@@ -84,14 +132,21 @@ Tensor::meta(Shape shape)
 Tensor
 Tensor::zeros(Shape shape)
 {
-    auto storage = makeStorage(numelOf(shape), 0.0f);
+    auto storage = makeStorageFilled(numelOf(shape), 0.0f);
+    return Tensor(std::move(shape), std::move(storage));
+}
+
+Tensor
+Tensor::empty(Shape shape)
+{
+    auto storage = makeStorage(numelOf(shape));
     return Tensor(std::move(shape), std::move(storage));
 }
 
 Tensor
 Tensor::full(Shape shape, float value)
 {
-    auto storage = makeStorage(numelOf(shape), value);
+    auto storage = makeStorageFilled(numelOf(shape), value);
     return Tensor(std::move(shape), std::move(storage));
 }
 
@@ -102,14 +157,15 @@ Tensor::fromValues(Shape shape, std::vector<float> values)
                 "fromValues: shape " << shapeToString(shape) << " needs "
                                      << numelOf(shape) << " values, got "
                                      << values.size());
-    auto storage = makeStorage(std::move(values));
+    auto storage =
+        makeStorageCopy(values.data(), static_cast<int64_t>(values.size()));
     return Tensor(std::move(shape), std::move(storage));
 }
 
 Tensor
 Tensor::uniform(Shape shape, float bound, uint64_t seed)
 {
-    Tensor t = zeros(std::move(shape));
+    Tensor t = empty(std::move(shape));
     Rng rng(seed);
     float* p = t.data();
     for (int64_t i = 0; i < t.numel(); ++i) {
@@ -121,7 +177,7 @@ Tensor::uniform(Shape shape, float bound, uint64_t seed)
 Tensor
 Tensor::randn(Shape shape, float std_dev, uint64_t seed)
 {
-    Tensor t = zeros(std::move(shape));
+    Tensor t = empty(std::move(shape));
     Rng rng(seed);
     float* p = t.data();
     for (int64_t i = 0; i < t.numel(); ++i) {
@@ -134,7 +190,7 @@ Tensor
 Tensor::randint(Shape shape, int64_t high, uint64_t seed)
 {
     SLAPO_CHECK(high > 0, "randint: high must be positive, got " << high);
-    Tensor t = zeros(std::move(shape));
+    Tensor t = empty(std::move(shape));
     Rng rng(seed);
     float* p = t.data();
     for (int64_t i = 0; i < t.numel(); ++i) {
@@ -200,7 +256,7 @@ Tensor::clone() const
     if (isMeta()) {
         return meta(shape_);
     }
-    auto storage = makeStorage(*storage_);
+    auto storage = makeStorageCopy(storage_->data(), numel());
     return Tensor(shape_, std::move(storage));
 }
 
@@ -208,14 +264,15 @@ void
 Tensor::materializeZeros()
 {
     if (!storage_) {
-        storage_ = makeStorage(numel(), 0.0f);
+        storage_ = makeStorageFilled(numel(), 0.0f);
     }
 }
 
 void
 Tensor::fill_(float value)
 {
-    std::fill(storage_->begin(), storage_->end(), value);
+    float* p = data();
+    std::fill(p, p + numel(), value);
 }
 
 void

@@ -26,6 +26,10 @@
 
 namespace slapo {
 
+namespace detail {
+class TensorStorage; // pooled element buffer; defined in tensor.cc
+} // namespace detail
+
 /** Tensor shape: a list of non-negative extents. */
 using Shape = std::vector<int64_t>;
 
@@ -56,6 +60,15 @@ class Tensor
 
     /** Construct a zero-filled materialized tensor. */
     static Tensor zeros(Shape shape);
+
+    /**
+     * Construct a materialized tensor with UNINITIALIZED contents (the
+     * zero-init-elision path). Only for outputs every element of which
+     * is overwritten before being read — the kernels in ops.cc that
+     * fully write their output use this; scatter/accumulate kernels
+     * must keep zeros().
+     */
+    static Tensor empty(Shape shape);
 
     /** Construct a materialized tensor filled with `value`. */
     static Tensor full(Shape shape, float value);
@@ -128,14 +141,22 @@ class Tensor
      */
     const void* storageKey() const { return storage_.get(); }
 
+    /**
+     * Number of Tensor views sharing this storage (shared_ptr
+     * use_count). The memory planner's in-place rewrite only fires when
+     * the executing value is the sole owner, so aliases (reshapes,
+     * caller-held inputs, parameters) are never mutated.
+     */
+    int64_t storageUseCount() const { return storage_.use_count(); }
+
     std::string toString(int64_t max_elems = 16) const;
 
   private:
-    Tensor(Shape shape, std::shared_ptr<std::vector<float>> storage)
+    Tensor(Shape shape, std::shared_ptr<detail::TensorStorage> storage)
         : shape_(std::move(shape)), storage_(std::move(storage)) {}
 
     Shape shape_;
-    std::shared_ptr<std::vector<float>> storage_;
+    std::shared_ptr<detail::TensorStorage> storage_;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -448,6 +449,10 @@ TEST_F(FaultTest, DataParallelRankKillMidCollectiveRecoversBitExactly)
     AdamWConfig config;
     config.lr = 5e-3f;
 
+    // Shrink the gradient-exchange buckets so one step spans several
+    // flat buckets — the kill must land mid-step, between buckets.
+    setenv("SLAPO_BUCKET_BYTES", "256", 1);
+
     auto ref_model = buildLossModel(88);
     DataParallelTrainer reference(*ref_model, 2, config);
     for (int64_t s = 0; s < steps; ++s) {
@@ -461,17 +466,26 @@ TEST_F(FaultTest, DataParallelRankKillMidCollectiveRecoversBitExactly)
     auto model = buildLossModel(88);
     DataParallelTrainer trainer(*model, 2, config, recovery);
 
-    // Each step all-reduces one gradient per parameter per rank; kill
-    // rank 1 while it exchanges the second gradient of step 2.
-    const int64_t grads_per_step =
-        static_cast<int64_t>(model->namedParams().size());
+    // Gradients travel as flat fixed-size buckets, one
+    // "pg.allreduce.bucket" rendezvous each; kill rank 1 while it
+    // exchanges the second bucket of step 2.
+    int64_t grad_elems = 0;
+    for (auto& [path, tensor] : model->namedParams()) {
+        grad_elems += tensor->numel();
+    }
+    const int64_t bucket_elems = 256 / static_cast<int64_t>(sizeof(float));
+    const int64_t buckets_per_step =
+        (grad_elems + bucket_elems - 1) / bucket_elems;
+    ASSERT_GE(buckets_per_step, 2)
+        << "model too small to exercise a mid-step bucket kill";
     fp::Spec kill;
-    kill.at = 2 * grads_per_step + 1;
+    kill.at = 2 * buckets_per_step + 1;
     kill.action = fp::Action::Kill;
     kill.rank = 1;
-    fp::enable("pg.allreduce", kill);
+    fp::enable("pg.allreduce.bucket", kill);
 
     TrainRunStats stats = trainer.trainSteps(rankBatches, steps);
+    unsetenv("SLAPO_BUCKET_BYTES");
     EXPECT_EQ(stats.recoveries, 1);
     for (int rank = 0; rank < 2; ++rank) {
         EXPECT_TRUE(
