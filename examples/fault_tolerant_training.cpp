@@ -1,20 +1,32 @@
 /**
  * Fault-tolerant data-parallel training (docs/ROBUSTNESS.md).
  *
- * Trains a tiny BERT on two simulated ranks with per-step checkpoints,
- * kills rank 1 *inside* a gradient all-reduce at step 2, and lets the
- * trainer restore + replay. The run then repeats without any fault and
- * prints whether the two final parameter sets are bitwise identical —
- * the headline guarantee of the recovery path.
+ * Act 1 — transient crash: trains a tiny BERT on two simulated ranks
+ * with per-step checkpoints, kills rank 1 *inside* the bucketed
+ * gradient all-reduce at step 2, and lets the trainer restore + replay.
+ * The run then repeats without any fault and prints whether the two
+ * final parameter sets are bitwise identical — the headline guarantee
+ * of the recovery path.
  *
- * Faults can also be injected from the environment, e.g.:
- *   SLAPO_FAILPOINTS="trainer.step@1:throw" build/examples/fault_tolerant_training
+ * Act 2 — permanent loss: a 4-rank elastic run where rank 2 *dies*
+ * (never comes back) in the first gradient exchange. The survivors
+ * rebuild the group, inherit the orphaned data shard, restore the last
+ * checkpoint, and finish the run at world size 3; the structured run
+ * log records the rebuild.
+ *
+ * Faults can also be injected from the environment; when
+ * SLAPO_FAILPOINTS is set it replaces act 2's built-in spec, e.g.:
+ *   SLAPO_FAILPOINTS="pg.allreduce.bucket@1:die:r2" \
+ *       build/examples/fault_tolerant_training
  */
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "models/registry.h"
+#include "obs/run_log.h"
 #include "runtime/trainer.h"
 #include "support/failpoint.h"
 
@@ -31,18 +43,21 @@ buildModel()
     return model;
 }
 
-/** Deterministic per-rank batches: same step index => same data, which
- * is what makes replay after a restore bit-exact. */
-std::vector<std::vector<Tensor>>
-rankBatches(int64_t step)
+/** Deterministic per-shard batches: same step index => same data, which
+ * is what makes replay after a restore bit-exact. The shard count stays
+ * fixed even when the world shrinks — survivors absorb orphan shards. */
+runtime::BatchProvider
+shardBatches(int64_t shards)
 {
-    std::vector<std::vector<Tensor>> per_rank;
-    for (int64_t r = 0; r < 2; ++r) {
-        per_rank.push_back(
-            {Tensor::randint({1, 8}, 64, 1000 + 10 * step + r),
-             Tensor::randint({1, 8}, 64, 2000 + 10 * step + r)});
-    }
-    return per_rank;
+    return [shards](int64_t step) {
+        std::vector<std::vector<Tensor>> per_shard;
+        for (int64_t s = 0; s < shards; ++s) {
+            per_shard.push_back(
+                {Tensor::randint({1, 8}, 64, 1000 + 10 * step + s),
+                 Tensor::randint({1, 8}, 64, 2000 + 10 * step + s)});
+        }
+        return per_shard;
+    };
 }
 
 bool
@@ -63,6 +78,116 @@ bitwiseEqualParams(nn::Module& a, nn::Module& b)
     return true;
 }
 
+std::string
+scratchDir(const char* leaf)
+{
+    const auto dir = std::filesystem::temp_directory_path() / leaf;
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+/** Act 1: kill (transient) — restore and replay at the same world size. */
+bool
+transientCrashAct(const AdamWConfig& config, int64_t steps)
+{
+    auto provider = shardBatches(2);
+
+    // Reference: an uninterrupted run.
+    auto ref_model = buildModel();
+    runtime::DataParallelTrainer reference(*ref_model, 2, config);
+    for (int64_t s = 0; s < steps; ++s) {
+        auto stats = reference.step(provider(s));
+        std::cout << "reference step " << s << ": loss = " << stats.loss
+                  << "\n";
+    }
+
+    // Faulty run: checkpoint every step, kill rank 1 mid exchange. The
+    // tiny model fits one gradient bucket, so each rank enters
+    // pg.allreduce.bucket once per step: invocation 2 = step 2.
+    runtime::RecoveryOptions recovery;
+    recovery.checkpoint_every = 1;
+    recovery.checkpoint_dir = scratchDir("slapo_ft_example");
+    recovery.max_retries = 2;
+
+    auto model = buildModel();
+    runtime::DataParallelTrainer trainer(*model, 2, config, recovery);
+
+    fp::Spec kill;
+    kill.at = 2;
+    kill.action = fp::Action::Kill;
+    kill.rank = 1;
+    fp::enable("pg.allreduce.bucket", kill);
+
+    runtime::TrainRunStats run = trainer.trainSteps(provider, steps);
+    fp::clearAll();
+
+    std::cout << "faulty run: " << run.steps_run << " steps, "
+              << run.recoveries << " recovery (rank 1 killed in the step-2"
+              << " all-reduce, restored from " << recovery.checkpoint_dir
+              << ")\n";
+    std::cout << "final loss = " << run.last.loss << "\n";
+    const bool identical =
+        bitwiseEqualParams(trainer.replica(0), reference.replica(0));
+    std::cout << "params bitwise identical to uninterrupted run: "
+              << (identical ? "yes" : "NO") << "\n";
+    return run.recoveries == 1 && identical;
+}
+
+/** Act 2: die (permanent) — shrink the world and keep training. */
+bool
+elasticLossAct(const AdamWConfig& config, int64_t steps)
+{
+    runtime::RecoveryOptions recovery;
+    recovery.checkpoint_every = 1;
+    recovery.checkpoint_dir = scratchDir("slapo_elastic_example");
+    recovery.max_retries = 2;
+    recovery.elastic = true;
+
+    // SLAPO_FAILPOINTS in the environment wins; otherwise arm the
+    // canonical scenario. Applied explicitly (not via the lazy
+    // configureFromEnv) because act 1's clearAll() already consumed the
+    // one-shot environment arming.
+    const char* env_spec = std::getenv("SLAPO_FAILPOINTS");
+    fp::configureFromString(env_spec != nullptr
+                                ? env_spec
+                                : "pg.allreduce.bucket@1:die:r2");
+
+    const std::string log_path =
+        (std::filesystem::path(recovery.checkpoint_dir) / "run.jsonl")
+            .string();
+    std::filesystem::create_directories(recovery.checkpoint_dir);
+    obs::openRunLog(log_path);
+
+    auto model = buildModel();
+    runtime::DataParallelTrainer trainer(*model, 4, config, recovery);
+    runtime::TrainRunStats run = trainer.trainSteps(shardBatches(4), steps);
+    obs::closeRunLog();
+    fp::clearAll();
+
+    std::cout << "elastic run: " << run.steps_run << " steps, "
+              << run.elastic_rebuilds << " rebuild, finished at world size "
+              << trainer.worldSize() << " (of " << trainer.baseWorldSize()
+              << "), final loss = " << run.last.loss << "\n";
+    std::cout << "surviving original ranks:";
+    for (int r : trainer.origRanks()) std::cout << " " << r;
+    std::cout << "\n";
+
+    std::ifstream log(log_path);
+    std::string line;
+    std::string rebuild_record;
+    while (std::getline(log, line)) {
+        if (line.find("\"kind\":\"elastic.rebuild\"") != std::string::npos) {
+            rebuild_record = line;
+        }
+    }
+    std::cout << "run-log rebuild record: "
+              << (rebuild_record.empty() ? "MISSING" : rebuild_record)
+              << "\n";
+    return run.steps_run == steps && run.elastic_rebuilds >= 1 &&
+           trainer.worldSize() < trainer.baseWorldSize() &&
+           !rebuild_record.empty();
+}
+
 } // namespace
 
 int
@@ -72,45 +197,13 @@ main()
     AdamWConfig config;
     config.lr = 5e-3f;
 
-    // Reference: an uninterrupted run.
-    auto ref_model = buildModel();
-    runtime::DataParallelTrainer reference(*ref_model, 2, config);
-    for (int64_t s = 0; s < steps; ++s) {
-        auto stats = reference.step(rankBatches(s));
-        std::cout << "reference step " << s << ": loss = " << stats.loss
-                  << "\n";
-    }
-
-    // Faulty run: checkpoint every step, kill rank 1 mid all-reduce.
-    runtime::RecoveryOptions recovery;
-    recovery.checkpoint_every = 1;
-    recovery.checkpoint_dir =
-        (std::filesystem::temp_directory_path() / "slapo_ft_example").string();
-    std::filesystem::remove_all(recovery.checkpoint_dir);
-    recovery.max_retries = 2;
-
-    auto model = buildModel();
-    runtime::DataParallelTrainer trainer(*model, 2, config, recovery);
-
-    const int64_t grads_per_step =
-        static_cast<int64_t>(model->namedParams().size());
-    fp::Spec kill;
-    kill.at = 2 * grads_per_step + 1; // second gradient exchange of step 2
-    kill.action = fp::Action::Kill;
-    kill.rank = 1;
-    fp::enable("pg.allreduce", kill);
-
-    runtime::TrainRunStats run = trainer.trainSteps(rankBatches, steps);
+    // Consume the one-shot environment arming up front and start act 1
+    // from a clean registry; act 2 re-applies SLAPO_FAILPOINTS itself.
+    fp::configureFromEnv();
     fp::clearAll();
 
-    std::cout << "faulty run: " << run.steps_run << " steps, "
-              << run.recoveries << " recovery (rank 1 killed in all-reduce"
-              << " at step 2, restored from "
-              << recovery.checkpoint_dir << ")\n";
-    std::cout << "final loss = " << run.last.loss << "\n";
-    const bool identical =
-        bitwiseEqualParams(trainer.replica(0), reference.replica(0));
-    std::cout << "params bitwise identical to uninterrupted run: "
-              << (identical ? "yes" : "NO") << "\n";
-    return identical ? 0 : 1;
+    const bool transient_ok = transientCrashAct(config, steps);
+    std::cout << "\n";
+    const bool elastic_ok = elasticLossAct(config, steps);
+    return (transient_ok && elastic_ok) ? 0 : 1;
 }

@@ -199,6 +199,14 @@ struct DistContext
     int rank = 0;
     int world_size = 1;
     runtime::ProcessGroup* group = nullptr;
+    /**
+     * The group's membership generation (elastic world epoch) this
+     * thread was spawned into; 0 = don't enforce. When set, a deposit
+     * into a group whose membership has since been rebuilt is rejected
+     * with a stale-generation CollectiveError instead of silently
+     * joining a world the rank no longer belongs to.
+     */
+    int64_t membership_generation = 0;
 
     static DistContext* current();
 };

@@ -16,9 +16,15 @@
  *   pipeline.forward    one per PipelineRuntime forward: micro-batches,
  *                       bubble (queue-wait) ns, wall time
  *   checkpoint.save /   one per checkpoint write/load: step, path,
- *   checkpoint.restore  bytes, wall time
+ *   checkpoint.restore  bytes, writing world size, wall time
  *   recovery            one per retry inside runWithRecovery: attempt
  *                       number, failed step, error text
+ *   recovery.giveup     one when runWithRecovery exhausts its retry or
+ *                       restore-sweep budget: restore attempts,
+ *                       recoveries so far, failed step, error text
+ *   elastic.rebuild     one per elastic shrink (DataParallelTrainer):
+ *                       lost original ranks, old/new world size, new
+ *                       membership generation, rebuild latency
  *   tuner.trial         one per tuner evaluation: config, value,
  *                       whether it is the best so far
  *   dist_metrics        one per cross-rank aggregation (dist_metrics.h)

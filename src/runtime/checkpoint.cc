@@ -105,6 +105,7 @@ saveCheckpoint(const std::string& path, const CheckpointState& state)
         writeScalar<uint32_t>(file.f, kCheckpointVersion, tmp);
         writeScalar<int64_t>(file.f, state.step, tmp);
         writeScalar<int64_t>(file.f, state.optimizer_steps, tmp);
+        writeScalar<int64_t>(file.f, state.world_size, tmp);
         writeScalar<uint64_t>(file.f, state.tensors.size(), tmp);
         for (const CheckpointEntry& entry : state.tensors) {
             if (!entry.tensor.materialized()) {
@@ -151,6 +152,7 @@ saveCheckpoint(const std::string& path, const CheckpointState& state)
         record.num("step", state.step)
             .str("path", path)
             .num("bytes", payload_bytes)
+            .num("world_size", state.world_size)
             .num("write_ms", static_cast<double>(write_ns) / 1e6);
         log->write(record);
     }
@@ -171,14 +173,18 @@ loadCheckpoint(const std::string& path)
         throw CheckpointError(path, "bad magic (not a slapo checkpoint)");
     }
     const uint32_t version = readScalar<uint32_t>(file.f, path);
-    if (version != kCheckpointVersion) {
+    if (version < 1 || version > kCheckpointVersion) {
         throw CheckpointError(
             path, "unsupported version " + std::to_string(version) +
-                      " (expected " + std::to_string(kCheckpointVersion) + ")");
+                      " (this build reads versions 1.." +
+                      std::to_string(kCheckpointVersion) + ")");
     }
     CheckpointState state;
     state.step = readScalar<int64_t>(file.f, path);
     state.optimizer_steps = readScalar<int64_t>(file.f, path);
+    // v1 predates the world_size field; report 0 = unknown.
+    state.world_size =
+        version >= 2 ? readScalar<int64_t>(file.f, path) : 0;
     const uint64_t count = readScalar<uint64_t>(file.f, path);
     state.tensors.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
@@ -226,6 +232,7 @@ loadCheckpoint(const std::string& path)
         record.num("step", state.step)
             .str("path", path)
             .num("bytes", payload_bytes)
+            .num("world_size", state.world_size)
             .num("read_ms", static_cast<double>(read_ns) / 1e6);
         log->write(record);
     }
@@ -235,7 +242,7 @@ loadCheckpoint(const std::string& path)
 CheckpointState
 captureTrainerState(int64_t step,
                     const std::vector<std::pair<std::string, Tensor*>>& params,
-                    AdamW& optimizer)
+                    AdamW& optimizer, int64_t world_size)
 {
     SLAPO_CHECK(params.size() == optimizer.numParams(),
                 "captureTrainerState: " << params.size() << " params but "
@@ -244,6 +251,7 @@ captureTrainerState(int64_t step,
     CheckpointState state;
     state.step = step;
     state.optimizer_steps = optimizer.stepCount();
+    state.world_size = world_size;
     state.tensors.reserve(params.size() * 3);
     for (size_t i = 0; i < params.size(); ++i) {
         const std::string& name = params[i].first;

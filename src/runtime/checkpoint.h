@@ -4,11 +4,20 @@
  * moments, and the step counters to a versioned binary file so a failed
  * run resumes with *bitwise identical* results (docs/ROBUSTNESS.md).
  *
- * File format (little-endian, version 1):
+ * File format (little-endian, version 2):
  *   u32 magic "SLPC"   u32 version   i64 step   i64 optimizer_steps
+ *   i64 world_size     (v2+; the data-parallel world that saved the
+ *                       state — 1 for the single-process Trainer. Not a
+ *                       restore constraint: replicas are full copies, so
+ *                       an elastic trainer restores a 4-rank checkpoint
+ *                       into 3 survivors; the mismatch is surfaced in
+ *                       the run log, not rejected.)
  *   u64 num_tensors
  *   per tensor: u32 name_len, name bytes, u32 ndim, i64 dims[ndim],
  *               u32 crc32(payload), f32 payload[numel]
+ *
+ * Version-1 files (no world_size field) still load; they report
+ * world_size = 0 (unknown).
  *
  * Durability: the file is written to `<path>.tmp` and atomically renamed
  * into place, so a crash mid-write can never destroy the previous good
@@ -31,8 +40,8 @@ namespace runtime {
 
 /** Checkpoint magic number ("SLPC" big-endian in the file header). */
 constexpr uint32_t kCheckpointMagic = 0x534C5043u;
-/** Current checkpoint format version. */
-constexpr uint32_t kCheckpointVersion = 1;
+/** Current checkpoint format version (v2 added `world_size`). */
+constexpr uint32_t kCheckpointVersion = 2;
 
 /** One named tensor inside a checkpoint. */
 struct CheckpointEntry
@@ -48,6 +57,10 @@ struct CheckpointState
     int64_t step = 0;
     /** AdamW bias-correction counter. */
     int64_t optimizer_steps = 0;
+    /** World size that saved the state (1 = single process, 0 = unknown
+     * — a version-1 file). Informational: elastic recovery restores
+     * into a *smaller* world after rank loss. */
+    int64_t world_size = 1;
     /** Parameters and optimizer moments, in a fixed order. */
     std::vector<CheckpointEntry> tensors;
 };
@@ -72,10 +85,11 @@ std::vector<std::pair<int64_t, std::string>> listCheckpoints(
  * Snapshot trainer state: every named parameter plus its AdamW moments
  * (entries "<path>", "<path>.m", "<path>.v" per parameter, in
  * registration order — AdamW slot i must correspond to params[i]).
+ * `world_size` is stamped into the checkpoint header (v2).
  */
 CheckpointState captureTrainerState(
     int64_t step, const std::vector<std::pair<std::string, Tensor*>>& params,
-    AdamW& optimizer);
+    AdamW& optimizer, int64_t world_size = 1);
 
 /**
  * Inverse of captureTrainerState: copy the checkpointed values back into

@@ -93,6 +93,10 @@ DistExecutor::run(const std::vector<nn::ModulePtr>& replicas, const RankFn& fn)
             context.rank = r;
             context.world_size = world_size_;
             context.group = &group_;
+            // Pin the world epoch this thread belongs to: if the group
+            // is elastically rebuilt while (buggy) stale threads are
+            // still around, their deposits are rejected, not mixed in.
+            context.membership_generation = group_.membershipGeneration();
             nn::DistGuard guard(&context);
             try {
                 support::failpoint::hit("executor.rank", r);
@@ -101,6 +105,11 @@ DistExecutor::run(const std::vector<nn::ModulePtr>& replicas, const RankFn& fn)
                     span.arg("rank", static_cast<int64_t>(r));
                 }
                 fn(r, *replicas[r], group_);
+            } catch (const support::failpoint::RankLostError& e) {
+                errors[r] = std::current_exception();
+                // Permanent loss: mark the rank gone (survives the
+                // post-join reset) and unblock its peers.
+                group_.declareLost(r, e.what());
             } catch (const std::exception& e) {
                 errors[r] = std::current_exception();
                 // Contain the failure: unblock peers stuck waiting for
@@ -141,6 +150,27 @@ DistExecutor::run(const std::vector<nn::ModulePtr>& replicas, const RankFn& fn)
         group_.reset(); // leave the group reusable for a retried step
         std::rethrow_exception(primary ? primary : first);
     }
+}
+
+std::vector<int>
+DistExecutor::shrink()
+{
+    const std::vector<int> lost = group_.lostRanks();
+    SLAPO_CHECK(!lost.empty(),
+                "DistExecutor::shrink: no rank is declared lost");
+    std::vector<int> survivors;
+    survivors.reserve(static_cast<size_t>(world_size_) - lost.size());
+    size_t li = 0;
+    for (int r = 0; r < world_size_; ++r) {
+        if (li < lost.size() && lost[li] == r) {
+            ++li;
+        } else {
+            survivors.push_back(r);
+        }
+    }
+    group_.rebuild(survivors);
+    world_size_ = static_cast<int>(survivors.size());
+    return survivors;
 }
 
 std::vector<std::vector<Tensor>>

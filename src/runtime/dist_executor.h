@@ -52,8 +52,24 @@ class DistExecutor
      * All rank threads are always joined; the originating failure is
      * rethrown (victims' CollectiveErrors are secondary) and the group
      * is reset so the executor stays usable for a retry.
+     *
+     * A rank that throws RankLostError (failpoint `die` mode) is
+     * additionally declared *permanently lost* on the group before the
+     * abort — lost declarations survive the reset, so an elastic
+     * recovery layer can distinguish "gone" (shrink the world) from
+     * "slow/crashed" (replay at the same world size).
      */
     void run(const std::vector<nn::ModulePtr>& replicas, const RankFn& fn);
+
+    /**
+     * Elastic shrink after permanent rank loss: rebuild the group over
+     * every rank not declared lost (renumbered 0..n-1) and respawn
+     * future `run` calls with the new world size. Call only between
+     * runs (all rank threads joined). Returns the survivors' *previous*
+     * rank ids, ascending — index = new rank — so callers can remap
+     * replicas and shard assignments.
+     */
+    std::vector<int> shrink();
 
     /**
      * Replicate + forward on every rank with identical inputs; returns

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "nn/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "support/failpoint.h"
@@ -68,11 +69,25 @@ struct FlightGuard
 
 ProcessGroup::ProcessGroup(int world_size, ProcessGroupOptions options)
     : world_size_(world_size), timeout_ms_(options.timeout_ms),
-      slots_(world_size), results_(world_size), flight_(world_size),
+      slots_(world_size), results_(world_size),
+      lost_(static_cast<size_t>(world_size < 1 ? 1 : world_size), 0),
       rank_counters_(new RankCounters[static_cast<size_t>(
           world_size < 1 ? 1 : world_size)])
 {
     SLAPO_CHECK(world_size >= 1, "ProcessGroup: world size must be >= 1");
+    makeFlightRecorder();
+}
+
+void
+ProcessGroup::makeFlightRecorder()
+{
+    // Generation 1 keeps the historical plain "pg" label; rebuilt worlds
+    // are tagged so a dump names the generation it died in.
+    flight_ = std::make_unique<obs::FlightRecorder>(world_size_);
+    if (membership_generation_ > 1) {
+        flight_->setLabel("pg.gen" +
+                          std::to_string(membership_generation_));
+    }
 }
 
 RankPgStats
@@ -107,11 +122,14 @@ ProcessGroup::abortLocked(const std::string& site, int rank,
     abort_site_ = site;
     abort_rank_ = rank;
     abort_generation_ = generation_;
+    abort_member_generation_ = membership_generation_;
     abort_reason_ = reason;
     // Capture the flight-recorder dump *now*, before any blocked rank
     // unwinds: the dump must show who was still inside the collective
-    // and who never arrived (docs/OBSERVABILITY.md).
-    flight_.autoDumpOnError();
+    // and who never arrived (docs/OBSERVABILITY.md). The recorder's
+    // label carries the membership generation, so the dump is tagged
+    // with the generation that is dying.
+    flight_->autoDumpOnError();
     cv_.notify_all();
 }
 
@@ -138,6 +156,112 @@ ProcessGroup::abortRank() const
 }
 
 void
+ProcessGroup::declareLost(int rank, const std::string& reason)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rank < 0 || rank >= world_size_ || lost_[static_cast<size_t>(rank)]) {
+        return;
+    }
+    lost_[static_cast<size_t>(rank)] = 1;
+    abortLocked("elastic.lost", rank, reason);
+    // abortLocked only notifies on the *first* abort; a later loss
+    // declaration must still wake confirmLost waiters.
+    cv_.notify_all();
+}
+
+std::vector<int>
+ProcessGroup::lostRanks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<int> lost;
+    for (int r = 0; r < world_size_; ++r) {
+        if (lost_[static_cast<size_t>(r)]) {
+            lost.push_back(r);
+        }
+    }
+    return lost;
+}
+
+bool
+ProcessGroup::confirmLost(int rank, int64_t deadline_ms) const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (rank < 0 || rank >= world_size_) {
+        return false;
+    }
+    auto declared = [&] { return lost_[static_cast<size_t>(rank)] != 0; };
+    if (deadline_ms <= 0) {
+        return declared();
+    }
+    cv_.wait_for(lock, std::chrono::milliseconds(deadline_ms), declared);
+    return declared();
+}
+
+int64_t
+ProcessGroup::membershipGeneration() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return membership_generation_;
+}
+
+void
+ProcessGroup::rebuild(const std::vector<int>& survivors)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SLAPO_CHECK(!survivors.empty(),
+                "ProcessGroup::rebuild: no survivors to rebuild over");
+    SLAPO_CHECK(static_cast<int>(survivors.size()) <= world_size_,
+                "ProcessGroup::rebuild: more survivors ("
+                    << survivors.size() << ") than current ranks ("
+                    << world_size_ << ")");
+    int prev = -1;
+    for (int r : survivors) {
+        SLAPO_CHECK(r > prev && r < world_size_,
+                    "ProcessGroup::rebuild: survivor ranks must be "
+                    "ascending, unique, and in [0, "
+                        << world_size_ << "); got rank " << r);
+        SLAPO_CHECK(!lost_[static_cast<size_t>(r)],
+                    "ProcessGroup::rebuild: rank "
+                        << r << " was declared lost but listed as survivor");
+        prev = r;
+    }
+    const int new_world = static_cast<int>(survivors.size());
+    // Carry the survivors' counters into their new rank slots, minus the
+    // wait they burned hanging in the aborted step (same policy as
+    // reset()). Dead ranks' counters go with them.
+    std::unique_ptr<RankCounters[]> counters(
+        new RankCounters[static_cast<size_t>(new_world)]);
+    for (int nr = 0; nr < new_world; ++nr) {
+        const RankCounters& old =
+            rank_counters_[static_cast<size_t>(survivors[nr])];
+        RankCounters& fresh = counters[static_cast<size_t>(nr)];
+        fresh.count.store(old.count.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+        fresh.wait_ns.store(
+            old.wait_ns.load(std::memory_order_relaxed) -
+                old.aborted_wait_ns.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        fresh.copy_ns.store(old.copy_ns.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    rank_counters_ = std::move(counters);
+    world_size_ = new_world;
+    slots_.assign(static_cast<size_t>(new_world), Tensor());
+    results_.assign(static_cast<size_t>(new_world), Tensor());
+    lost_.assign(static_cast<size_t>(new_world), 0);
+    arrived_ = 0;
+    first_rank_ = -1;
+    aborted_ = false;
+    abort_site_.clear();
+    abort_rank_ = -1;
+    abort_reason_.clear();
+    ++generation_;
+    ++membership_generation_;
+    makeFlightRecorder();
+    cv_.notify_all();
+}
+
+void
 ProcessGroup::reset()
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -154,14 +278,26 @@ ProcessGroup::reset()
     for (Tensor& slot : slots_) {
         slot = Tensor();
     }
-    flight_.rearmAutoDump();
+    // Drop the wait time ranks burned blocked in the aborted collective:
+    // it measures the failure, not rank skew, and would otherwise
+    // dominate every post-recovery skew report.
+    for (int r = 0; r < world_size_; ++r) {
+        RankCounters& rc = rank_counters_[static_cast<size_t>(r)];
+        const int64_t polluted =
+            rc.aborted_wait_ns.exchange(0, std::memory_order_relaxed);
+        if (polluted != 0) {
+            rc.wait_ns.fetch_sub(polluted, std::memory_order_relaxed);
+        }
+    }
+    flight_->rearmAutoDump();
 }
 
 void
 ProcessGroup::throwAborted(int64_t waited_ms) const
 {
     throw CollectiveError(abort_site_, abort_rank_, abort_generation_,
-                          abort_reason_, waited_ms);
+                          abort_reason_, waited_ms,
+                          abort_member_generation_);
 }
 
 Tensor
@@ -187,9 +323,28 @@ ProcessGroup::rendezvous(const char* site, int rank, const Tensor& tensor,
     RankCounters& rc = rank_counters_[static_cast<size_t>(rank)];
     rc.count.fetch_add(1, std::memory_order_relaxed);
     const Shape& dims = tensor.shape();
-    FlightGuard flight{flight_, rank,
-                       flight_.begin(rank, site, dims.data(),
-                                     static_cast<int>(dims.size()))};
+    FlightGuard flight{*flight_, rank,
+                       flight_->begin(rank, site, dims.data(),
+                                      static_cast<int>(dims.size()))};
+    // Elastic membership: a thread spawned into an older world (its
+    // DistContext pins the membership generation it joined) must not
+    // deposit into a rebuilt group — its rank id means something else
+    // now. Reject the stale deposit with an error naming both epochs.
+    // Checked before the single-rank fast path: a group rebuilt down to
+    // one survivor still rejects stragglers from the old world.
+    if (const nn::DistContext* ctx = nn::DistContext::current()) {
+        std::lock_guard<std::mutex> stale_lock(mutex_);
+        if (ctx->group == this && ctx->membership_generation != 0 &&
+            ctx->membership_generation != membership_generation_) {
+            throw CollectiveError(
+                site, rank, generation_,
+                "deposit from stale membership generation " +
+                    std::to_string(ctx->membership_generation) +
+                    " rejected (group was rebuilt; current generation " +
+                    std::to_string(membership_generation_) + ")",
+                -1, ctx->membership_generation);
+        }
+    }
     if (world_size_ == 1) {
         const auto t0 = Clock::now();
         Tensor out = compute({tensor})[0];
@@ -254,9 +409,13 @@ ProcessGroup::rendezvous(const char* site, int rank, const Tensor& tensor,
             if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms_),
                               ready)) {
                 const int64_t waited = elapsed_ms();
-                obs::metrics().pg_wait_ns.add(ns_since(entry_time));
-                rc.wait_ns.fetch_add(ns_since(entry_time),
-                                     std::memory_order_relaxed);
+                const int64_t waited_ns = ns_since(entry_time);
+                obs::metrics().pg_wait_ns.add(waited_ns);
+                rc.wait_ns.fetch_add(waited_ns, std::memory_order_relaxed);
+                // Staged for reset()/rebuild(): this wait measures the
+                // hang, not rank skew.
+                rc.aborted_wait_ns.fetch_add(waited_ns,
+                                             std::memory_order_relaxed);
                 abortLocked(site, rank,
                             "rank " + std::to_string(rank) +
                                 " timed out after waiting " +
@@ -268,13 +427,15 @@ ProcessGroup::rendezvous(const char* site, int rank, const Tensor& tensor,
         } else {
             cv_.wait(lock, ready);
         }
-        obs::metrics().pg_wait_ns.add(ns_since(entry_time));
-        rc.wait_ns.fetch_add(ns_since(entry_time),
-                             std::memory_order_relaxed);
+        const int64_t waited_ns = ns_since(entry_time);
+        obs::metrics().pg_wait_ns.add(waited_ns);
+        rc.wait_ns.fetch_add(waited_ns, std::memory_order_relaxed);
         // A completed collective beats a later abort: if the generation
         // advanced, this rank's result is valid even if the group was
         // aborted afterwards.
         if (generation_ == my_generation) {
+            rc.aborted_wait_ns.fetch_add(waited_ns,
+                                         std::memory_order_relaxed);
             throwAborted(elapsed_ms());
         }
     }

@@ -18,6 +18,16 @@
  * Every collective entry is also a failpoint site ("pg.<collective>",
  * see support/failpoint.h) so recovery paths are deterministically
  * testable.
+ *
+ * Elastic membership: each group carries a *membership generation*
+ * (world epoch, starting at 1). A rank declared permanently lost
+ * (`declareLost`) stays marked until `rebuild(survivors)` replaces the
+ * world with the surviving ranks — renumbered 0..n-1, counters carried
+ * over, generation bumped — so the same group object survives a
+ * shrink. Deposits from threads spawned into an older generation
+ * (DistContext::membership_generation) are rejected with a
+ * stale-generation CollectiveError, never silently mixed into the new
+ * world.
  */
 #pragma once
 
@@ -104,11 +114,56 @@ class ProcessGroup
     int abortRank() const;
 
     /**
+     * Declare `rank` permanently lost (machine gone, never returning).
+     * Also aborts the group (peers fail fast) and survives `reset()` —
+     * only `rebuild()` clears it. Safe from any thread; typically the
+     * DistExecutor's handler for RankLostError.
+     */
+    void declareLost(int rank, const std::string& reason);
+
+    /** Ranks declared lost in the current membership, ascending. */
+    std::vector<int> lostRanks() const;
+
+    /**
+     * The liveness deadline: block up to `deadline_ms` for `rank` to be
+     * declared lost. Returns true if (or as soon as) it is — the rank is
+     * *gone* and the world must shrink; false once the deadline passes
+     * without a declaration — the rank is merely *slow* (a timeout
+     * victim, a transient crash) and a same-world replay is correct.
+     */
+    bool confirmLost(int rank, int64_t deadline_ms) const;
+
+    /**
+     * Membership generation (world epoch), starting at 1 and bumped by
+     * every `rebuild()`. Carried inside every CollectiveError the group
+     * raises, so handlers can tell a stale-generation error from one
+     * about the current world.
+     */
+    int64_t membershipGeneration() const;
+
+    /**
+     * Replace the world with `survivors` (current-rank ids, ascending):
+     * survivor i becomes rank i of a world of survivors.size(). Bumps
+     * the membership generation — deposits from stale threads are
+     * rejected from now on — clears lost/abort state and any
+     * half-deposited collective, carries the survivors' stat counters
+     * over (minus aborted-step wait pollution, as in reset()), and
+     * starts a fresh flight recorder labeled with the new generation
+     * (the dying generation's dump was already captured at abort time).
+     * Call only after every rank thread has been joined.
+     */
+    void rebuild(const std::vector<int>& survivors);
+
+    /**
      * Clear the abort flag and any half-deposited collective so the
      * group can be reused. Call only after every rank thread has been
      * joined — concurrent use during reset is undefined. The flight
      * recorder's rings are deliberately kept (post-mortem value); only
-     * its one-dump-per-failure latch is re-armed.
+     * its one-dump-per-failure latch is re-armed. Per-rank wait time
+     * accumulated while hanging in the aborted collective is subtracted
+     * from the RankPgStats counters, so post-recovery skew reports are
+     * not polluted by the hang. Lost-rank declarations survive (they
+     * describe the world, not the step); only rebuild() clears them.
      */
     void reset();
 
@@ -117,8 +172,8 @@ class ProcessGroup
      * every rendezvous records enter/exit; on the group's first
      * abort/timeout one merged JSON dump goes to the flight-dump path.
      */
-    obs::FlightRecorder& flightRecorder() { return flight_; }
-    const obs::FlightRecorder& flightRecorder() const { return flight_; }
+    obs::FlightRecorder& flightRecorder() { return *flight_; }
+    const obs::FlightRecorder& flightRecorder() const { return *flight_; }
 
     /** Per-rank collective counters (rank-skew reporting). Note that
      * barrier() records under rank 0 for every participant. */
@@ -144,32 +199,45 @@ class ProcessGroup
      * `waited_ms` = how long this rank was blocked (-1 = unknown). */
     [[noreturn]] void throwAborted(int64_t waited_ms = -1) const;
 
+    /** Build the generation-labeled flight recorder ("pg" for gen 1,
+     * "pg.gen<N>" after a rebuild). */
+    void makeFlightRecorder();
+
     int world_size_;
     int64_t timeout_ms_;
     mutable std::mutex mutex_;
-    std::condition_variable cv_;
+    mutable std::condition_variable cv_;
     std::vector<Tensor> slots_;
     std::vector<Tensor> results_;
     int arrived_ = 0;
     int first_rank_ = -1; ///< first depositor of the open collective
     int64_t generation_ = 0;
+    int64_t membership_generation_ = 1; ///< world epoch; rebuild() bumps
 
     bool aborted_ = false;
     std::string abort_site_;
     int abort_rank_ = -1;
     int64_t abort_generation_ = 0;
+    int64_t abort_member_generation_ = 0;
     std::string abort_reason_;
 
-    obs::FlightRecorder flight_;
+    /** Per current rank: declared permanently lost (survives reset;
+     * cleared by rebuild). */
+    std::vector<char> lost_;
+
+    std::unique_ptr<obs::FlightRecorder> flight_; ///< recreated on rebuild
 
     /** Per-rank atomic counter cells. Rank threads are recreated on
      * every DistExecutor::run, so thread-locals would reset; these live
-     * with the group. */
+     * with the group. `aborted_wait_ns` stages the wait a rank burned
+     * hanging in a collective that was later aborted; reset()/rebuild()
+     * subtract it from wait_ns so skew reports see only real waits. */
     struct RankCounters
     {
         std::atomic<int64_t> count{0};
         std::atomic<int64_t> wait_ns{0};
         std::atomic<int64_t> copy_ns{0};
+        std::atomic<int64_t> aborted_wait_ns{0};
     };
     std::unique_ptr<RankCounters[]> rank_counters_;
 };

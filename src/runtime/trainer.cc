@@ -7,6 +7,8 @@
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <thread>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/run_log.h"
@@ -152,10 +154,10 @@ countTokens(const std::vector<std::vector<Tensor>>& batches)
 
 /** What a thrown step error says (for the run-log recovery record). */
 std::string
-describeCurrentException()
+describeException(const std::exception_ptr& error)
 {
     try {
-        throw;
+        std::rethrow_exception(error);
     } catch (const std::exception& e) {
         return e.what();
     } catch (...) {
@@ -163,12 +165,28 @@ describeCurrentException()
     }
 }
 
+/** Deterministic (jitter-free) exponential backoff before restore sweep
+ * `attempt` (1-based): 0 for the first sweep, then restore_backoff_ms
+ * doubling per further sweep. */
+int64_t
+restoreBackoffMs(const RecoveryOptions& recovery, int attempt)
+{
+    if (attempt <= 1 || recovery.restore_backoff_ms <= 0) {
+        return 0;
+    }
+    return recovery.restore_backoff_ms << (attempt - 2);
+}
+
 /**
  * The recovery state machine shared by both trainers
- * (docs/ROBUSTNESS.md): RUN a step; on failure RESTORE the newest
- * loadable checkpoint (corrupt files are skipped) and REPLAY from its
- * step. Deterministic steps + bit-exact checkpoints make the replayed
- * trajectory identical to an uninterrupted run.
+ * (docs/ROBUSTNESS.md): RUN a step; on failure classify the loss
+ * (`on_rank_loss` shrinks the world if ranks are permanently gone),
+ * RESTORE the newest loadable checkpoint (corrupt files are skipped;
+ * up to max_restore_attempts sweeps with deterministic backoff) and
+ * REPLAY from its step. Deterministic steps + bit-exact checkpoints
+ * make the replayed trajectory identical to an uninterrupted run.
+ * Exhausting retries or restore attempts emits a "recovery.giveup"
+ * run-log record and rethrows the step's error.
  */
 TrainRunStats
 runWithRecovery(
@@ -177,7 +195,8 @@ runWithRecovery(
     const std::function<TrainStepStats(const std::vector<std::vector<Tensor>>&)>&
         do_step,
     const std::function<CheckpointState(int64_t)>& capture,
-    const std::function<void(const CheckpointState&)>& restore)
+    const std::function<void(const CheckpointState&)>& restore,
+    const std::function<bool(const std::exception_ptr&)>& on_rank_loss)
 {
     SLAPO_CHECK(batches != nullptr, "trainSteps: null batch provider");
     const bool enabled = !recovery.checkpoint_dir.empty();
@@ -198,44 +217,100 @@ runWithRecovery(
     };
 
     TrainRunStats stats;
+    auto give_up = [&](int restore_attempts, int64_t failed_step,
+                       const std::string& error_text) {
+        if (obs::RunLog* log = obs::runLog()) {
+            obs::RunLogRecord record("recovery.giveup");
+            record.num("restore_attempts",
+                       static_cast<int64_t>(restore_attempts))
+                .num("recoveries", static_cast<int64_t>(stats.recoveries))
+                .num("failed_step", failed_step)
+                .str("error", error_text);
+            log->write(record);
+        }
+    };
+
     int64_t step = 0;
+    int handler_failures = 0;
     while (step < num_steps) {
         if (enabled && recovery.checkpoint_every > 0 &&
             step % recovery.checkpoint_every == 0) {
             save_at(step);
         }
+        std::exception_ptr pending;
         try {
             stats.last = do_step(batches(step));
             ++step;
             ++stats.steps_run;
+            handler_failures = 0;
         } catch (...) {
-            std::exception_ptr original = std::current_exception();
-            const std::string error_text = describeCurrentException();
+            pending = std::current_exception();
+        }
+        // Failure handler. It may itself fail — a failpoint armed on an
+        // elastic.* site, or another rank dying during the restore
+        // sweep; each such failure loops back in as the new pending
+        // error, bounded by max_retries consecutive handler failures.
+        while (pending) {
+            const std::exception_ptr original =
+                std::exchange(pending, nullptr);
+            const std::string error_text = describeException(original);
             const int64_t failed_step = step;
-            if (!enabled || stats.recoveries >= recovery.max_retries) {
+            if (!enabled) {
                 std::rethrow_exception(original);
             }
-            bool restored = false;
+            if (stats.recoveries >= recovery.max_retries ||
+                handler_failures > recovery.max_retries) {
+                give_up(0, failed_step, error_text);
+                std::rethrow_exception(original);
+            }
             obs::TraceSpan restore_span("trainer.restore", "trainer");
-            auto checkpoints = listCheckpoints(recovery.checkpoint_dir);
-            for (auto it = checkpoints.rbegin(); it != checkpoints.rend();
-                 ++it) {
-                try {
-                    // loadCheckpoint appends the "checkpoint.restore"
-                    // run-log record on success.
-                    CheckpointState state = loadCheckpoint(it->second);
-                    restore(state);
-                    step = state.step;
-                    restored = true;
-                    break;
-                } catch (const CheckpointError&) {
-                    continue; // corrupt/unreadable: fall back to older
+            int attempts = 0;
+            int64_t restored_step = -1;
+            try {
+                if (on_rank_loss && on_rank_loss(original)) {
+                    ++stats.elastic_rebuilds;
                 }
+                const int max_attempts =
+                    std::max(1, recovery.max_restore_attempts);
+                for (int attempt = 1;
+                     attempt <= max_attempts && restored_step < 0;
+                     ++attempt) {
+                    ++attempts;
+                    const int64_t backoff =
+                        restoreBackoffMs(recovery, attempt);
+                    if (backoff > 0) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(backoff));
+                    }
+                    auto checkpoints =
+                        listCheckpoints(recovery.checkpoint_dir);
+                    for (auto it = checkpoints.rbegin();
+                         it != checkpoints.rend(); ++it) {
+                        try {
+                            // loadCheckpoint appends the
+                            // "checkpoint.restore" run-log record.
+                            CheckpointState state =
+                                loadCheckpoint(it->second);
+                            restore(state);
+                            restored_step = state.step;
+                            break;
+                        } catch (const CheckpointError&) {
+                            continue; // corrupt: fall back to older
+                        }
+                    }
+                }
+            } catch (...) {
+                pending = std::current_exception();
+                ++handler_failures;
+                continue;
             }
-            if (!restored) {
+            if (restored_step < 0) {
+                give_up(attempts, failed_step, error_text);
                 std::rethrow_exception(original);
             }
+            step = restored_step;
             ++stats.recoveries;
+            handler_failures = 0;
             if (obs::RunLog* log = obs::runLog()) {
                 obs::RunLogRecord record("recovery");
                 record.num("attempt", static_cast<int64_t>(stats.recoveries))
@@ -345,7 +420,8 @@ Trainer::trainSteps(const BatchProvider& batches, int64_t num_steps)
         },
         [this](const CheckpointState& state) {
             restoreTrainerState(state, params_, optimizer_);
-        });
+        },
+        nullptr); // single process: rank loss cannot happen
 }
 
 DataParallelTrainer::DataParallelTrainer(const nn::Module& model,
@@ -363,6 +439,7 @@ DataParallelTrainer::DataParallelTrainer(const nn::Module& model,
                     "('" << path << "'); use DistExecutor for TP training");
     }
     replicas_ = executor_.replicate(model);
+    base_world_ = world_size;
     for (int r = 0; r < world_size; ++r) {
         params_.push_back(replicas_[r]->namedParams());
         optimizers_.push_back(std::make_unique<AdamW>(config));
@@ -373,41 +450,63 @@ DataParallelTrainer::DataParallelTrainer(const nn::Module& model,
                                        "replicating");
             optimizers_.back()->addParam(*tensor);
         }
+        // The data partition starts one shard per rank; elastic shrinks
+        // reassign shards but never change base_world_ (the shard count).
+        shard_map_.push_back({r});
+        orig_rank_.push_back(r);
     }
 }
 
 TrainStepStats
 DataParallelTrainer::step(
-    const std::vector<std::vector<Tensor>>& per_rank_inputs)
+    const std::vector<std::vector<Tensor>>& per_shard_inputs)
 {
     support::failpoint::hit("dp_trainer.step");
     obs::TraceSpan step_span("dp_trainer.step", "trainer");
     const auto step_start = StepClock::now();
     const int world = executor_.worldSize();
-    SLAPO_CHECK(static_cast<int>(per_rank_inputs.size()) == world,
-                "DataParallelTrainer: need one input tuple per rank");
-    std::vector<double> losses(world);
-    std::vector<int64_t> recomputed(world);
+    SLAPO_CHECK(static_cast<int>(per_shard_inputs.size()) == base_world_,
+                "DataParallelTrainer: need one input tuple per data shard ("
+                    << base_world_ << "), got " << per_shard_inputs.size());
+    std::vector<double> shard_losses(base_world_, 0.0);
+    std::vector<int64_t> recomputed(world, 0);
     double grad_norm = 0.0; // written by rank 0 only
 
     executor_.run(replicas_, [&](int rank, nn::Module& replica,
                                  ProcessGroup& group) {
-        AutogradEngine engine;
-        GradResult result = engine.run(replica, per_rank_inputs[rank]);
-        losses[rank] = result.outputs[0].at(0);
-        recomputed[rank] = result.recomputed_nodes;
-        // Average data-parallel gradients, then step this rank's
-        // optimizer; identical updates keep the replicas in lock-step.
+        // Run this rank's shards sequentially (gradient accumulation in
+        // ascending shard order — one shard per rank until an elastic
+        // shrink hands survivors orphaned shards), then average across
+        // *shards* and step this rank's optimizer; identical updates
+        // keep the replicas in lock-step. Distinct ranks write distinct
+        // shard_losses slots, so no synchronization is needed.
+        std::vector<Tensor> local;
+        for (int shard : shard_map_[rank]) {
+            AutogradEngine engine;
+            GradResult result = engine.run(replica, per_shard_inputs[shard]);
+            shard_losses[shard] = result.outputs[0].at(0);
+            recomputed[rank] += result.recomputed_nodes;
+            if (local.empty()) {
+                local.reserve(params_[rank].size());
+                for (auto& [path, tensor] : params_[rank]) {
+                    local.push_back(AutogradEngine::gradFor(result, *tensor));
+                }
+            } else {
+                for (size_t i = 0; i < params_[rank].size(); ++i) {
+                    local[i].addInPlace(
+                        AutogradEngine::gradFor(result,
+                                                *params_[rank][i].second));
+                }
+            }
+        }
         std::vector<Tensor> grads;
         {
             obs::TraceSpan allreduce_span("trainer.grad_allreduce",
                                           "trainer");
-            std::vector<Tensor> local;
-            local.reserve(params_[rank].size());
-            for (auto& [path, tensor] : params_[rank]) {
-                local.push_back(AutogradEngine::gradFor(result, *tensor));
-            }
-            grads = bucketedGradAllReduce(group, rank, local, world);
+            // Scale by 1/#shards, not 1/#ranks: the update is a mean
+            // over the fixed data partition, so the math is well-defined
+            // at any (shrunken) world size.
+            grads = bucketedGradAllReduce(group, rank, local, base_world_);
         }
         if (rank == 0) {
             // Post-allreduce grads are identical on every rank; rank 0's
@@ -419,14 +518,18 @@ DataParallelTrainer::step(
     });
 
     TrainStepStats stats;
-    stats.micro_batches = world;
-    stats.tokens = countTokens(per_rank_inputs);
+    stats.micro_batches = base_world_;
+    stats.tokens = countTokens(per_shard_inputs);
     stats.grad_norm = grad_norm;
+    // Sum losses in shard order — invariant across world sizes and
+    // kernel thread counts.
+    for (int s = 0; s < base_world_; ++s) {
+        stats.loss += shard_losses[s];
+    }
     for (int r = 0; r < world; ++r) {
-        stats.loss += losses[r];
         stats.recomputed_nodes += recomputed[r];
     }
-    stats.loss /= world;
+    stats.loss /= base_world_;
     if (obs::RunLog* log = obs::runLog()) {
         obs::StepRecord record;
         record.step = optimizers_[0]->stepCount() - 1;
@@ -483,27 +586,209 @@ DataParallelTrainer::gatherMetrics()
     return obs::buildDistMetricsReport(names, per_rank);
 }
 
+bool
+DataParallelTrainer::handleRankLoss(const std::exception_ptr& failure)
+{
+    if (!recovery_.elastic) {
+        return false;
+    }
+    ProcessGroup& group = executor_.group();
+    if (group.lostRanks().empty()) {
+        // No loss declared. If the step died with a *current-world*
+        // collective error, give the origin rank the liveness deadline
+        // to be declared lost ("gone") before concluding it was merely
+        // slow ("replay at the same world size"). Stale-generation
+        // errors name ranks of a world that no longer exists, so their
+        // origin is not consulted.
+        int origin = -1;
+        try {
+            std::rethrow_exception(failure);
+        } catch (const CollectiveError& e) {
+            if (e.memberGeneration() == 0 ||
+                e.memberGeneration() == group.membershipGeneration()) {
+                origin = e.rank();
+            }
+        } catch (...) {
+        }
+        if (origin < 0 || origin >= executor_.worldSize() ||
+            !group.confirmLost(origin, recovery_.liveness_deadline_ms)) {
+            // Slow, not gone. Repair a possibly half-finished earlier
+            // shrink (rebalanceShards is idempotent) and let the
+            // same-world replay proceed.
+            rebalanceShards();
+            return false;
+        }
+    }
+    elasticShrink();
+    return true;
+}
+
+void
+DataParallelTrainer::remapSurvivors(const std::vector<int>& survivors)
+{
+    std::vector<nn::ModulePtr> replicas;
+    std::vector<std::unique_ptr<AdamW>> optimizers;
+    std::vector<std::vector<std::pair<std::string, Tensor*>>> params;
+    std::vector<std::vector<int>> shards;
+    std::vector<int> orig;
+    replicas.reserve(survivors.size());
+    optimizers.reserve(survivors.size());
+    params.reserve(survivors.size());
+    shards.reserve(survivors.size());
+    orig.reserve(survivors.size());
+    for (int prev : survivors) {
+        replicas.push_back(std::move(replicas_[prev]));
+        optimizers.push_back(std::move(optimizers_[prev]));
+        params.push_back(std::move(params_[prev]));
+        shards.push_back(std::move(shard_map_[prev]));
+        orig.push_back(orig_rank_[prev]);
+    }
+    replicas_ = std::move(replicas);
+    optimizers_ = std::move(optimizers);
+    params_ = std::move(params);
+    shard_map_ = std::move(shards);
+    orig_rank_ = std::move(orig);
+}
+
+void
+DataParallelTrainer::rebalanceShards()
+{
+    const int world = static_cast<int>(shard_map_.size());
+    std::vector<char> assigned(base_world_, 0);
+    for (const std::vector<int>& shards : shard_map_) {
+        for (int s : shards) {
+            assigned[s] = 1;
+        }
+    }
+    for (int s = 0; s < base_world_; ++s) {
+        if (assigned[s]) {
+            continue;
+        }
+        // Orphaned by a lost rank: hand it to the least-loaded survivor
+        // (ties → lowest rank) so accumulation work stays balanced and
+        // the assignment is a pure function of (survivors, lost shards).
+        int target = 0;
+        for (int r = 1; r < world; ++r) {
+            if (shard_map_[r].size() < shard_map_[target].size()) {
+                target = r;
+            }
+        }
+        shard_map_[target].push_back(s);
+    }
+    for (std::vector<int>& shards : shard_map_) {
+        std::sort(shards.begin(), shards.end());
+    }
+}
+
+void
+DataParallelTrainer::elasticShrink()
+{
+    ProcessGroup& group = executor_.group();
+    obs::TraceSpan span("elastic.rebuild", "trainer");
+    const auto t0 = StepClock::now();
+    const int old_world = executor_.worldSize();
+    std::vector<int> lost_orig;
+    // abort happened upstream (the failed step); from here every arrow
+    // of the state machine — drain → agree-on-survivors/rebuild →
+    // rebalance → resume — is failpoint-injectable, and a rank dying
+    // *during* the rendezvous simply loops back into another shrink.
+    while (true) {
+        for (int r : group.lostRanks()) {
+            lost_orig.push_back(orig_rank_[r]);
+        }
+        // Drain: all rank threads are already joined (DistExecutor::run
+        // joins before rethrowing), so in-flight collectives have
+        // settled; the site marks the arrow for fault injection.
+        support::failpoint::hit("elastic.drain");
+        support::failpoint::hit("elastic.rebuild");
+        const std::vector<int> survivors = executor_.shrink();
+        SLAPO_CHECK(!survivors.empty(),
+                    "elastic recovery: every rank was lost");
+        remapSurvivors(survivors);
+        support::failpoint::hit("elastic.rebalance");
+        rebalanceShards();
+        // Survivor rendezvous: every new rank gathers the full original
+        // id list through the *rebuilt* group and checks it against the
+        // membership the main thread computed — the agree-on-survivors
+        // barrier. Old-generation deposits are rejected by the group, so
+        // agreement here is agreement about the new world.
+        const std::vector<int> expected = orig_rank_;
+        try {
+            executor_.run(replicas_, [&](int rank, nn::Module&,
+                                         ProcessGroup& g) {
+                support::failpoint::hit("elastic.rendezvous", rank);
+                Tensor mine = Tensor::fromValues(
+                    {1, 1}, {static_cast<float>(expected[rank])});
+                Tensor all = g.allGather(rank, mine, 0);
+                for (size_t i = 0; i < expected.size(); ++i) {
+                    SLAPO_CHECK(all.at(static_cast<int64_t>(i)) ==
+                                    static_cast<float>(expected[i]),
+                                "elastic rendezvous: membership "
+                                "disagreement at new rank " << i);
+                }
+            });
+        } catch (const support::failpoint::RankLostError&) {
+            continue; // another rank died while agreeing: shrink again
+        } catch (const CollectiveError&) {
+            if (!group.lostRanks().empty()) {
+                continue; // the rendezvous failed because a peer died
+            }
+            throw;
+        }
+        break;
+    }
+    std::sort(lost_orig.begin(), lost_orig.end());
+    if (span.live()) {
+        span.arg("old_world", static_cast<int64_t>(old_world));
+        span.arg("new_world", static_cast<int64_t>(executor_.worldSize()));
+    }
+    if (obs::RunLog* log = obs::runLog()) {
+        std::string lost_json = "[";
+        for (size_t i = 0; i < lost_orig.size(); ++i) {
+            lost_json += (i ? "," : "") + std::to_string(lost_orig[i]);
+        }
+        lost_json += "]";
+        obs::RunLogRecord record("elastic.rebuild");
+        record.raw("lost_ranks", lost_json)
+            .num("old_world", static_cast<int64_t>(old_world))
+            .num("new_world", static_cast<int64_t>(executor_.worldSize()))
+            .num("generation", group.membershipGeneration())
+            .num("rebuild_ms", msSince(t0));
+        log->write(record);
+    }
+}
+
 TrainRunStats
 DataParallelTrainer::trainSteps(const BatchProvider& batches,
                                 int64_t num_steps)
 {
     TrainRunStats stats = runWithRecovery(
         recovery_, batches, num_steps,
-        [this](const std::vector<std::vector<Tensor>>& per_rank) {
-            return step(per_rank);
+        [this](const std::vector<std::vector<Tensor>>& per_shard) {
+            return step(per_shard);
         },
         // Replicas are in lock-step between steps, so rank 0's state is
         // the global state.
         [this](int64_t at_step) {
-            return captureTrainerState(at_step, params_[0], *optimizers_[0]);
+            return captureTrainerState(at_step, params_[0], *optimizers_[0],
+                                       executor_.worldSize());
         },
         // A failed step can leave ranks diverged (some optimizers
-        // stepped, some not); restoring the checkpoint into every rank
-        // re-synchronizes them.
+        // stepped, some not); every rank restores the checkpoint in
+        // parallel — re-synchronizing them — and the closing barrier
+        // proves the whole (possibly shrunken) world came back: the
+        // resume arrow. The per-rank "elastic.restore" site makes
+        // death-during-restore injectable.
         [this](const CheckpointState& state) {
-            for (size_t r = 0; r < params_.size(); ++r) {
-                restoreTrainerState(state, params_[r], *optimizers_[r]);
-            }
+            executor_.run(replicas_, [&](int rank, nn::Module&,
+                                         ProcessGroup& group) {
+                support::failpoint::hit("elastic.restore", rank);
+                restoreTrainerState(state, params_[rank], *optimizers_[rank]);
+                group.barrier();
+            });
+        },
+        [this](const std::exception_ptr& failure) {
+            return handleRankLoss(failure);
         });
     if (obs::RunLog* log = obs::runLog()) {
         log->writeLine(gatherMetrics().toJson());

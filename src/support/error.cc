@@ -7,15 +7,20 @@ namespace slapo {
 
 CollectiveError::CollectiveError(std::string site, int rank,
                                  int64_t generation,
-                                 const std::string& detail, int64_t waited_ms)
+                                 const std::string& detail, int64_t waited_ms,
+                                 int64_t member_generation)
     : SlapoError("collective error at " + site + " (origin rank " +
                  std::to_string(rank) + ", generation " +
-                 std::to_string(generation) + "): " + detail +
+                 std::to_string(generation) +
+                 (member_generation != 0
+                      ? ", world gen " + std::to_string(member_generation)
+                      : "") +
+                 "): " + detail +
                  (waited_ms >= 0 ? " [this rank waited " +
                                        std::to_string(waited_ms) + "ms]"
                                  : "")),
       site_(std::move(site)), rank_(rank), generation_(generation),
-      waited_ms_(waited_ms)
+      waited_ms_(waited_ms), member_generation_(member_generation)
 {
 }
 

@@ -44,9 +44,13 @@ class CollectiveError : public SlapoError
 {
   public:
     /** @param waited_ms how long the *throwing* rank had been blocked in
-     * the rendezvous when it gave up (-1 = not applicable/unknown). */
+     * the rendezvous when it gave up (-1 = not applicable/unknown).
+     *  @param member_generation the group's *membership* generation (world
+     * epoch, bumped by elastic rebuilds) at failure time; 0 = the group
+     * predates membership epochs / not applicable. */
     CollectiveError(std::string site, int rank, int64_t generation,
-                    const std::string& detail, int64_t waited_ms = -1);
+                    const std::string& detail, int64_t waited_ms = -1,
+                    int64_t member_generation = 0);
 
     /** Collective site of the origin failure, e.g. "pg.allreduce". */
     const std::string& site() const { return site_; }
@@ -56,12 +60,21 @@ class CollectiveError : public SlapoError
     int64_t generation() const { return generation_; }
     /** Elapsed wait of the throwing rank in ms (-1 if unknown). */
     int64_t waitedMs() const { return waited_ms_; }
+    /**
+     * Membership generation (elastic world epoch) the error belongs to.
+     * A handler holding the group can compare this against
+     * `ProcessGroup::membershipGeneration()` to tell a stale error —
+     * raised before an elastic rebuild replaced the world — from one
+     * about the current world (0 = unknown/pre-epoch).
+     */
+    int64_t memberGeneration() const { return member_generation_; }
 
   private:
     std::string site_;
     int rank_;
     int64_t generation_;
     int64_t waited_ms_;
+    int64_t member_generation_;
 };
 
 /** A checkpoint file could not be written, read, or verified. */

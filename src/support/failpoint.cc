@@ -1,5 +1,6 @@
 #include "support/failpoint.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -17,7 +18,10 @@ namespace {
 struct Registry
 {
     std::mutex mutex;
-    std::map<std::string, Spec> specs;
+    // A site may carry several armings (e.g. two `die` specs at
+    // different invocation counts to model sequential rank losses), so
+    // the value is a list; `hit` fires the first spec that matches.
+    std::map<std::string, std::vector<Spec>> specs;
     // Invocation counters keyed by (site, rank). Counting starts when the
     // first spec is armed so the unarmed fast path stays lock-free.
     std::map<std::pair<std::string, int>, int64_t> counters;
@@ -47,6 +51,7 @@ parseAction(const std::string& text, int64_t* delay_ms)
 {
     if (text == "throw") return Action::Throw;
     if (text == "kill") return Action::Kill;
+    if (text == "die") return Action::Die;
     if (text.rfind("delay=", 0) == 0) {
         *delay_ms = std::atoll(text.c_str() + 6);
         SLAPO_CHECK(*delay_ms > 0,
@@ -54,7 +59,7 @@ parseAction(const std::string& text, int64_t* delay_ms)
         return Action::Delay;
     }
     SLAPO_THROW("failpoint: unknown action '"
-                << text << "' (expected throw|kill|delay=MS)");
+                << text << "' (expected throw|kill|die|delay=MS)");
 }
 
 } // namespace
@@ -73,6 +78,45 @@ RankKilledError::RankKilledError(std::string site, int rank,
 {
 }
 
+RankLostError::RankLostError(std::string site, int rank, int64_t invocation)
+    : SlapoError("rank " + std::to_string(rank) + " permanently lost at " +
+                 describe(site, rank, invocation)),
+      site_(std::move(site)), rank_(rank), invocation_(invocation)
+{
+}
+
+const std::vector<std::string>&
+knownSites()
+{
+    // Keep in sync with the site table in docs/ROBUSTNESS.md and the
+    // enumeration test in tests/test_fault.cc.
+    static const std::vector<std::string> sites = {
+        "dp_trainer.step",
+        "elastic.drain",
+        "elastic.rebalance",
+        "elastic.rebuild",
+        "elastic.rendezvous",
+        "elastic.restore",
+        "executor.rank",
+        "pg.allgather",
+        "pg.allreduce",
+        "pg.allreduce.bucket",
+        "pg.barrier",
+        "pg.broadcast",
+        "pg.reducescatter",
+        "pipeline.stage",
+        "trainer.step",
+    };
+    return sites;
+}
+
+bool
+isKnownSite(const std::string& site)
+{
+    const std::vector<std::string>& sites = knownSites();
+    return std::find(sites.begin(), sites.end(), site) != sites.end();
+}
+
 void
 enable(const std::string& site, const Spec& spec)
 {
@@ -80,7 +124,7 @@ enable(const std::string& site, const Spec& spec)
     SLAPO_CHECK(spec.at >= 0, "failpoint: negative invocation index");
     Registry& r = registry();
     std::lock_guard<std::mutex> lock(r.mutex);
-    r.specs[site] = spec;
+    r.specs[site].push_back(spec);
     g_armed.store(true, std::memory_order_relaxed);
 }
 
@@ -149,6 +193,11 @@ configureFromString(const std::string& config)
             action_text = action_text.substr(0, rank_pos);
         }
         spec.action = parseAction(action_text, &spec.delay_ms);
+        SLAPO_CHECK(isKnownSite(site),
+                    "failpoint: unknown site '"
+                        << site << "' in '" << entry
+                        << "' (see failpoint::knownSites() / the site "
+                           "table in docs/ROBUSTNESS.md)");
         enable(site, spec);
         ++armed;
     }
@@ -185,15 +234,22 @@ hit(const std::string& site, int rank)
         invocation = r.counters[{site, rank}]++;
         auto it = r.specs.find(site);
         if (it == r.specs.end()) return;
-        if (it->second.rank != -1 && it->second.rank != rank) return;
-        if (it->second.at != invocation) return;
-        spec = it->second;
+        auto match =
+            std::find_if(it->second.begin(), it->second.end(),
+                         [&](const Spec& s) {
+                             return (s.rank == -1 || s.rank == rank) &&
+                                    s.at == invocation;
+                         });
+        if (match == it->second.end()) return;
+        spec = *match;
     }
     switch (spec.action) {
       case Action::Throw:
         throw FailpointError(site, rank, invocation);
       case Action::Kill:
         throw RankKilledError(site, rank, invocation);
+      case Action::Die:
+        throw RankLostError(site, rank, invocation);
       case Action::Delay:
         std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
         return;

@@ -11,16 +11,22 @@
  * triple — never wall-clock — so every injected failure is reproducible
  * bit-for-bit across runs and thread interleavings.
  *
- * Sites wired in the runtime:
- *   pg.allreduce / pg.allgather / pg.reducescatter / pg.broadcast /
+ * Sites wired in the runtime (`knownSites()` enumerates them; arming an
+ * unknown site via SLAPO_FAILPOINTS / configureFromString fails fast):
+ *   pg.allreduce / pg.allreduce.bucket / pg.allgather /
+ *   pg.reducescatter / pg.broadcast /
  *   pg.barrier     — per rank, on entry to the collective
  *   executor.rank  — per rank, at the top of a DistExecutor rank body
  *   pipeline.stage — per micro-batch handoff, rank = stage index
  *   trainer.step / dp_trainer.step — per optimizer step, rank 0
+ *   elastic.drain / elastic.rebuild / elastic.rebalance
+ *                  — per elastic-recovery pass, rank 0 (main thread)
+ *   elastic.rendezvous / elastic.restore
+ *                  — per survivor, rank = post-rebuild rank
  *
  * Configuration is programmatic (tests) or via the environment:
  *   SLAPO_FAILPOINTS=site@invocation:action[:rRANK][;...]
- *   action := throw | kill | delay=MILLIS
+ *   action := throw | kill | die | delay=MILLIS
  * e.g. SLAPO_FAILPOINTS="pg.allreduce@3:kill:r1;trainer.step@5:throw"
  *
  * Invocation counters start when the first spec is armed; an unarmed
@@ -30,6 +36,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "support/error.h"
 
@@ -43,6 +50,7 @@ enum class Action
     Throw, ///< throw FailpointError (an ordinary, catchable failure)
     Delay, ///< sleep for `delay_ms` (stall injection; pairs with timeouts)
     Kill,  ///< throw RankKilledError (simulates the rank process dying)
+    Die,   ///< throw RankLostError (the rank is *permanently* gone)
 };
 
 /** Arming record for one site. */
@@ -91,10 +99,37 @@ class RankKilledError : public SlapoError
     int64_t invocation_;
 };
 
-/** Arm `site` with `spec` (replaces any previous arming of the site). */
+/**
+ * Thrown by Action::Die — models a rank that is *permanently* lost (the
+ * machine is gone, not rebooting). Unlike RankKilledError (a transient
+ * crash the trainer replays at the same world size), the DistExecutor
+ * declares the rank lost on its ProcessGroup, and an elastic trainer
+ * responds by rebuilding the group over the survivors
+ * (docs/ROBUSTNESS.md).
+ */
+class RankLostError : public SlapoError
+{
+  public:
+    RankLostError(std::string site, int rank, int64_t invocation);
+
+    const std::string& site() const { return site_; }
+    int rank() const { return rank_; }
+    int64_t invocation() const { return invocation_; }
+
+  private:
+    std::string site_;
+    int rank_;
+    int64_t invocation_;
+};
+
+/**
+ * Arm `site` with `spec`. A site may be armed several times (e.g. two
+ * `die` specs at different invocation counts to model sequential rank
+ * losses); a hit fires the first spec matching its (invocation, rank).
+ */
 void enable(const std::string& site, const Spec& spec);
 
-/** Disarm one site. */
+/** Disarm one site (removes every spec armed on it). */
 void disable(const std::string& site);
 
 /** Disarm everything and reset all invocation counters. */
@@ -106,9 +141,21 @@ bool anyEnabled();
 /**
  * Parse a SLAPO_FAILPOINTS-syntax config string and arm every spec in
  * it. Returns the number of specs armed; throws SlapoError on syntax
- * errors.
+ * errors and on site names not in `knownSites()` (a typo'd site would
+ * otherwise silently never fire). Programmatic `enable()` accepts any
+ * site, so tests can use ad-hoc unit sites.
  */
 int configureFromString(const std::string& config);
+
+/**
+ * Every failpoint site wired into the runtime, sorted. The
+ * configuration-string parser rejects sites outside this list, and
+ * tests/test_fault.cc enumerates it against the documented site table.
+ */
+const std::vector<std::string>& knownSites();
+
+/** True if `site` is in `knownSites()`. */
+bool isKnownSite(const std::string& site);
 
 /**
  * Arm from the SLAPO_FAILPOINTS environment variable if set. Called

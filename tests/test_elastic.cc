@@ -1,0 +1,566 @@
+/** @file Tests of elastic world-size recovery: a rank *permanently*
+ * lost (failpoint `die` mode) must not end training — the survivors
+ * rebuild the group, pick up the lost ranks' data shards, restore the
+ * last bit-exact checkpoint, and keep going. The acceptance bar: a
+ * 4-rank run that loses rank 2 finishes all steps on 3 survivors with
+ * an "elastic.rebuild" run-log record naming the lost rank, and the
+ * post-shrink trajectory is bitwise reproducible at any kernel thread
+ * count. */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "models/registry.h"
+#include "nn/context.h"
+#include "obs/run_log.h"
+#include "runtime/checkpoint.h"
+#include "runtime/dist_executor.h"
+#include "runtime/trainer.h"
+#include "support/failpoint.h"
+#include "support/parallel.h"
+
+namespace slapo {
+namespace runtime {
+namespace {
+
+namespace fp = support::failpoint;
+using nn::ModulePtr;
+
+/** Fresh, empty scratch directory under the gtest temp root. */
+std::string
+scratchDir(const std::string& name)
+{
+    const auto dir = std::filesystem::path(::testing::TempDir()) /
+                     ("slapo_elastic_" + name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+std::vector<std::string>
+readLines(const std::string& path)
+{
+    std::vector<std::string> lines;
+    std::ifstream f(path);
+    std::string line;
+    while (std::getline(f, line)) {
+        if (!line.empty()) {
+            lines.push_back(line);
+        }
+    }
+    return lines;
+}
+
+/** First log line containing `needle`, or "" if none. */
+std::string
+findLine(const std::vector<std::string>& lines, const std::string& needle)
+{
+    for (const std::string& line : lines) {
+        if (line.find(needle) != std::string::npos) {
+            return line;
+        }
+    }
+    return "";
+}
+
+ModulePtr
+buildLossModel(uint64_t seed)
+{
+    auto model = withCrossEntropyLoss(models::buildTinyModel("bert"));
+    model->initializeParams(seed);
+    return model;
+}
+
+/** Deterministic per-shard input tuples (the DP BatchProvider). */
+std::vector<std::vector<Tensor>>
+shardBatches(int base_world, int64_t step)
+{
+    std::vector<std::vector<Tensor>> per_shard;
+    for (int64_t s = 0; s < base_world; ++s) {
+        per_shard.push_back(
+            {Tensor::randint({1, 8}, 64, 5000 + 10 * step + s),
+             Tensor::randint({1, 8}, 64, 6000 + 10 * step + s)});
+    }
+    return per_shard;
+}
+
+/** Deep copies of every parameter of `m`, in registration order. */
+std::vector<Tensor>
+snapshotParams(nn::Module& m)
+{
+    std::vector<Tensor> out;
+    for (auto& [path, tensor] : m.namedParams()) {
+        Tensor copy = Tensor::zeros(tensor->shape());
+        copy.copyFrom(*tensor);
+        out.push_back(std::move(copy));
+    }
+    return out;
+}
+
+::testing::AssertionResult
+snapshotsBitwiseEqual(const std::vector<Tensor>& a,
+                      const std::vector<Tensor>& b)
+{
+    if (a.size() != b.size()) {
+        return ::testing::AssertionFailure()
+               << "param count " << a.size() << " vs " << b.size();
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i].shape() != b[i].shape() ||
+            std::memcmp(a[i].data(), b[i].data(),
+                        static_cast<size_t>(a[i].numel()) * sizeof(float)) !=
+                0) {
+            return ::testing::AssertionFailure()
+                   << "bitwise mismatch at param " << i << " (max diff "
+                   << Tensor::maxAbsDiff(a[i], b[i]) << ")";
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+/** Elastic recovery options used across the scenario tests. */
+RecoveryOptions
+elasticRecovery(const std::string& dir)
+{
+    RecoveryOptions recovery;
+    recovery.checkpoint_every = 1;
+    recovery.checkpoint_dir = dir;
+    recovery.max_retries = 4;
+    recovery.elastic = true;
+    recovery.liveness_deadline_ms = 500;
+    recovery.restore_backoff_ms = 10;
+    return recovery;
+}
+
+/** All elastic tests start and end with clean global state. */
+class ElasticTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fp::clearAll(); }
+
+    void
+    TearDown() override
+    {
+        fp::clearAll();
+        obs::closeRunLog();
+        setNumThreads(0);
+    }
+};
+
+// --- die mode and loss declaration ------------------------------------------
+
+TEST_F(ElasticTest, DieActionParsesAndThrowsRankLostError)
+{
+    EXPECT_EQ(fp::configureFromString("pg.allreduce@0:die:r1"), 1);
+    EXPECT_NO_THROW(fp::hit("pg.allreduce", 0)); // wrong rank
+    try {
+        fp::hit("pg.allreduce", 1);
+        FAIL() << "die failpoint did not fire";
+    } catch (const fp::RankLostError& e) {
+        EXPECT_EQ(e.site(), "pg.allreduce");
+        EXPECT_EQ(e.rank(), 1);
+        EXPECT_NE(std::string(e.what()).find("permanently lost"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(ElasticTest, DeclareLostConfirmLostAndRebuild)
+{
+    ProcessGroup group(4, ProcessGroupOptions{.timeout_ms = 5000});
+    EXPECT_EQ(group.membershipGeneration(), 1);
+    EXPECT_TRUE(group.lostRanks().empty());
+    EXPECT_FALSE(group.confirmLost(2, 0)); // immediate check, not lost
+
+    group.declareLost(2, "machine gone");
+    EXPECT_TRUE(group.aborted()); // peers must fail fast
+    EXPECT_EQ(group.lostRanks(), (std::vector<int>{2}));
+    EXPECT_TRUE(group.confirmLost(2, 0));
+
+    // The liveness deadline: a rank that is merely slow is not declared
+    // within the deadline, and confirmLost says so (false) after it.
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(group.confirmLost(1, 80));
+    const auto waited_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_GE(waited_ms, 70);
+
+    // Loss declarations survive reset() (they describe the world, not
+    // the aborted step); only rebuild() clears them.
+    group.reset();
+    EXPECT_FALSE(group.aborted());
+    EXPECT_EQ(group.lostRanks(), (std::vector<int>{2}));
+
+    group.rebuild({0, 1, 3});
+    EXPECT_EQ(group.worldSize(), 3);
+    EXPECT_EQ(group.membershipGeneration(), 2);
+    EXPECT_TRUE(group.lostRanks().empty());
+    EXPECT_FALSE(group.aborted());
+
+    // The rebuilt group is a working 3-rank world.
+    std::vector<float> sums(3);
+    std::vector<std::thread> threads;
+    for (int r = 0; r < 3; ++r) {
+        threads.emplace_back([&, r] {
+            sums[r] = group.allReduce(r, Tensor::full({1}, 1.0f)).at(0);
+        });
+    }
+    for (auto& t : threads) {
+        t.join();
+    }
+    for (int r = 0; r < 3; ++r) {
+        EXPECT_FLOAT_EQ(sums[r], 3.0f);
+    }
+}
+
+TEST_F(ElasticTest, ConfirmLostWakesAsSoonAsTheRankIsDeclared)
+{
+    ProcessGroup group(2, ProcessGroupOptions{.timeout_ms = 5000});
+    std::thread declarer([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        group.declareLost(1, "gone");
+    });
+    // Deadline far above the declaration delay: must return true early.
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_TRUE(group.confirmLost(1, 10000));
+    const auto waited_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_LT(waited_ms, 5000);
+    declarer.join();
+}
+
+TEST_F(ElasticTest, StaleGenerationDepositRejected)
+{
+    ProcessGroup group(2, ProcessGroupOptions{.timeout_ms = 5000});
+    group.declareLost(1, "gone");
+    group.rebuild({0}); // world of one; membership generation 2
+
+    // A (buggy) thread still pinned to the old world must not have its
+    // deposit silently mixed into the rebuilt group.
+    nn::DistContext stale;
+    stale.rank = 0;
+    stale.world_size = 2;
+    stale.group = &group;
+    stale.membership_generation = 1;
+    nn::DistGuard guard(&stale);
+    try {
+        group.allReduce(0, Tensor::full({2}, 1.0f));
+        FAIL() << "stale-generation deposit was accepted";
+    } catch (const CollectiveError& e) {
+        EXPECT_EQ(e.memberGeneration(), 1); // the depositor's stale epoch
+        EXPECT_NE(std::string(e.what()).find("stale membership"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(ElasticTest, CollectiveErrorCarriesMembershipGeneration)
+{
+    const CollectiveError e("pg.allreduce", 1, 7, "boom", -1, 3);
+    EXPECT_EQ(e.memberGeneration(), 3);
+    EXPECT_NE(std::string(e.what()).find("world gen 3"), std::string::npos);
+    // Default: pre-epoch errors report 0 and don't mention an epoch.
+    const CollectiveError legacy("pg.allreduce", 1, 7, "boom");
+    EXPECT_EQ(legacy.memberGeneration(), 0);
+    EXPECT_EQ(std::string(legacy.what()).find("world gen"),
+              std::string::npos);
+}
+
+TEST_F(ElasticTest, ResetClearsAbortedWaitFromRankStats)
+{
+    // A rank hanging in an aborted collective accumulates wait time that
+    // is pure failure artifact; reset() must subtract it so post-recovery
+    // skew reports see only real waits.
+    ProcessGroup group(2, ProcessGroupOptions{.timeout_ms = 60000});
+    std::thread waiter([&] {
+        try {
+            group.allReduce(0, Tensor::full({2}, 1.0f));
+        } catch (const CollectiveError&) {
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    group.abort("unit.abort", 1, "injected");
+    waiter.join();
+
+    const int64_t before = group.rankStats(0).wait_ns;
+    EXPECT_GE(before, 100 * 1000 * 1000); // hung for >= ~100ms
+    group.reset();
+    const int64_t after = group.rankStats(0).wait_ns;
+    EXPECT_LT(after, before);
+    EXPECT_LT(after, 10 * 1000 * 1000); // aborted wait fully discounted
+}
+
+// --- checkpoint format v2 ---------------------------------------------------
+
+TEST_F(ElasticTest, CheckpointV2RoundTripsWorldSize)
+{
+    ASSERT_EQ(kCheckpointVersion, 2u);
+    const std::string dir = scratchDir("ckpt_v2");
+    CheckpointState state;
+    state.step = 3;
+    state.optimizer_steps = 3;
+    state.world_size = 4;
+    state.tensors.push_back({"w", Tensor::uniform({2, 2}, 1.0f, 17)});
+    const std::string path = dir + "/" + checkpointFileName(state.step);
+    saveCheckpoint(path, state);
+    const CheckpointState loaded = loadCheckpoint(path);
+    EXPECT_EQ(loaded.world_size, 4);
+    EXPECT_EQ(loaded.step, 3);
+}
+
+// --- executor shrink --------------------------------------------------------
+
+TEST_F(ElasticTest, ExecutorShrinkRenumbersSurvivors)
+{
+    DistExecutor executor(4, ProcessGroupOptions{.timeout_ms = 5000});
+    executor.group().declareLost(1, "gone");
+    executor.group().reset();
+    const std::vector<int> survivors = executor.shrink();
+    EXPECT_EQ(survivors, (std::vector<int>{0, 2, 3}));
+    EXPECT_EQ(executor.worldSize(), 3);
+    EXPECT_EQ(executor.group().worldSize(), 3);
+    EXPECT_EQ(executor.group().membershipGeneration(), 2);
+    // With nobody lost, shrink is a caller bug.
+    EXPECT_THROW(executor.shrink(), SlapoError);
+}
+
+// --- the acceptance scenario ------------------------------------------------
+
+TEST_F(ElasticTest, RankDeathMidAllreduceShrinksTo3AndCompletes)
+{
+    // 4-rank data-parallel run; rank 2 is *permanently* lost inside the
+    // gradient all-reduce of step 1 (SLAPO_FAILPOINTS syntax
+    // "pg.allreduce.bucket@1:die:r2"). Training must finish all steps on
+    // the 3 survivors with rank 2's shard redistributed.
+    const int64_t steps = 5;
+    const std::string log_path =
+        scratchDir("accept_log") + "/run.jsonl";
+    obs::openRunLog(log_path);
+
+    fp::configureFromString("pg.allreduce.bucket@1:die:r2");
+    AdamWConfig config;
+    config.lr = 5e-3f;
+    auto model = buildLossModel(55);
+    DataParallelTrainer trainer(*model, 4, config,
+                                elasticRecovery(scratchDir("accept_ckpt")));
+
+    TrainRunStats stats = trainer.trainSteps(
+        [](int64_t step) { return shardBatches(4, step); }, steps);
+    obs::closeRunLog();
+
+    EXPECT_EQ(stats.steps_run, steps);
+    EXPECT_EQ(stats.recoveries, 1);
+    EXPECT_EQ(stats.elastic_rebuilds, 1);
+    EXPECT_EQ(trainer.baseWorldSize(), 4);
+    EXPECT_EQ(trainer.worldSize(), 3);
+    EXPECT_EQ(trainer.origRanks(), (std::vector<int>{0, 1, 3}));
+    // Orphaned shard 2 went to the least-loaded, lowest-ranked survivor.
+    const std::vector<std::vector<int>> expected_shards = {
+        {0, 2}, {1}, {3}};
+    EXPECT_EQ(trainer.shardAssignment(), expected_shards);
+    EXPECT_EQ(trainer.group().membershipGeneration(), 2);
+
+    // Survivor replicas are still in lock-step.
+    const auto r0 = snapshotParams(trainer.replica(0));
+    for (int r = 1; r < 3; ++r) {
+        EXPECT_TRUE(snapshotsBitwiseEqual(r0, snapshotParams(trainer.replica(r))))
+            << "rank " << r;
+    }
+
+    // The run log tells the story: an elastic.rebuild record naming rank
+    // 2 and the world change, plus the usual recovery record.
+    const auto lines = readLines(log_path);
+    const std::string rebuild =
+        findLine(lines, "\"kind\":\"elastic.rebuild\"");
+    ASSERT_FALSE(rebuild.empty());
+    EXPECT_NE(rebuild.find("\"lost_ranks\":[2]"), std::string::npos)
+        << rebuild;
+    EXPECT_NE(rebuild.find("\"old_world\":4"), std::string::npos);
+    EXPECT_NE(rebuild.find("\"new_world\":3"), std::string::npos);
+    EXPECT_NE(rebuild.find("\"generation\":2"), std::string::npos);
+    EXPECT_FALSE(findLine(lines, "\"kind\":\"recovery\"").empty());
+    // Post-shrink checkpoints are stamped with the shrunken world.
+    EXPECT_FALSE(findLine(lines, "\"world_size\":3").empty());
+}
+
+TEST_F(ElasticTest, PostShrinkTrajectoryBitwiseIdenticalAcrossThreadCounts)
+{
+    // The determinism claim: repeat the whole lose-rank-2 scenario at
+    // different kernel thread counts; final loss and every surviving
+    // parameter must be bitwise identical.
+    const int64_t steps = 4;
+    auto run_scenario = [&](int threads, const std::string& tag) {
+        fp::clearAll();
+        setNumThreads(threads);
+        fp::configureFromString("pg.allreduce.bucket@1:die:r2");
+        AdamWConfig config;
+        config.lr = 5e-3f;
+        auto model = buildLossModel(56);
+        DataParallelTrainer trainer(
+            *model, 4, config, elasticRecovery(scratchDir("det_" + tag)));
+        TrainRunStats stats = trainer.trainSteps(
+            [](int64_t step) { return shardBatches(4, step); }, steps);
+        EXPECT_EQ(trainer.worldSize(), 3);
+        return std::make_pair(stats.last.loss,
+                              snapshotParams(trainer.replica(0)));
+    };
+    const auto [loss_a, params_a] = run_scenario(1, "t1");
+    const auto [loss_b, params_b] = run_scenario(4, "t4");
+    setNumThreads(0);
+    EXPECT_EQ(loss_a, loss_b); // exact double equality, not near
+    EXPECT_TRUE(snapshotsBitwiseEqual(params_a, params_b));
+}
+
+// --- deaths at every arrow of the state machine -----------------------------
+
+TEST_F(ElasticTest, DeathDuringRendezvousShrinksAgain)
+{
+    // Rank 2 dies at step 1; while the 3 survivors run the rebuild
+    // rendezvous, new-rank 1 (original rank 1) dies too. The state
+    // machine must loop — shrink again — and finish on a world of 2.
+    const int64_t steps = 5;
+    const std::string log_path =
+        scratchDir("rendezvous_log") + "/run.jsonl";
+    obs::openRunLog(log_path);
+    fp::configureFromString(
+        "pg.allreduce.bucket@1:die:r2;elastic.rendezvous@0:die:r1");
+    auto model = buildLossModel(57);
+    DataParallelTrainer trainer(
+        *model, 4, AdamWConfig{},
+        elasticRecovery(scratchDir("rendezvous_ckpt")));
+    TrainRunStats stats = trainer.trainSteps(
+        [](int64_t step) { return shardBatches(4, step); }, steps);
+    obs::closeRunLog();
+
+    EXPECT_EQ(stats.steps_run, steps);
+    EXPECT_EQ(stats.elastic_rebuilds, 1); // one handler pass, two rounds
+    EXPECT_EQ(trainer.worldSize(), 2);
+    EXPECT_EQ(trainer.origRanks(), (std::vector<int>{0, 3}));
+    const std::vector<std::vector<int>> expected_shards = {{0, 2}, {1, 3}};
+    EXPECT_EQ(trainer.shardAssignment(), expected_shards);
+    EXPECT_EQ(trainer.group().membershipGeneration(), 3);
+
+    const std::string rebuild = findLine(
+        readLines(log_path), "\"kind\":\"elastic.rebuild\"");
+    ASSERT_FALSE(rebuild.empty());
+    EXPECT_NE(rebuild.find("\"lost_ranks\":[1,2]"), std::string::npos)
+        << rebuild;
+    EXPECT_NE(rebuild.find("\"old_world\":4"), std::string::npos);
+    EXPECT_NE(rebuild.find("\"new_world\":2"), std::string::npos);
+}
+
+TEST_F(ElasticTest, DeathDuringCheckpointRestoreShrinksAndCompletes)
+{
+    // An ordinary step failure sends every rank into the parallel
+    // checkpoint restore — where rank 2 dies for good. The handler must
+    // classify the new loss, shrink, and re-run the restore on the
+    // survivors.
+    const int64_t steps = 4;
+    fp::configureFromString(
+        "dp_trainer.step@1:throw;elastic.restore@0:die:r2");
+    auto model = buildLossModel(58);
+    DataParallelTrainer trainer(*model, 4, AdamWConfig{},
+                                elasticRecovery(scratchDir("restore_ckpt")));
+    TrainRunStats stats = trainer.trainSteps(
+        [](int64_t step) { return shardBatches(4, step); }, steps);
+    EXPECT_EQ(stats.steps_run, steps);
+    EXPECT_EQ(stats.elastic_rebuilds, 1);
+    EXPECT_EQ(trainer.worldSize(), 3);
+    EXPECT_EQ(trainer.origRanks(), (std::vector<int>{0, 1, 3}));
+}
+
+TEST_F(ElasticTest, TwoSequentialLossesShrinkTwice)
+{
+    // Two separate loss events in one run: rank 3 dies at step 1; after
+    // that recovery, (new) rank 1 dies a few steps later. 4 → 3 → 2.
+    const int64_t steps = 6;
+    const std::string log_path =
+        scratchDir("sequential_log") + "/run.jsonl";
+    obs::openRunLog(log_path);
+    fp::configureFromString(
+        "pg.allreduce.bucket@1:die:r3;pg.allreduce.bucket@4:die:r1");
+    auto model = buildLossModel(59);
+    DataParallelTrainer trainer(
+        *model, 4, AdamWConfig{},
+        elasticRecovery(scratchDir("sequential_ckpt")));
+    TrainRunStats stats = trainer.trainSteps(
+        [](int64_t step) { return shardBatches(4, step); }, steps);
+    obs::closeRunLog();
+
+    EXPECT_EQ(stats.steps_run, steps);
+    EXPECT_EQ(stats.recoveries, 2);
+    EXPECT_EQ(stats.elastic_rebuilds, 2);
+    EXPECT_EQ(trainer.worldSize(), 2);
+    EXPECT_EQ(trainer.origRanks(), (std::vector<int>{0, 2}));
+    EXPECT_EQ(trainer.group().membershipGeneration(), 3);
+    // Every shard is still owned exactly once.
+    std::vector<int> owned;
+    for (const auto& shards : trainer.shardAssignment()) {
+        owned.insert(owned.end(), shards.begin(), shards.end());
+    }
+    std::sort(owned.begin(), owned.end());
+    EXPECT_EQ(owned, (std::vector<int>{0, 1, 2, 3}));
+
+    // One elastic.rebuild record per loss event.
+    const auto lines = readLines(log_path);
+    int rebuilds = 0;
+    for (const std::string& line : lines) {
+        if (line.find("\"kind\":\"elastic.rebuild\"") != std::string::npos) {
+            ++rebuilds;
+        }
+    }
+    EXPECT_EQ(rebuilds, 2);
+}
+
+// --- restore-attempt exhaustion ---------------------------------------------
+
+TEST_F(ElasticTest, GiveupRecordAfterExhaustedRestoreAttempts)
+{
+    // No checkpoint was ever written (checkpoint_every = 0, empty dir):
+    // every restore sweep comes up dry, the deterministic backoff runs
+    // its course, and trainSteps rethrows after a recovery.giveup
+    // record.
+    const std::string log_path = scratchDir("giveup_log") + "/run.jsonl";
+    obs::openRunLog(log_path);
+    RecoveryOptions recovery;
+    recovery.checkpoint_every = 0;
+    recovery.checkpoint_dir = scratchDir("giveup_ckpt");
+    recovery.max_retries = 2;
+    recovery.max_restore_attempts = 3;
+    recovery.restore_backoff_ms = 30;
+    auto model = buildLossModel(60);
+    Trainer trainer(model, AdamWConfig{}, recovery);
+    fp::Spec crash;
+    crash.at = 1;
+    fp::enable("trainer.step", crash);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_THROW(
+        trainer.trainSteps([](int64_t s) { return shardBatches(1, s); }, 3),
+        fp::FailpointError);
+    const auto elapsed_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    obs::closeRunLog();
+    // Sweeps 2 and 3 waited 30ms and 60ms (30 << 1): deterministic, no
+    // jitter.
+    EXPECT_GE(elapsed_ms, 90);
+
+    const std::string giveup = findLine(
+        readLines(log_path), "\"kind\":\"recovery.giveup\"");
+    ASSERT_FALSE(giveup.empty());
+    EXPECT_NE(giveup.find("\"restore_attempts\":3"), std::string::npos)
+        << giveup;
+    EXPECT_NE(giveup.find("\"failed_step\":1"), std::string::npos);
+}
+
+} // namespace
+} // namespace runtime
+} // namespace slapo

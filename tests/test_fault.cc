@@ -5,6 +5,7 @@
  * parameters *bitwise identical* to an uninterrupted one. */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -132,14 +133,48 @@ TEST_F(FaultTest, FailpointFiresAtExactInvocationAndRank)
 
 TEST_F(FaultTest, FailpointEnvSyntaxParses)
 {
-    EXPECT_EQ(fp::configureFromString(
-                  "pg.allreduce@3:kill:r1;a@0:delay=5;b@2:throw"),
+    EXPECT_EQ(fp::configureFromString("pg.allreduce@3:kill:r1;"
+                                      "trainer.step@0:delay=5;"
+                                      "elastic.rendezvous@2:die:r0"),
               3);
     fp::clearAll();
     EXPECT_THROW(fp::configureFromString("missing-at:throw"), SlapoError);
-    EXPECT_THROW(fp::configureFromString("site@1"), SlapoError);
-    EXPECT_THROW(fp::configureFromString("site@1:frobnicate"), SlapoError);
-    EXPECT_THROW(fp::configureFromString("site@x:throw"), SlapoError);
+    EXPECT_THROW(fp::configureFromString("pg.allreduce@1"), SlapoError);
+    EXPECT_THROW(fp::configureFromString("pg.allreduce@1:frobnicate"),
+                 SlapoError);
+    EXPECT_THROW(fp::configureFromString("pg.allreduce@x:throw"), SlapoError);
+}
+
+TEST_F(FaultTest, UnknownSiteInConfigStringFailsFast)
+{
+    // A typo'd site would arm a failpoint that can never fire — the
+    // parser must reject anything outside knownSites() (programmatic
+    // enable() stays permissive for ad-hoc unit sites).
+    EXPECT_THROW(fp::configureFromString("pg.allredoce@0:throw"), SlapoError);
+    EXPECT_THROW(fp::configureFromString("elastic.rebild@0:die"), SlapoError);
+    EXPECT_NO_THROW(fp::enable("ad.hoc.unit.site", fp::Spec{}));
+}
+
+TEST_F(FaultTest, KnownSitesEnumerationMatchesDocumentedTable)
+{
+    // Keep the registry, the header docs, and docs/ROBUSTNESS.md in
+    // sync: every site the runtime wires must be exactly this set. A new
+    // failpoint::hit(...) site must be added here *and* to knownSites()
+    // (and the docs), or configureFromString users could never arm it.
+    const std::vector<std::string> documented = {
+        "dp_trainer.step",     "elastic.drain",    "elastic.rebalance",
+        "elastic.rebuild",     "elastic.rendezvous", "elastic.restore",
+        "executor.rank",       "pg.allgather",     "pg.allreduce",
+        "pg.allreduce.bucket", "pg.barrier",       "pg.broadcast",
+        "pg.reducescatter",    "pipeline.stage",   "trainer.step",
+    };
+    EXPECT_EQ(fp::knownSites(), documented);
+    ASSERT_TRUE(std::is_sorted(documented.begin(), documented.end()));
+    for (const std::string& site : documented) {
+        EXPECT_TRUE(fp::isKnownSite(site)) << site;
+    }
+    EXPECT_FALSE(fp::isKnownSite("pg.allredoce"));
+    EXPECT_FALSE(fp::isKnownSite(""));
 }
 
 TEST_F(FaultTest, DelayActionStallsButSucceeds)
