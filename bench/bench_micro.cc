@@ -12,6 +12,7 @@
 
 #include "baselines/baselines.h"
 #include "models/registry.h"
+#include "obs/profiler.h"
 #include "nn/tracer.h"
 #include "runtime/autograd.h"
 #include "core/auto_shard.h"
@@ -312,6 +313,36 @@ BM_AllocAcquireRelease(benchmark::State& state)
     alloc::clearPool();
 }
 BENCHMARK(BM_AllocAcquireRelease)->Arg(0)->Arg(1)->ArgName("pool");
+
+void
+BM_ProfilerDisabledCheck(benchmark::State& state)
+{
+    // The per-node cost of attribution when no profiler is installed:
+    // one relaxed atomic load (docs/OBSERVABILITY.md, "Overhead").
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(obs::OpProfiler::current());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerDisabledCheck);
+
+void
+BM_ProfilerRecord(benchmark::State& state)
+{
+    // The per-node cost with a profiler installed: clock reads happen in
+    // the interpreter's timers; this measures the record() fold itself
+    // (map lookup + histogram bump under the profiler mutex).
+    obs::OpProfiler profiler;
+    const std::string op = "linear";
+    const std::string path = "encoder.layer.0.ffn.fc1";
+    const std::string primitive = "shard";
+    int64_t ns = 0;
+    for (auto _ : state) {
+        profiler.record(op, path, primitive, ++ns);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerRecord);
 
 } // namespace
 

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Perf-regression gate: compare a fresh BENCH_kernels.json against the
+# committed baseline and fail when any shared benchmark slowed down by
+# more than the threshold (docs/PERFORMANCE.md, "Regression gate").
+#
+# Usage:
+#   bench/check_regression.sh [build-dir] [--current=FILE] [--baseline=FILE]
+#                             [--filter=REGEX]
+#
+#   build-dir        where bench_micro lives (default: build)
+#   --current=FILE   pre-recorded result file; when absent the script runs
+#                    bench_micro itself (with --filter when given)
+#   --baseline=FILE  baseline to compare against (default: the committed
+#                    BENCH_kernels.json at the repo root)
+#   --filter=REGEX   google-benchmark filter for the fresh run; only the
+#                    intersection of benchmark names is compared, so a
+#                    narrow filter makes a fast smoke gate
+#
+# Environment:
+#   SLAPO_REGRESSION_PCT     slowdown percent that fails the gate (default 20)
+#   SLAPO_REGRESSION_MIN_NS  baseline times under this floor are never
+#                            flagged — they are timing noise (default 100000)
+#
+# Exit codes: 0 = no regression, 1 = regression, 77 = skipped (no
+# baseline / no benchmark binary / no python3), 2 = usage error.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+current=""
+baseline="$repo_root/BENCH_kernels.json"
+filter='BM_Tensor(Matmul|MatmulThreads|LinearThreads|LayerNorm|Softmax)|BM_Alloc(Step|AcquireRelease)'
+
+for arg in "$@"; do
+    case "$arg" in
+      --current=*) current="${arg#--current=}" ;;
+      --baseline=*) baseline="${arg#--baseline=}" ;;
+      --filter=*) filter="${arg#--filter=}" ;;
+      --*) echo "error: unknown option $arg" >&2; exit 2 ;;
+      *) build_dir="$arg" ;;
+    esac
+done
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "skip: python3 not available" >&2
+    exit 77
+fi
+if [[ ! -f "$baseline" ]]; then
+    echo "skip: no baseline at $baseline" >&2
+    exit 77
+fi
+
+cleanup=""
+if [[ -z "$current" ]]; then
+    bench_bin="$build_dir/bench/bench_micro"
+    if [[ ! -x "$bench_bin" ]]; then
+        echo "skip: $bench_bin not built" >&2
+        exit 77
+    fi
+    current="$(mktemp /tmp/slapo_bench_current.XXXXXX.json)"
+    cleanup="$current"
+    "$bench_bin" \
+        --benchmark_filter="$filter" \
+        --benchmark_format=json \
+        --benchmark_out="$current" \
+        --benchmark_out_format=json >&2
+fi
+if [[ ! -f "$current" ]]; then
+    echo "error: no current result file at $current" >&2
+    exit 2
+fi
+
+threshold="${SLAPO_REGRESSION_PCT:-20}"
+min_ns="${SLAPO_REGRESSION_MIN_NS:-100000}"
+
+status=0
+python3 - "$baseline" "$current" "$threshold" "$min_ns" <<'PY' || status=$?
+import json
+import sys
+
+baseline_path, current_path, threshold, min_ns = sys.argv[1:5]
+threshold = float(threshold)
+min_ns = float(min_ns)
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        ns = float(b["real_time"]) * UNIT_NS[b.get("time_unit", "ns")]
+        out[b["name"]] = ns
+    return out
+
+base = load(baseline_path)
+cur = load(current_path)
+shared = sorted(set(base) & set(cur))
+if not shared:
+    print("error: no shared benchmarks between baseline and current",
+          file=sys.stderr)
+    sys.exit(2)
+
+regressions = []
+print(f"{'benchmark':44s} {'baseline':>14s} {'current':>14s} {'delta':>8s}")
+for name in shared:
+    b, c = base[name], cur[name]
+    pct = (c - b) / b * 100.0 if b > 0 else 0.0
+    flag = ""
+    if pct > threshold and b >= min_ns:
+        flag = "  REGRESSION"
+        regressions.append((name, pct))
+    print(f"{name:44s} {b:12.0f}ns {c:12.0f}ns {pct:+7.1f}%{flag}")
+
+skipped = len(set(base) - set(cur))
+if skipped:
+    print(f"note: {skipped} baseline benchmark(s) not in current run "
+          f"(filtered out)")
+if regressions:
+    print(f"\nFAIL: {len(regressions)} regression(s) over "
+          f"{threshold:.0f}% (floor {min_ns:.0f}ns):", file=sys.stderr)
+    for name, pct in regressions:
+        print(f"  {name}: {pct:+.1f}%", file=sys.stderr)
+    sys.exit(1)
+print(f"\nOK: {len(shared)} benchmark(s) within {threshold:.0f}% "
+      f"of baseline")
+PY
+
+[[ -n "$cleanup" ]] && rm -f "$cleanup"
+exit $status

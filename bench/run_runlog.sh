@@ -42,6 +42,8 @@ with open(sys.argv[1]) as f:
     for i, line in enumerate(f, 1):
         rec = json.loads(line)  # every line must parse on its own
         assert isinstance(rec, dict) and "kind" in rec, f"line {i}: no kind"
+        assert rec.get("schema_version") == 1, \
+            f"line {i} ({rec['kind']}): missing schema_version"
         records.append(rec)
 
 by_kind = {}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/provenance.h"
+
 namespace slapo {
 namespace core {
 
@@ -151,6 +153,7 @@ Schedule::replace(ModulePtr new_module)
     parent_->module_->replaceChild(name_, new_module);
     module_ = std::move(new_module);
     rebuildChildren();
+    obs::recordPrimitive("replace", path_);
 }
 
 void
@@ -174,6 +177,7 @@ Schedule::shard(const std::string& param_name, int64_t axis, int64_t interleave)
     spec.world_size = world_size_;
     spec.interleave = interleave;
     module_->meta().sharded_params[param_name] = spec;
+    obs::recordPrimitive("shard", path_);
 }
 
 void
@@ -206,12 +210,14 @@ Schedule::sync(nn::SyncDirection direction, nn::SyncKind kind, int64_t axis)
     spec.kind = kind;
     spec.axis = axis;
     module_->meta().syncs.push_back(spec);
+    obs::recordPrimitive("sync", path_);
 }
 
 void
 Schedule::checkpoint()
 {
     module_->meta().checkpointed = true;
+    obs::recordPrimitive("checkpoint", path_);
 }
 
 void
@@ -221,12 +227,14 @@ Schedule::pipelineSplit()
     SLAPO_CHECK(parent_ != nullptr,
                 ".pipeline_split(): cannot split after the root module");
     module_->meta().pipeline_split_after = true;
+    obs::recordPrimitive("pipeline_split", path_);
 }
 
 void
 Schedule::decompose()
 {
     module_->meta().decomposed = true;
+    obs::recordPrimitive("decompose", path_);
 }
 
 void
@@ -271,6 +279,7 @@ Schedule::trace(const std::vector<Shape>& input_shapes,
     module_->meta().traced_graph = nullptr; // re-trace replaces the graph
     module_->meta().traced_graph =
         nn::traceModule(*module_, input_shapes, std::move(options));
+    obs::recordPrimitive("trace", path_);
 }
 
 graph::Graph&
@@ -301,7 +310,14 @@ Schedule::fuse(const std::vector<Node*>& subgraph, const std::string& compiler)
     SLAPO_CHECK(compiler == "TorchScript",
                 ".fuse(): unknown compiler '"
                     << compiler << "' (only \"TorchScript\" is supported)");
-    graph().fuseSubgraph(subgraph, "fused");
+    Node* fused = graph().fuseSubgraph(subgraph, "fused");
+    const int64_t seq = obs::recordPrimitive("fuse", path_);
+    fused->setProvenance({"fuse", path_, seq});
+    // The autograd engine executes the encapsulated clones one by one;
+    // stamp them too so fused compute attributes to .fuse() either way.
+    for (Node* inner : fused->subgraph()->nodes()) {
+        inner->setProvenance({"fuse", path_, seq});
+    }
 }
 
 void
@@ -321,6 +337,8 @@ Schedule::replace(ModulePtr new_module, const std::vector<Node*>& subgraph)
     node->setTarget(name);
     node->setModule(new_module.get());
     node->setAttr("type", new_module->typeName());
+    node->setProvenance(
+        {"replace", path_, obs::recordPrimitive("replace", path_)});
     rebuildChildren();
 }
 
@@ -329,8 +347,10 @@ Schedule::checkpoint(const std::vector<Node*>& subgraph)
 {
     requireTraced("checkpoint");
     SLAPO_CHECK(!subgraph.empty(), ".checkpoint(): empty subgraph");
+    const int64_t seq = obs::recordPrimitive("checkpoint", path_);
     for (Node* node : subgraph) {
         node->setCheckpointed(true);
+        node->setProvenance({"checkpoint", path_, seq});
     }
 }
 

@@ -222,6 +222,7 @@ Graph::fuseSubgraph(const std::vector<Node*>& body, const std::string& name)
         c->setTarget(n->target());
         c->setModule(n->module());
         c->setShapes(n->shapes());
+        c->setProvenance(n->provenance());
         for (const auto& [k, v] : n->attrs()) {
             c->setAttr(k, v);
         }
@@ -299,6 +300,7 @@ Graph::clone() const
         c->setModule(n->module());
         c->setShapes(n->shapes());
         c->setCheckpointed(n->checkpointed());
+        c->setProvenance(n->provenance());
         for (const auto& [k, v] : n->attrs()) {
             c->setAttr(k, v);
         }

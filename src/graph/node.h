@@ -93,6 +93,22 @@ enum class NodeKind
 /** Attribute value attached to a node. */
 using Attr = std::variant<int64_t, double, std::string, std::vector<int64_t>>;
 
+/**
+ * Which schedule decision produced a node. Stamped by the schedule
+ * primitives that create or rewrite graph nodes (.fuse(), .replace(),
+ * .checkpoint(subgraph), …) and preserved across every graph mutation —
+ * clone(), fuseSubgraph(), replaceSubgraph() — so a rewritten node still
+ * answers "which primitive is responsible for this kernel" at execution
+ * time (docs/OBSERVABILITY.md, "Attribution & step reports"). An empty
+ * `primitive` means the node is untouched baseline computation.
+ */
+struct Provenance
+{
+    std::string primitive;   ///< "fuse", "replace", "checkpoint", … ("" = baseline)
+    std::string module_path; ///< schedule path the primitive was applied at
+    int64_t apply_seq = -1;  ///< process-wide application order (obs/provenance.h)
+};
+
 class Graph;
 
 /**
@@ -165,6 +181,14 @@ class Node
     void setCheckpointed(bool v) { checkpointed_ = v; }
 
     /**
+     * The schedule decision responsible for this node; baseline (empty
+     * primitive) unless a primitive stamped it.
+     */
+    const Provenance& provenance() const { return provenance_; }
+    void setProvenance(Provenance p) { provenance_ = std::move(p); }
+    bool hasProvenance() const { return !provenance_.primitive.empty(); }
+
+    /**
      * A short signature used by the pattern matcher and dumps: the op name
      * for CallOp, the module type for CallModule, the kind otherwise.
      */
@@ -184,6 +208,7 @@ class Node
     std::map<std::string, Attr> attrs_;
     std::shared_ptr<Graph> subgraph_;
     bool checkpointed_ = false;
+    Provenance provenance_;
 };
 
 } // namespace graph

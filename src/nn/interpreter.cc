@@ -26,13 +26,17 @@ class NodeTimer
 {
   public:
     NodeTimer(const char* op, const graph::Node& node)
-        : op_(op), profiler_(obs::OpProfiler::current())
+        : op_(op), primitive_(&node.provenance().primitive),
+          profiler_(obs::OpProfiler::current())
     {
         if (profiler_ != nullptr || obs::tracingEnabled()) {
             span_.emplace(op_, "op");
             span_->arg("node", node.name());
             if (!obs::ModuleScope::currentPath().empty()) {
                 span_->arg("module", obs::ModuleScope::currentPath());
+            }
+            if (!primitive_->empty()) {
+                span_->arg("primitive", *primitive_);
             }
             start_ = std::chrono::steady_clock::now();
         }
@@ -45,12 +49,14 @@ class NodeTimer
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     std::chrono::steady_clock::now() - start_)
                     .count();
-            profiler_->record(op_, obs::ModuleScope::currentPath(), ns);
+            profiler_->record(op_, obs::ModuleScope::currentPath(),
+                              *primitive_, ns);
         }
     }
 
   private:
     const char* op_;
+    const std::string* primitive_; ///< node provenance; outlives the timer
     obs::OpProfiler* profiler_;
     std::optional<obs::TraceSpan> span_;
     std::chrono::steady_clock::time_point start_;

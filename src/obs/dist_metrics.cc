@@ -86,7 +86,8 @@ buildDistMetricsReport(const std::vector<std::string>& names,
 std::string
 DistMetricsReport::toJson() const
 {
-    std::string out = "{\"kind\":\"dist_metrics\",\"world_size\":" +
+    std::string out =
+        "{\"kind\":\"dist_metrics\",\"schema_version\":1,\"world_size\":" +
                       std::to_string(world_size) + ",\"metrics\":{";
     bool first = true;
     for (const DistMetricStat& stat : stats) {

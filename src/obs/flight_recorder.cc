@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "obs/json_util.h"
+#include "obs/trace.h"
 
 namespace slapo {
 namespace obs {
@@ -459,6 +460,10 @@ struct WatchdogThread
             recorder->watchdog_dumped_seq_.store(
                 a.stuck_seq, std::memory_order_relaxed);
             writeDump(recorder->dumpJson());
+            // A stall that trips the watchdog often ends with the
+            // process being killed; flush the trace buffers now so the
+            // SLAPO_TRACE timeline survives next to the hang dump.
+            flushTrace();
         }
     }
 };

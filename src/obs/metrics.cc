@@ -24,6 +24,9 @@ Metrics::snapshot() const
         {"checkpoint.write_ns", checkpoint_write_ns.get()},
         {"checkpoint.read_bytes", checkpoint_read_bytes.get()},
         {"checkpoint.read_ns", checkpoint_read_ns.get()},
+        {"recovery.restores", recovery_restores.get()},
+        {"elastic.rebuilds", elastic_rebuilds.get()},
+        {"elastic.lost_ranks", elastic_lost_ranks.get()},
     };
 }
 
@@ -60,6 +63,9 @@ Metrics::reset()
     checkpoint_write_ns.reset();
     checkpoint_read_bytes.reset();
     checkpoint_read_ns.reset();
+    recovery_restores.reset();
+    elastic_rebuilds.reset();
+    elastic_lost_ranks.reset();
 }
 
 std::vector<std::pair<std::string, int64_t>>

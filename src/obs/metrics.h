@@ -132,6 +132,14 @@ struct Metrics
     Counter checkpoint_read_bytes;
     Counter checkpoint_read_ns;
 
+    // recovery / elastic world-size changes (runtime/trainer.cc). These
+    // were previously only visible as run-log records, so a scoped
+    // MetricsDelta window (tuner trials, step reports) could not see
+    // whether a recovery happened inside it.
+    Counter recovery_restores;  ///< checkpoint restores by runWithRecovery
+    Counter elastic_rebuilds;   ///< world-shrinking group rebuilds
+    Counter elastic_lost_ranks; ///< ranks dropped across all rebuilds
+
     /** All metrics as (name, value), in a stable order. */
     std::vector<std::pair<std::string, int64_t>> snapshot() const;
 

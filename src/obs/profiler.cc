@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <tuple>
 
 #include "obs/trace.h"
 
@@ -66,9 +67,9 @@ struct OpProfiler::Impl
     };
 
     mutable std::mutex mutex;
-    // Ordered map keyed by (op, module_path): deterministic report order
-    // for ties, and no hashing of composite keys.
-    std::map<std::pair<std::string, std::string>, Agg> aggs;
+    // Ordered map keyed by (op, module_path, primitive): deterministic
+    // report order for ties, and no hashing of composite keys.
+    std::map<std::tuple<std::string, std::string, std::string>, Agg> aggs;
 };
 
 OpProfiler::OpProfiler() : impl_(new Impl()) {}
@@ -82,8 +83,26 @@ void
 OpProfiler::record(const std::string& op, const std::string& module_path,
                    int64_t duration_ns)
 {
+    record(op, module_path, std::string(), duration_ns);
+}
+
+namespace {
+thread_local int64_t t_recorded_ns = 0;
+} // namespace
+
+int64_t
+OpProfiler::threadRecordedNs()
+{
+    return t_recorded_ns;
+}
+
+void
+OpProfiler::record(const std::string& op, const std::string& module_path,
+                   const std::string& primitive, int64_t duration_ns)
+{
+    t_recorded_ns += duration_ns;
     std::lock_guard<std::mutex> lock(impl_->mutex);
-    Impl::Agg& agg = impl_->aggs[{op, module_path}];
+    Impl::Agg& agg = impl_->aggs[{op, module_path, primitive}];
     ++agg.count;
     agg.total_ns += duration_ns;
     ++agg.buckets[bucketOf(duration_ns)];
@@ -98,8 +117,9 @@ OpProfiler::report() const
         stats.reserve(impl_->aggs.size());
         for (const auto& [key, agg] : impl_->aggs) {
             OpStats s;
-            s.op = key.first;
-            s.module_path = key.second;
+            s.op = std::get<0>(key);
+            s.module_path = std::get<1>(key);
+            s.primitive = std::get<2>(key);
             s.count = agg.count;
             s.total_ns = agg.total_ns;
             s.mean_ns = static_cast<double>(agg.total_ns) /
@@ -129,19 +149,22 @@ OpProfiler::table() const
 {
     const std::vector<OpStats> stats = report();
     int64_t grand_total = 0;
-    size_t op_width = 2, path_width = 6;
+    size_t op_width = 2, path_width = 6, prim_width = 9;
     for (const OpStats& s : stats) {
         grand_total += s.total_ns;
         op_width = std::max(op_width, s.op.size());
         path_width = std::max(path_width,
                               std::max<size_t>(s.module_path.size(), 6));
+        prim_width = std::max(prim_width,
+                              std::max<size_t>(s.primitive.size(), 9));
     }
     std::ostringstream os;
     char line[512];
     std::snprintf(line, sizeof line,
-                  "%-*s  %-*s  %8s  %12s  %10s  %10s  %6s\n",
+                  "%-*s  %-*s  %-*s  %8s  %12s  %10s  %10s  %6s\n",
                   static_cast<int>(op_width), "op",
-                  static_cast<int>(path_width), "module", "count",
+                  static_cast<int>(path_width), "module",
+                  static_cast<int>(prim_width), "primitive", "count",
                   "total(us)", "mean(us)", "p99(us)", "%");
     os << line;
     for (const OpStats& s : stats) {
@@ -151,10 +174,12 @@ OpProfiler::table() const
                       static_cast<double>(grand_total)
                 : 0.0;
         std::snprintf(line, sizeof line,
-                      "%-*s  %-*s  %8lld  %12s  %10s  %10s  %5.1f%%\n",
+                      "%-*s  %-*s  %-*s  %8lld  %12s  %10s  %10s  %5.1f%%\n",
                       static_cast<int>(op_width), s.op.c_str(),
                       static_cast<int>(path_width),
                       s.module_path.empty() ? "(root)" : s.module_path.c_str(),
+                      static_cast<int>(prim_width),
+                      s.primitive.empty() ? "-" : s.primitive.c_str(),
                       static_cast<long long>(s.count),
                       formatUs(static_cast<double>(s.total_ns)).c_str(),
                       formatUs(s.mean_ns).c_str(),
@@ -177,6 +202,7 @@ OpProfiler::toJson() const
         if (!first) out += ",";
         first = false;
         out += "{\"op\":\"" + s.op + "\",\"module\":\"" + s.module_path +
+               "\",\"primitive\":\"" + s.primitive +
                "\",\"count\":" + std::to_string(s.count) +
                ",\"total_ns\":" + std::to_string(s.total_ns) +
                ",\"mean_ns\":" + std::to_string(s.mean_ns) +

@@ -36,11 +36,13 @@
 namespace slapo {
 namespace obs {
 
-/** Aggregated timing of one (op, module path) pair. */
+/** Aggregated timing of one (op, module path, primitive) triple. */
 struct OpStats
 {
     std::string op;          ///< op kind / module type ("LinearOp", ...)
     std::string module_path; ///< dotted owner path ("" = root)
+    std::string primitive;   ///< schedule primitive stamped on the node
+                             ///< ("" = not stamped; see obs/provenance.h)
     int64_t count = 0;
     int64_t total_ns = 0;
     double mean_ns = 0;
@@ -60,6 +62,15 @@ class OpProfiler
     void record(const std::string& op, const std::string& module_path,
                 int64_t duration_ns);
 
+    /**
+     * Same, tagged with the schedule primitive responsible for the node
+     * (graph::Node::provenance().primitive, or "sync" for the collective
+     * boundaries the autograd engine applies). Rows recorded via the
+     * untagged overload carry primitive "".
+     */
+    void record(const std::string& op, const std::string& module_path,
+                const std::string& primitive, int64_t duration_ns);
+
     /** Aggregates, sorted by total time descending. */
     std::vector<OpStats> report() const;
 
@@ -77,6 +88,15 @@ class OpProfiler
      * probe, mirroring obs::tracingEnabled).
      */
     static OpProfiler* current();
+
+    /**
+     * Total duration_ns this thread has recorded into any profiler —
+     * a monotone thread-local counter. Snapshotting it around a region
+     * gives "attributed time inside the region", which is how the
+     * autograd engine computes the unattributed remainder it reports as
+     * its own `engine.overhead` row (docs/OBSERVABILITY.md).
+     */
+    static int64_t threadRecordedNs();
 
   private:
     friend class OpProfilerGuard;

@@ -13,7 +13,10 @@ namespace obs {
 
 RunLogRecord::RunLogRecord(const char* kind)
 {
-    body_ = "{\"kind\":" + json::quoted(kind);
+    // Every record carries the schema version right after its kind so
+    // downstream tooling can dispatch before reading any other field
+    // (docs/OBSERVABILITY.md documents the per-kind schemas).
+    body_ = "{\"kind\":" + json::quoted(kind) + ",\"schema_version\":1";
 }
 
 RunLogRecord&

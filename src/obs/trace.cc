@@ -291,6 +291,36 @@ writeTrace(const std::string& path)
     SLAPO_CHECK(file.good(), "trace: write to '" << path << "' failed");
 }
 
+int64_t
+flushTrace()
+{
+    if (!detail::g_tracing.load(std::memory_order_relaxed)) {
+        return 0;
+    }
+    Registry& r = registry();
+    std::string path;
+    int64_t events = 0;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        path = r.path;
+        for (auto& buffer : r.buffers) {
+            std::lock_guard<std::mutex> blk(buffer->mutex);
+            events += static_cast<int64_t>(buffer->events.size());
+        }
+    }
+    if (path.empty()) {
+        return 0; // in-memory session: nothing durable to flush to
+    }
+    // Best effort by design: the flush runs on abort/watchdog paths that
+    // must never turn a hang diagnosis into a new exception.
+    try {
+        writeTrace(path);
+    } catch (...) {
+        return 0;
+    }
+    return events;
+}
+
 void
 clearTrace()
 {

@@ -72,6 +72,16 @@ void startTracing(const std::string& path = "");
  */
 int64_t stopTracing();
 
+/**
+ * Write the trace collected *so far* to the configured path without
+ * stopping the recording — the hang/abort story: ProcessGroup::abort()
+ * and the flight-recorder watchdog call this so a killed run leaves its
+ * SLAPO_TRACE output on disk next to the hang dump instead of losing it
+ * with the process. Best effort (never throws); returns the number of
+ * events flushed, 0 when tracing is off or no path was configured.
+ */
+int64_t flushTrace();
+
 /** Serialize everything recorded so far as a Chrome-trace JSON string. */
 std::string dumpTraceJson();
 

@@ -96,15 +96,20 @@ namespace {
 class OpTimer
 {
   public:
-    OpTimer(const char* op, const char* suffix)
+    OpTimer(const char* op, const char* suffix,
+            const std::string& primitive = std::string())
         : profiler_(obs::OpProfiler::current())
     {
         if (profiler_ != nullptr || obs::tracingEnabled()) {
             name_ = op;
             name_ += suffix;
+            primitive_ = primitive;
             span_.emplace(name_, "op");
             if (!obs::ModuleScope::currentPath().empty()) {
                 span_->arg("module", obs::ModuleScope::currentPath());
+            }
+            if (!primitive_.empty()) {
+                span_->arg("primitive", primitive_);
             }
             start_ = std::chrono::steady_clock::now();
         }
@@ -117,13 +122,15 @@ class OpTimer
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     std::chrono::steady_clock::now() - start_)
                     .count();
-            profiler_->record(name_, obs::ModuleScope::currentPath(), ns);
+            profiler_->record(name_, obs::ModuleScope::currentPath(),
+                              primitive_, ns);
         }
     }
 
   private:
     obs::OpProfiler* profiler_;
     std::string name_;
+    std::string primitive_;
     std::optional<obs::TraceSpan> span_;
     std::chrono::steady_clock::time_point start_;
 };
@@ -365,7 +372,8 @@ AutogradEngine::forwardGraph(const Graph& g, Module* owner,
             break;
           }
           case NodeKind::CallOp: {
-            OpTimer timer(opKindName(node->op()), "");
+            OpTimer timer(opKindName(node->op()), "",
+                          node->provenance().primitive);
             std::vector<Value> ins;
             for (const Node* in : node->inputs()) {
                 ins.emplace_back(frame->at(in)[0]);
@@ -392,7 +400,11 @@ AutogradEngine::forwardGraph(const Graph& g, Module* owner,
             obs::ModuleScope scope(node->target());
             std::vector<Tensor> outs =
                 forwardGraph(*child_graph, child, ins, child_frame.get());
-            if (!outs.empty()) {
+            if (!outs.empty() && !child->meta().syncs.empty()) {
+                // Collective boundaries inserted by .sync(): time them as
+                // their own row so the step report can separate the cost
+                // of aggregation from the sharded compute it follows.
+                OpTimer sync_timer("sync", "", "sync");
                 outs[0] = applyForwardSyncs(child->meta().syncs, outs[0]);
             }
             if (!checkpointed) {
@@ -541,7 +553,8 @@ AutogradEngine::backwardGraph(const Graph& g, Module* owner, Frame& frame,
             break;
           }
           case NodeKind::CallOp: {
-            OpTimer timer(opKindName(node->op()), ".bwd");
+            OpTimer timer(opKindName(node->op()), ".bwd",
+                          node->provenance().primitive);
             std::vector<Tensor> x;
             for (const Node* in : node->inputs()) {
                 x.push_back(value(in));
@@ -585,8 +598,9 @@ AutogradEngine::backwardGraph(const Graph& g, Module* owner, Frame& frame,
             obs::ModuleScope scope(node->target());
             std::vector<Tensor> child_in_grads =
                 backwardGraph(*child_graph, child, *child_frame, slots);
-            if (!child_in_grads.empty() &&
+            if (!child_in_grads.empty() && !child->meta().syncs.empty() &&
                 child_in_grads[0].materialized()) {
+                OpTimer sync_timer("sync", ".bwd", "sync");
                 child_in_grads[0] =
                     applyBackwardSyncs(child->meta().syncs, child_in_grads[0]);
             }
@@ -646,6 +660,15 @@ AutogradEngine::accumulateParamGrad(const Tensor& param, const Tensor& grad)
 GradResult
 AutogradEngine::run(Module& model, const std::vector<Tensor>& inputs)
 {
+    // The per-node timers below account for op execution; everything
+    // else inside run() — tracing, tape construction, grad-map
+    // bookkeeping — would otherwise vanish into the step report's
+    // "other" bucket. Measure the remainder and report it explicitly
+    // so attribution covers the engine's own cost too.
+    obs::OpProfiler* prof = obs::OpProfiler::current();
+    const int64_t recorded_before = obs::OpProfiler::threadRecordedNs();
+    const auto run_start = std::chrono::steady_clock::now();
+
     result_ = GradResult{};
     std::vector<Shape> shapes;
     for (const Tensor& t : inputs) shapes.push_back(t.shape());
@@ -669,6 +692,21 @@ AutogradEngine::run(Module& model, const std::vector<Tensor>& inputs)
         obs::TraceSpan bwd_span("autograd.backward", "autograd");
         result_.input_grads =
             backwardGraph(*g, &model, frame, {Tensor::full({1}, 1.0f)});
+    }
+    if (prof != nullptr) {
+        const int64_t wall = std::chrono::duration_cast<
+                                 std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - run_start)
+                                 .count();
+        const int64_t attributed =
+            obs::OpProfiler::threadRecordedNs() - recorded_before;
+        // Nested CallModule timers can double-count their inner ops, so
+        // the remainder may come out negative; only a positive gap is a
+        // real unattributed cost.
+        if (wall > attributed) {
+            prof->record("engine.overhead", "", "baseline",
+                         wall - attributed);
+        }
     }
     return result_;
 }

@@ -1,8 +1,10 @@
 #include "runtime/dist_executor.h"
 
+#include <chrono>
 #include <exception>
 #include <thread>
 
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "support/failpoint.h"
 #include "tensor/ops.h"
@@ -84,8 +86,14 @@ DistExecutor::run(const std::vector<nn::ModulePtr>& replicas, const RankFn& fn)
                 "run: need one replica per rank");
     std::vector<std::thread> threads;
     std::vector<std::exception_ptr> errors(world_size_);
+    // Per-rank body wall time, filled in on successful completion; used
+    // after the join to attribute each rank's unused window (thread
+    // spawn latency, join wait) as executor overhead in step reports.
+    std::vector<int64_t> body_walls(world_size_, -1);
+    const auto run_start = std::chrono::steady_clock::now();
     for (int r = 0; r < world_size_; ++r) {
-        threads.emplace_back([this, r, &replicas, &fn, &errors] {
+        threads.emplace_back([this, r, &replicas, &fn, &errors,
+                              &body_walls] {
             // Each rank gets its own process row in the trace (pid 1+r;
             // pid 0 is the main process).
             obs::setThreadTrack(1 + r, "rank " + std::to_string(r));
@@ -104,7 +112,27 @@ DistExecutor::run(const std::vector<nn::ModulePtr>& replicas, const RankFn& fn)
                 if (span.live()) {
                     span.arg("rank", static_cast<int64_t>(r));
                 }
+                // Account for rank-body time the op timers below don't
+                // see (engine setup/teardown, user loop code) so step
+                // reports attribute the whole body, not just its ops.
+                obs::OpProfiler* prof = obs::OpProfiler::current();
+                const int64_t recorded_before =
+                    obs::OpProfiler::threadRecordedNs();
+                const auto body_start = std::chrono::steady_clock::now();
                 fn(r, *replicas[r], group_);
+                if (prof != nullptr) {
+                    const int64_t wall =
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - body_start)
+                            .count();
+                    body_walls[r] = wall;
+                    const int64_t attributed =
+                        obs::OpProfiler::threadRecordedNs() - recorded_before;
+                    if (wall > attributed) {
+                        prof->record("executor.body", "", "baseline",
+                                     wall - attributed);
+                    }
+                }
             } catch (const support::failpoint::RankLostError& e) {
                 errors[r] = std::current_exception();
                 // Permanent loss: mark the rank gone (survives the
@@ -123,6 +151,22 @@ DistExecutor::run(const std::vector<nn::ModulePtr>& replicas, const RankFn& fn)
     }
     for (auto& t : threads) {
         t.join();
+    }
+    // Attribute each rank's unused window — thread spawn latency before
+    // its body started, join wait after it finished — as executor
+    // overhead. One row per rank so the step report's per-rank mean
+    // (profiler totals / world size) covers the full run() wall.
+    if (obs::OpProfiler* prof = obs::OpProfiler::current()) {
+        const int64_t run_wall =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - run_start)
+                .count();
+        for (int64_t body : body_walls) {
+            if (body >= 0 && run_wall > body) {
+                prof->record("executor.spawn", "", "baseline",
+                             run_wall - body);
+            }
+        }
     }
     // Rethrow the *originating* failure: a non-CollectiveError if any
     // rank has one (victim ranks observe secondary CollectiveErrors),

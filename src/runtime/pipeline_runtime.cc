@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/run_log.h"
 #include "obs/trace.h"
 #include "support/failpoint.h"
@@ -175,7 +176,26 @@ PipelineRuntime::forward(const std::vector<std::vector<Tensor>>& micro_batches)
                             body_span.arg("stage", static_cast<int64_t>(s));
                             body_span.arg("micro_batch", micro_index);
                         }
+                        // Stage bodies run through Module::call, below
+                        // the graph interpreter's per-node timers, so
+                        // record the stage itself — attributed to the
+                        // pipeline_split primitive that created the
+                        // boundary (docs/OBSERVABILITY.md).
+                        obs::OpProfiler* prof = obs::OpProfiler::current();
+                        const auto body_start =
+                            std::chrono::steady_clock::now();
                         outputs = stages_[s]->call(values);
+                        if (prof != nullptr) {
+                            const int64_t ns =
+                                std::chrono::duration_cast<
+                                    std::chrono::nanoseconds>(
+                                    std::chrono::steady_clock::now() -
+                                    body_start)
+                                    .count();
+                            prof->record("pipeline.stage",
+                                         "stage" + std::to_string(s),
+                                         "pipeline_split", ns);
+                        }
                     }
                     ++micro_index;
                     std::vector<Tensor> next;

@@ -130,6 +130,10 @@ ProcessGroup::abortLocked(const std::string& site, int rank,
     // label carries the membership generation, so the dump is tagged
     // with the generation that is dying.
     flight_->autoDumpOnError();
+    // And the trace collected so far, for the same reason: a run that
+    // dies here would otherwise lose its SLAPO_TRACE output, which is
+    // exactly the timeline you want next to the hang dump.
+    obs::flushTrace();
     cv_.notify_all();
 }
 

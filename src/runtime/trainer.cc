@@ -10,7 +10,10 @@
 #include <thread>
 #include <utility>
 
+#include <optional>
+
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/run_log.h"
 #include "obs/trace.h"
 #include "runtime/checkpoint.h"
@@ -310,6 +313,7 @@ runWithRecovery(
             }
             step = restored_step;
             ++stats.recoveries;
+            obs::metrics().recovery_restores.add(1);
             handler_failures = 0;
             if (obs::RunLog* log = obs::runLog()) {
                 obs::RunLogRecord record("recovery");
@@ -352,6 +356,12 @@ Trainer::step(const std::vector<std::vector<Tensor>>& micro_batches)
     SLAPO_CHECK(!micro_batches.empty(), "Trainer: no micro-batches");
     obs::TraceSpan step_span("trainer.step", "trainer");
     const auto step_start = StepClock::now();
+    // Attribution window: a fresh profiler + metrics window per step.
+    // Disabled cost is the one relaxed atomic load in stepReportsEnabled.
+    std::optional<obs::StepReportBuilder> report_builder;
+    if (obs::stepReportsEnabled()) {
+        report_builder.emplace(/*world_size=*/1);
+    }
     TrainStepStats stats;
     stats.micro_batches = static_cast<int64_t>(micro_batches.size());
     stats.tokens = countTokens(micro_batches);
@@ -371,6 +381,8 @@ Trainer::step(const std::vector<std::vector<Tensor>>& micro_batches)
             std::max(stats.stored_activation_bytes,
                      result.stored_activation_bytes);
         stats.recomputed_nodes += result.recomputed_nodes;
+        obs::OpProfiler* prof = obs::OpProfiler::current();
+        const auto reduce_start = StepClock::now();
         if (grads.empty()) {
             for (auto& [path, tensor] : params_) {
                 grads.push_back(AutogradEngine::gradFor(result, *tensor));
@@ -381,15 +393,44 @@ Trainer::step(const std::vector<std::vector<Tensor>>& micro_batches)
                     AutogradEngine::gradFor(result, *params_[i].second));
             }
         }
+        if (prof != nullptr) {
+            // Gradient extraction / accumulation across micro-batches is
+            // unscheduled trainer work: attribute it to baseline so step
+            // reports cover it instead of leaving it in "other".
+            prof->record("grad.reduce", "", "baseline",
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             StepClock::now() - reduce_start)
+                             .count());
+        }
     }
-    const float inv = 1.0f / static_cast<float>(micro_batches.size());
-    for (Tensor& g : grads) {
-        g.scaleInPlace(inv);
+    {
+        obs::OpProfiler* prof = obs::OpProfiler::current();
+        const auto reduce_start = StepClock::now();
+        const float inv = 1.0f / static_cast<float>(micro_batches.size());
+        for (Tensor& g : grads) {
+            g.scaleInPlace(inv);
+        }
+        stats.grad_norm = globalGradNorm(grads);
+        if (prof != nullptr) {
+            prof->record("grad.reduce", "", "baseline",
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             StepClock::now() - reduce_start)
+                             .count());
+        }
     }
-    stats.grad_norm = globalGradNorm(grads);
     {
         obs::TraceSpan optim_span("trainer.optim", "trainer");
+        obs::OpProfiler* prof = obs::OpProfiler::current();
+        const auto optim_start = StepClock::now();
         optimizer_.step(grads);
+        if (prof != nullptr) {
+            // Unscheduled step work: attribute explicitly to baseline so
+            // the report's coverage includes the optimizer.
+            prof->record("optimizer.step", "", "baseline",
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             StepClock::now() - optim_start)
+                             .count());
+        }
     }
     stats.loss /= static_cast<double>(micro_batches.size());
     if (obs::RunLog* log = obs::runLog()) {
@@ -403,6 +444,10 @@ Trainer::step(const std::vector<std::vector<Tensor>>& micro_batches)
         record.mem_peak_bytes = obs::metrics().tensor_live_bytes.peak();
         record.world_size = 1;
         log->logStep(record);
+    }
+    if (report_builder) {
+        last_report_ = report_builder->finish(optimizer_.stepCount() - 1);
+        obs::maybeWriteStepReport(last_report_);
     }
     return stats;
 }
@@ -465,6 +510,10 @@ DataParallelTrainer::step(
     obs::TraceSpan step_span("dp_trainer.step", "trainer");
     const auto step_start = StepClock::now();
     const int world = executor_.worldSize();
+    std::optional<obs::StepReportBuilder> report_builder;
+    if (obs::stepReportsEnabled()) {
+        report_builder.emplace(world);
+    }
     SLAPO_CHECK(static_cast<int>(per_shard_inputs.size()) == base_world_,
                 "DataParallelTrainer: need one input tuple per data shard ("
                     << base_world_ << "), got " << per_shard_inputs.size());
@@ -500,13 +549,25 @@ DataParallelTrainer::step(
             }
         }
         std::vector<Tensor> grads;
+        obs::OpProfiler* prof = obs::OpProfiler::current();
         {
             obs::TraceSpan allreduce_span("trainer.grad_allreduce",
                                           "trainer");
+            const auto ar_start = StepClock::now();
             // Scale by 1/#shards, not 1/#ranks: the update is a mean
             // over the fixed data partition, so the math is well-defined
             // at any (shrunken) world size.
             grads = bucketedGradAllReduce(group, rank, local, base_world_);
+            if (prof != nullptr) {
+                // The data-parallel gradient exchange is communication
+                // no schedule primitive inserted — its own attribution
+                // bucket in the step report.
+                prof->record(
+                    "grad.exchange", "", "data_parallel",
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        StepClock::now() - ar_start)
+                        .count());
+            }
         }
         if (rank == 0) {
             // Post-allreduce grads are identical on every rank; rank 0's
@@ -514,7 +575,14 @@ DataParallelTrainer::step(
             grad_norm = globalGradNorm(grads);
         }
         obs::TraceSpan optim_span("trainer.optim", "trainer");
+        const auto optim_start = StepClock::now();
         optimizers_[rank]->step(grads);
+        if (prof != nullptr) {
+            prof->record("optimizer.step", "", "baseline",
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             StepClock::now() - optim_start)
+                             .count());
+        }
     });
 
     TrainStepStats stats;
@@ -541,6 +609,14 @@ DataParallelTrainer::step(
         record.mem_peak_bytes = obs::metrics().tensor_live_bytes.peak();
         record.world_size = world;
         log->logStep(record);
+    }
+    if (report_builder) {
+        last_report_ = report_builder->finish(optimizers_[0]->stepCount() - 1);
+        // Straggler detection: attach the cross-rank min/max/mean/spread
+        // of the collective counters (runs the same gather collectives
+        // the report describes — only while reports are enabled).
+        last_report_.per_rank_json = gatherMetrics().toJson();
+        obs::maybeWriteStepReport(last_report_);
     }
     return stats;
 }
@@ -738,6 +814,9 @@ DataParallelTrainer::elasticShrink()
         break;
     }
     std::sort(lost_orig.begin(), lost_orig.end());
+    obs::metrics().elastic_rebuilds.add(1);
+    obs::metrics().elastic_lost_ranks.add(
+        static_cast<int64_t>(lost_orig.size()));
     if (span.live()) {
         span.arg("old_world", static_cast<int64_t>(old_world));
         span.arg("new_world", static_cast<int64_t>(executor_.worldSize()));

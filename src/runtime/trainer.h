@@ -16,6 +16,7 @@
 
 #include "nn/module.h"
 #include "obs/dist_metrics.h"
+#include "obs/step_report.h"
 #include "runtime/autograd.h"
 #include "runtime/dist_executor.h"
 #include "tensor/optim.h"
@@ -136,11 +137,19 @@ class Trainer
 
     nn::Module& model() { return *model_; }
 
+    /**
+     * The attributed breakdown of the most recent step
+     * (obs/step_report.h). Only populated while
+     * `obs::stepReportsEnabled()` — `step` stays -1 otherwise.
+     */
+    const obs::StepReport& lastStepReport() const { return last_report_; }
+
   private:
     nn::ModulePtr model_;
     AdamW optimizer_;
     RecoveryOptions recovery_;
     std::vector<std::pair<std::string, Tensor*>> params_;
+    obs::StepReport last_report_;
 };
 
 /**
@@ -225,6 +234,13 @@ class DataParallelTrainer
      */
     obs::DistMetricsReport gatherMetrics();
 
+    /**
+     * The attributed breakdown of the most recent step (per-rank means;
+     * includes the cross-rank spread block). Only populated while
+     * `obs::stepReportsEnabled()` — `step` stays -1 otherwise.
+     */
+    const obs::StepReport& lastStepReport() const { return last_report_; }
+
   private:
     /**
      * Elastic handler invoked by the recovery loop on a failed step.
@@ -250,6 +266,7 @@ class DataParallelTrainer
     int base_world_ = 1;                     ///< shard count, never shrinks
     std::vector<std::vector<int>> shard_map_; ///< rank → shards (ascending)
     std::vector<int> orig_rank_;              ///< rank → original rank id
+    obs::StepReport last_report_;
 };
 
 } // namespace runtime

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <optional>
 
 #include "obs/json_util.h"
 #include "obs/metrics.h"
 #include "obs/run_log.h"
+#include "obs/step_report.h"
 #include "tensor/tensor.h"
 
 namespace slapo {
@@ -44,8 +46,21 @@ class Evaluator
         // Scoped metric window + wall clock per trial: trials see their
         // own contribution, not the accumulated run.
         const obs::MetricsDelta window;
+        // With step reports enabled, profile the trial so the trial
+        // record carries the same per-primitive breakdown a training
+        // step would — "which primitive did this config spend its time
+        // in" is exactly what the tuner's value number can't tell you.
+        std::optional<obs::StepReportBuilder> report_builder;
+        if (obs::stepReportsEnabled()) {
+            report_builder.emplace(1);
+        }
         const auto t0 = std::chrono::steady_clock::now();
         const double value = eval_(config);
+        std::optional<obs::StepReport> report;
+        if (report_builder) {
+            report = report_builder->finish(
+                static_cast<int64_t>(result.evaluated));
+        }
         cache_.emplace(config, value);
         ++result.evaluated;
         result.history.emplace_back(config, value);
@@ -68,6 +83,9 @@ class Evaluator
                 .num("eval_ms", eval_ms)
                 .num("pg_wait_ns", window.get("pg.wait_ns"))
                 .num("mem_peak_bytes", window.get("tensor.peak_bytes"));
+            if (report) {
+                record.raw("breakdown", report->primitivesJson());
+            }
             log->write(record);
         }
         return value;

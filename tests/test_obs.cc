@@ -466,5 +466,107 @@ TEST(RunLog, GlobalSinkOpensAndCloses)
     EXPECT_EQ(readLines(path).size(), 1u);
 }
 
+
+// --- profiler edge cases (attribution PR satellite) ----------------------
+
+TEST(OpProfiler, EmptyProfilerReportsNothing)
+{
+    obs::OpProfiler profiler;
+    EXPECT_TRUE(profiler.report().empty());
+    // Empty histogram: the table and JSON render without rows and
+    // without dividing by a zero total.
+    EXPECT_TRUE(JsonValidator(profiler.toJson()).valid());
+    EXPECT_FALSE(profiler.table().empty());
+}
+
+TEST(OpProfiler, ZeroDurationSampleHasZeroP99)
+{
+    obs::OpProfiler profiler;
+    profiler.record("noop", "", 0);
+    const obs::OpStats s = statsFor(profiler, "noop", "");
+    EXPECT_EQ(s.count, 1);
+    EXPECT_EQ(s.total_ns, 0);
+    EXPECT_DOUBLE_EQ(s.mean_ns, 0.0);
+    EXPECT_EQ(s.p99_ns, 0);
+}
+
+TEST(OpProfiler, SingleSampleP99WithinHistogramError)
+{
+    obs::OpProfiler profiler;
+    profiler.record("op", "", 5000);
+    const obs::OpStats s = statsFor(profiler, "op", "");
+    EXPECT_EQ(s.count, 1);
+    // p99 of a single sample is that sample's log-bucket upper bound:
+    // never below the truth, at most 19% above (4 sub-buckets/octave).
+    EXPECT_GE(s.p99_ns, 5000);
+    EXPECT_LE(s.p99_ns, static_cast<int64_t>(5000 * 1.25));
+}
+
+TEST(OpProfiler, DeeplyNestedModuleScopeBuildsFullDottedPath)
+{
+    obs::OpProfiler profiler;
+    obs::OpProfilerGuard guard(&profiler);
+    std::string want;
+    {
+        obs::ModuleScope l0("model");
+        obs::ModuleScope l1("encoder");
+        obs::ModuleScope l2("layer.11");
+        obs::ModuleScope l3("attention");
+        obs::ModuleScope l4("self");
+        obs::ModuleScope l5("query");
+        want = "model.encoder.layer.11.attention.self.query";
+        EXPECT_EQ(obs::ModuleScope::currentPath(), want);
+        profiler.record("linear", obs::ModuleScope::currentPath(), 1000);
+    }
+    EXPECT_EQ(obs::ModuleScope::currentPath(), "");
+    EXPECT_EQ(statsFor(profiler, "linear", want).count, 1);
+}
+
+// --- recovery / elastic counters are window-scoped -----------------------
+
+TEST(MetricsScoping, RecoveryAndElasticCountersAreWindowed)
+{
+    obs::Metrics& m = obs::metrics();
+    m.recovery_restores.add(3); // pre-window noise the delta must not see
+    obs::MetricsDelta window;
+    m.recovery_restores.add(1);
+    m.elastic_rebuilds.add(1);
+    m.elastic_lost_ranks.add(2);
+    EXPECT_EQ(window.get("recovery.restores"), 1);
+    EXPECT_EQ(window.get("elastic.rebuilds"), 1);
+    EXPECT_EQ(window.get("elastic.lost_ranks"), 2);
+}
+
+// --- run-log schema versioning (docs/OBSERVABILITY.md) --------------------
+
+TEST(RunLog, EveryRecordKindCarriesSchemaVersion)
+{
+    const std::string path = runLogScratch("runlog_schema.jsonl");
+    obs::RunLog log(path);
+    ASSERT_TRUE(log.good());
+
+    // One record of every kind documented in docs/OBSERVABILITY.md.
+    obs::StepRecord step;
+    step.tokens = 8;
+    step.step_ms = 1.0;
+    log.logStep(step);
+    for (const char* kind :
+         {"checkpoint.save", "checkpoint.restore", "recovery",
+          "recovery.giveup", "elastic.rebuild", "pipeline.forward",
+          "tuner.trial", "dist_metrics", "step_report"}) {
+        obs::RunLogRecord record(kind);
+        record.num("x", static_cast<int64_t>(1));
+        log.write(record);
+    }
+
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 10u);
+    for (const std::string& line : lines) {
+        EXPECT_TRUE(JsonValidator(line).valid()) << line;
+        EXPECT_NE(line.find("\"schema_version\":1"), std::string::npos)
+            << line;
+    }
+}
+
 } // namespace
 } // namespace slapo
