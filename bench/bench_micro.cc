@@ -12,6 +12,7 @@
 
 #include "baselines/baselines.h"
 #include "models/registry.h"
+#include "obs/mem_profiler.h"
 #include "obs/profiler.h"
 #include "nn/tracer.h"
 #include "runtime/autograd.h"
@@ -343,6 +344,40 @@ BM_ProfilerRecord(benchmark::State& state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ProfilerRecord);
+
+void
+BM_MemProfilerDisabledCheck(benchmark::State& state)
+{
+    // The per-allocation cost of memory attribution when the profiler
+    // is off: one relaxed atomic load in memProfilingEnabled() — the
+    // only thing TensorStorage's ctor/dtor pay (obs/mem_profiler.h).
+    obs::setMemProfilingEnabled(false);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(obs::memProfilingEnabled());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemProfilerDisabledCheck);
+
+void
+BM_MemProfilerRecord(benchmark::State& state)
+{
+    // The enabled-path cost: one registry insert + erase per
+    // allocate/free pair (mutex, hash map, category counters, watermark
+    // check). Uses a synthetic key so no real tensor traffic mixes in.
+    obs::setMemProfilingEnabled(true);
+    obs::memProfilerReset();
+    int64_t key = 0;
+    for (auto _ : state) {
+        const void* k = reinterpret_cast<const void*>(++key);
+        obs::memRecordAlloc(k, 4096);
+        obs::memRecordFree(k);
+    }
+    state.SetItemsProcessed(state.iterations());
+    obs::setMemProfilingEnabled(false);
+    obs::memProfilerReset();
+}
+BENCHMARK(BM_MemProfilerRecord);
 
 } // namespace
 

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Memory-forensics smoke test: run the memory-profiling walkthrough
+# (examples/memory_profiling) with a deliberately low SLAPO_MEM_BUDGET
+# and validate the observability outputs — the SLAPO_MEM_DUMP forensics
+# file is a valid mem_peak_report with >= 90% of the peak attributed,
+# the run log carries mem.budget crossings with embedded forensics,
+# step records carry the memory fields, and every tuner.trial records
+# its measured peak (docs/OBSERVABILITY.md, "Where did my memory go?").
+# Registered as the `memreport_smoke` ctest.
+#
+# Usage: bench/run_memreport.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$(cd "${1:-$repo_root/build}" && pwd)"
+example_bin="$build_dir/examples/memory_profiling"
+
+if [[ ! -x "$example_bin" ]]; then
+    echo "error: $example_bin not built; run:" >&2
+    echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" -j" >&2
+    exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# Low enough that a tiny-bert training step crosses it, high enough
+# that model construction does not.
+export SLAPO_MEM_BUDGET=200000
+export SLAPO_MEM_BUDGET_ACTION=warn
+export SLAPO_MEM_DUMP="$workdir/mem_dump.json"
+export SLAPO_RUN_LOG="$workdir/run.jsonl"
+
+(cd "$workdir" && "$example_bin")
+
+if [[ ! -s "$workdir/mem_dump.json" ]]; then
+    echo "error: $workdir/mem_dump.json missing or empty" >&2
+    exit 1
+fi
+
+python3 - "$workdir/mem_dump.json" "$workdir/run.jsonl" <<'PY'
+import json, sys
+
+BUDGET = 200000
+
+# The forensics dump: a self-contained peak-attribution report.
+with open(sys.argv[1]) as f:
+    dump = json.load(f)
+assert dump["kind"] == "mem_peak_report", dump.get("kind")
+assert dump["peak_bytes"] > 0
+assert dump["attributed_fraction"] >= 0.9, \
+    f"only {dump['attributed_fraction']:.1%} of the peak attributed"
+assert set(dump["categories"]) == {"parameter", "gradient", "activation",
+                                   "optimizer_state", "scratch",
+                                   "comm_buffer"}
+assert dump["rows"], "no attribution rows"
+for row in dump["rows"]:
+    assert row["bytes"] > 0 and row["category"] and row["primitive"], row
+assert dump["top_tensors"], "no top-tensor list"
+
+records = []
+with open(sys.argv[2]) as f:
+    for i, line in enumerate(f, 1):
+        rec = json.loads(line)  # every line must parse on its own
+        assert isinstance(rec, dict) and "kind" in rec, f"line {i}: no kind"
+        records.append(rec)
+by_kind = {}
+for rec in records:
+    by_kind.setdefault(rec["kind"], []).append(rec)
+
+# Budget crossings: the watchdog fired and embedded forensics.
+crossings = by_kind.get("mem.budget", [])
+assert crossings, "no mem.budget record despite the low budget"
+for rec in crossings:
+    assert rec["budget_bytes"] == BUDGET
+    assert rec["live_bytes"] > BUDGET
+    assert rec["action"] == "warn"
+    assert rec["report"]["kind"] == "mem_peak_report"
+
+# Step records carry the memory section.
+steps = by_kind.get("step", [])
+assert steps, "no step records"
+for rec in steps:
+    assert rec["mem_peak_bytes"] > 0
+    assert rec["mem_live_bytes"] >= 0
+    assert rec["mem_retained_bytes"] >= 0
+
+# Every tuner trial measured its peak; over-budget configs are pruned.
+trials = by_kind.get("tuner.trial", [])
+assert trials, "no tuner.trial records"
+for rec in trials:
+    assert rec["mem_peak_bytes"] > 0
+    assert "mem_sim_peak_bytes" in rec and "mem_rel_error" in rec, rec
+    if rec["mem_peak_bytes"] > BUDGET:
+        assert rec.get("pruned_over_budget") is True, rec
+
+print(f"mem report OK: peak {dump['peak_bytes']} bytes, "
+      f"{dump['attributed_fraction']:.1%} attributed, "
+      f"{len(crossings)} budget crossings, {len(trials)} tuner trials")
+PY
+
+echo "memory report smoke test passed"

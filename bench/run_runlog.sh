@@ -42,7 +42,7 @@ with open(sys.argv[1]) as f:
     for i, line in enumerate(f, 1):
         rec = json.loads(line)  # every line must parse on its own
         assert isinstance(rec, dict) and "kind" in rec, f"line {i}: no kind"
-        assert rec.get("schema_version") == 1, \
+        assert rec.get("schema_version") == 2, \
             f"line {i} ({rec['kind']}): missing schema_version"
         records.append(rec)
 
@@ -54,7 +54,8 @@ for rec in records:
 steps = by_kind.get("step", [])
 assert len(steps) == STEPS, f"expected {STEPS} step records, got {len(steps)}"
 step_fields = {"step", "loss", "grad_norm", "micro_batches", "tokens",
-               "tokens_per_s", "step_ms", "mem_peak_bytes", "world_size",
+               "tokens_per_s", "step_ms", "mem_peak_bytes",
+               "mem_live_bytes", "mem_retained_bytes", "world_size",
                "anomaly_nan", "anomaly_loss_spike"}
 for want, rec in enumerate(steps):
     missing = step_fields - rec.keys()

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * "Where did my memory go?" walkthrough (docs/OBSERVABILITY.md): train a
+ * checkpointed tiny transformer under the live-tensor registry, print
+ * the peak attribution by category/module/primitive, and run a small
+ * tuner search whose trials record *measured* peak memory next to the
+ * simulator's prediction. Honors SLAPO_MEM_PROFILE, SLAPO_MEM_BUDGET,
+ * SLAPO_MEM_BUDGET_ACTION, SLAPO_MEM_DUMP, and SLAPO_RUN_LOG, so
+ * bench/run_memreport.sh can drive it as the `memreport_smoke` ctest.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/schedule.h"
+#include "models/registry.h"
+#include "obs/mem_profiler.h"
+#include "obs/run_log.h"
+#include "runtime/trainer.h"
+#include "sim/training_sim.h"
+#include "tuner/tuner.h"
+
+using namespace slapo;
+
+int
+main()
+{
+    // Probe the SLAPO_MEM_* environment first — a budget or a dump path
+    // auto-enables the profiler — then force it on for the walkthrough.
+    if (!obs::memProfilingEnabled()) {
+        obs::setMemProfilingEnabled(true);
+    }
+    if (std::getenv("SLAPO_RUN_LOG") == nullptr) {
+        obs::openRunLog("run.jsonl");
+    }
+    const long long budget = static_cast<long long>(obs::memBudgetBytes());
+    if (budget >= 0) {
+        std::printf("memory budget: %lld bytes (SLAPO_MEM_BUDGET)\n", budget);
+    }
+
+    // A scheduled model: checkpoint both encoder layers so the peak
+    // report shows .checkpoint() holding activation bytes down.
+    auto inner = models::buildTinyModel("bert");
+    auto model = runtime::withCrossEntropyLoss(inner);
+    model->initializeParams(/*seed=*/42);
+    auto sch = core::Schedule::create(model);
+    (*sch)["model.encoder.layer.0"].checkpoint();
+    (*sch)["model.encoder.layer.1"].checkpoint();
+
+    runtime::Trainer trainer(model);
+    for (int64_t step = 0; step < 3; ++step) {
+        std::vector<std::vector<Tensor>> micros = {
+            {Tensor::randint({2, 8}, 64, 10 * step),
+             Tensor::randint({2, 8}, 64, 10 * step + 5)}};
+        runtime::TrainStepStats stats = trainer.step(micros);
+        std::printf("step %lld: loss %.4f, live %lld bytes\n",
+                    static_cast<long long>(step), stats.loss,
+                    static_cast<long long>(obs::memLiveBytes()));
+    }
+
+    // The peak report: who held the bytes when memory peaked.
+    obs::MemPeakReport report = obs::memPeakReport();
+    std::printf("\npeak %lld bytes, %.1f%% attributed "
+                "(retained-but-idle in the pool: %lld bytes)\n",
+                static_cast<long long>(report.peak_bytes),
+                100.0 * report.attributedFraction(),
+                static_cast<long long>(report.retained_bytes));
+    for (int c = 0; c < obs::kNumMemCategories; ++c) {
+        std::printf("  %-16s %8lld bytes\n",
+                    obs::memCategoryName(static_cast<obs::MemCategory>(c)),
+                    static_cast<long long>(report.category_bytes[c]));
+    }
+    const size_t shown = report.rows.size() < 5 ? report.rows.size() : 5;
+    std::printf("top rows (of %zu):\n", report.rows.size());
+    for (size_t i = 0; i < shown; ++i) {
+        const obs::MemRow& row = report.rows[i];
+        std::printf("  %8lld bytes  %-10s %-10s %s\n",
+                    static_cast<long long>(row.bytes),
+                    obs::memCategoryName(row.category), row.primitive.c_str(),
+                    row.module_path.empty() ? "(root)"
+                                            : row.module_path.c_str());
+    }
+    // Tuner loop: every trial's run-log record carries the measured
+    // peak (from the live-tensor registry) next to the simulator's
+    // prediction and their relative error; configs whose measured peak
+    // exceeds SLAPO_MEM_BUDGET are pruned to infeasible.
+    sim::TrainingSimulator simulator(sim::ClusterSpec::p3_16xlarge(), 2.0);
+    sim::ShapeFn shapes = [](int mb) {
+        return std::vector<Shape>{{mb, 8}}; // token ids, tiny seq len
+    };
+    tuner::SearchSpace space;
+    space.addVar("micro_batch", {1, 2, 4});
+    auto evaluate = [&](const tuner::Config& config) {
+        const int64_t mb = static_cast<int64_t>(config.at("micro_batch"));
+        sim::ParallelConfig pc;
+        pc.dp = 8; // fill the simulated 8-GPU node
+        pc.micro_batch = static_cast<int>(mb);
+        sim::StepStats predicted = simulator.simulate(*inner, shapes, pc);
+        // The measured side: one real step at this micro-batch.
+        runtime::Trainer trial_trainer(model->clone());
+        trial_trainer.step({{Tensor::randint({mb, 8}, 64, 7 * mb),
+                             Tensor::randint({mb, 8}, 64, 7 * mb + 3)}});
+        return predicted.oom ? 0.0 : predicted.throughput;
+    };
+    tuner::TuneResult best = tuner::exhaustiveSearch(space, evaluate);
+    if (best.best.count("micro_batch") != 0) {
+        std::printf("\ntuner: best micro_batch %.0f (%d trials; each "
+                    "tuner.trial record logs measured vs predicted peak)\n",
+                    best.best.at("micro_batch"), best.evaluated);
+    } else {
+        std::printf("\ntuner: every config's measured peak exceeded the "
+                    "budget (%d trials pruned)\n",
+                    best.evaluated);
+    }
+
+    // Persist the final forensics report when SLAPO_MEM_DUMP is set —
+    // written last so it covers the run's true high watermark (budget
+    // crossings overwrite the file with point-in-time snapshots).
+    if (const char* dump = std::getenv("SLAPO_MEM_DUMP")) {
+        obs::writeMemDump(dump);
+    }
+    obs::closeRunLog();
+    std::printf("wrote run log (step, mem.budget, tuner.trial records)\n");
+    return 0;
+}

@@ -161,6 +161,11 @@ buildMemPlan(const Graph& g, const std::vector<Shape>& input_shapes)
             plan->actions[n->id()].inplace = true;
         }
     }
+    for (const MemPlan::NodeActions& act : plan->actions) {
+        plan->release_count +=
+            static_cast<int64_t>(act.release_after.size());
+        plan->inplace_count += act.inplace ? 1 : 0;
+    }
     return plan;
 }
 

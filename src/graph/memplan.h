@@ -50,6 +50,14 @@ struct MemPlan
     /** Graph::version() this plan was built against. */
     uint64_t graph_version = 0;
 
+    /** Total mid-graph release points (Σ |release_after|) — how many env
+     * entries the plan returns to the pool before end of graph. Summary
+     * statistic for trace/report consumers (obs/mem_profiler.h). */
+    int64_t release_count = 0;
+
+    /** Nodes marked for in-place reuse of input 0's storage. */
+    int64_t inplace_count = 0;
+
     const NodeActions*
     at(int64_t node_id) const
     {

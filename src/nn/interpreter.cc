@@ -7,6 +7,7 @@
 #include "nn/context.h"
 #include "nn/functional.h"
 #include "nn/module.h"
+#include "obs/mem_profiler.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
@@ -19,14 +20,17 @@ namespace {
 /**
  * Per-node observability hook shared by the executor loops: opens a
  * trace span and, on close, folds the elapsed time into the installed
- * OpProfiler under the thread's current module path. Disabled cost is
- * the two atomic loads in the constructor.
+ * OpProfiler under the thread's current module path. Also tags the
+ * thread for the memory profiler so tensors allocated inside the kernel
+ * attribute to this node's id and stamped primitive. Disabled cost is
+ * the three atomic loads in the constructor.
  */
 class NodeTimer
 {
   public:
     NodeTimer(const char* op, const graph::Node& node)
         : op_(op), primitive_(&node.provenance().primitive),
+          mem_scope_(node.id(), primitive_),
           profiler_(obs::OpProfiler::current())
     {
         if (profiler_ != nullptr || obs::tracingEnabled()) {
@@ -57,6 +61,7 @@ class NodeTimer
   private:
     const char* op_;
     const std::string* primitive_; ///< node provenance; outlives the timer
+    obs::MemNodeScope mem_scope_;
     obs::OpProfiler* profiler_;
     std::optional<obs::TraceSpan> span_;
     std::chrono::steady_clock::time_point start_;
@@ -205,6 +210,11 @@ interpretGraph(const graph::Graph& graph, Module* self,
             in_shapes.push_back(v.shape());
         }
         plan = graph::memPlanFor(graph, in_shapes);
+        if (plan != nullptr && obs::tracingEnabled()) {
+            obs::TraceSpan span("memplan.plan", "mem");
+            span.arg("release_points", plan->release_count);
+            span.arg("inplace_nodes", plan->inplace_count);
+        }
     }
 
     Profiler* prof = Profiler::current();
@@ -353,11 +363,31 @@ interpretGraph(const graph::Graph& graph, Module* self,
         }
         // Drop env entries whose producing node saw its last use here, so
         // the storage returns to the allocator pool mid-graph instead of
-        // at function exit.
-        if (act != nullptr) {
+        // at function exit. With tracing on, each release point becomes a
+        // timeline event so a memory-over-time view shows *where* in the
+        // graph the planner returns storage.
+        if (act != nullptr && !act->release_after.empty()) {
+            if (obs::tracingEnabled()) {
+                int64_t bytes = 0;
+                for (int64_t id : act->release_after) {
+                    for (const Value& v : env[id]) {
+                        if (v.tensor().materialized()) {
+                            bytes += v.tensor().bytes();
+                        }
+                    }
+                }
+                obs::TraceSpan span("memplan.release", "mem");
+                span.arg("after_node", node->name());
+                span.arg("values",
+                         static_cast<int64_t>(act->release_after.size()));
+                span.arg("bytes", bytes);
+            }
             for (int64_t id : act->release_after) {
                 env[id].clear();
                 defined[id] = 0;
+            }
+            if (obs::memProfilingEnabled() && obs::tracingEnabled()) {
+                obs::traceCounter("mem.live_bytes", obs::memLiveBytes());
             }
         }
     }

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
 #include "nn/functional.h"
 #include "nn/interpreter.h"
+#include "obs/mem_profiler.h"
+#include "obs/profiler.h"
 
 namespace slapo {
 namespace nn {
@@ -421,6 +424,13 @@ Module::initializeParams(uint64_t seed)
         const bool is_scale = path.size() >= 5 &&
                               path.compare(path.size() - 5, 5, "gamma") == 0;
         if (tensor->isMeta()) {
+            // Tag the materialization for the memory profiler: category
+            // Parameter, attributed to the param's own dotted path.
+            obs::MemCategoryScope mem_cat(obs::MemCategory::Parameter);
+            std::optional<obs::ModuleScope> mem_path;
+            if (obs::ModuleScope::active()) {
+                mem_path.emplace(path);
+            }
             *tensor = is_scale ? Tensor::full(tensor->shape(), 1.0f)
                                : Tensor::uniform(tensor->shape(), 0.08f, h);
         }
@@ -433,11 +443,25 @@ Module::cloneInto(Module* dst) const
     dst->type_name_ = type_name_;
     dst->traceable_ = traceable_;
     dst->params_.clear();
-    for (const auto& [name, tensor] : params_) {
-        dst->params_.emplace_back(name, tensor.clone());
+    {
+        // Replica/stage clones carry parameters, not activations.
+        obs::MemCategoryScope mem_cat(obs::MemCategory::Parameter);
+        for (const auto& [name, tensor] : params_) {
+            std::optional<obs::ModuleScope> mem_path;
+            if (obs::ModuleScope::active()) {
+                mem_path.emplace(name);
+            }
+            dst->params_.emplace_back(name, tensor.clone());
+        }
     }
     dst->children_.clear();
     for (const auto& [name, c] : children_) {
+        // Nest a scope per child so cloned parameters register under
+        // their full dotted path, not an anonymous blob.
+        std::optional<obs::ModuleScope> mem_path;
+        if (obs::ModuleScope::active()) {
+            mem_path.emplace(name);
+        }
         dst->children_.emplace_back(name, c->clone());
     }
     dst->meta_ = meta_;

@@ -87,7 +87,7 @@ std::string
 DistMetricsReport::toJson() const
 {
     std::string out =
-        "{\"kind\":\"dist_metrics\",\"schema_version\":1,\"world_size\":" +
+        "{\"kind\":\"dist_metrics\",\"schema_version\":2,\"world_size\":" +
                       std::to_string(world_size) + ",\"metrics\":{";
     bool first = true;
     for (const DistMetricStat& stat : stats) {

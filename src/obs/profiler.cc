@@ -9,6 +9,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "obs/mem_profiler.h"
 #include "obs/trace.h"
 
 namespace slapo {
@@ -295,7 +296,8 @@ ModuleScope::currentPath()
 bool
 ModuleScope::active()
 {
-    return OpProfiler::current() != nullptr || tracingEnabled();
+    return OpProfiler::current() != nullptr || tracingEnabled() ||
+           memProfilingEnabled();
 }
 
 } // namespace obs

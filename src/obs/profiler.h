@@ -135,7 +135,8 @@ class ModuleScope
     /** Current dotted path of the calling thread ("" at the root). */
     static const std::string& currentPath();
 
-    /** True when path bookkeeping is worth doing (profiler or trace on). */
+    /** True when path bookkeeping is worth doing (profiler, trace, or
+     * memory profiler on). */
     static bool active();
 
   private:

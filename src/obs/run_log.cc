@@ -16,7 +16,10 @@ RunLogRecord::RunLogRecord(const char* kind)
     // Every record carries the schema version right after its kind so
     // downstream tooling can dispatch before reading any other field
     // (docs/OBSERVABILITY.md documents the per-kind schemas).
-    body_ = "{\"kind\":" + json::quoted(kind) + ",\"schema_version\":1";
+    // Version 2: step records gained mem_live_bytes / mem_retained_bytes
+    // / per-category mem_categories, and the mem.budget forensics record
+    // kind was added (obs/mem_profiler.h).
+    body_ = "{\"kind\":" + json::quoted(kind) + ",\"schema_version\":2";
 }
 
 RunLogRecord&
@@ -138,9 +141,14 @@ RunLog::logStep(const StepRecord& step)
         .num("tokens_per_s", tokens_per_s)
         .num("step_ms", step.step_ms)
         .num("mem_peak_bytes", step.mem_peak_bytes)
+        .num("mem_live_bytes", step.mem_live_bytes)
+        .num("mem_retained_bytes", step.mem_retained_bytes)
         .num("world_size", static_cast<int64_t>(step.world_size))
         .flag("anomaly_nan", nan_anomaly)
         .flag("anomaly_loss_spike", spike);
+    if (!step.mem_categories_json.empty()) {
+        record.raw("mem_categories", step.mem_categories_json);
+    }
     write(record);
 }
 

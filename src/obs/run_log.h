@@ -26,7 +26,13 @@
  *                       lost original ranks, old/new world size, new
  *                       membership generation, rebuild latency
  *   tuner.trial         one per tuner evaluation: config, value,
- *                       whether it is the best so far
+ *                       whether it is the best so far, measured peak
+ *                       memory (+ sim-predicted peak & relative error
+ *                       when available)
+ *   mem.budget          one per memory-budget crossing
+ *                       (obs/mem_profiler.h): live/budget bytes, the
+ *                       configured action, and the full peak
+ *                       attribution report as forensics
  *   dist_metrics        one per cross-rank aggregation (dist_metrics.h)
  *
  * Writers hold one mutex per record — the run log is per-step, not
@@ -74,6 +80,15 @@ struct StepRecord
     double step_ms = 0.0;    ///< wall time of the step
     int64_t mem_peak_bytes = 0;
     int world_size = 1;      ///< 1 for single-process Trainer
+
+    // Memory-profiler fields (schema v2; obs/mem_profiler.h). Zero /
+    // empty when memProfilingEnabled() is off — the trainers then fall
+    // back to the global tensor.peak_bytes watermark for mem_peak_bytes.
+    int64_t mem_live_bytes = 0;     ///< tagged live bytes at step end
+    int64_t mem_retained_bytes = 0; ///< allocator free-list bytes
+    /** Per-category bytes at the step's peak, pre-rendered as a JSON
+     * object ({"parameter":N,...}); "" = profiler off, field omitted. */
+    std::string mem_categories_json;
 };
 
 /**

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "obs/json_util.h"
+#include "obs/mem_profiler.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/provenance.h"
@@ -97,7 +98,9 @@ StepReport::primitivesJson() const
 std::string
 StepReport::toJson() const
 {
-    std::string out = "{\"kind\":\"step_report\",\"schema_version\":1";
+    // Version 2: adds the "memory" section (live/peak/retained bytes +
+    // per-category breakdown at the step's peak).
+    std::string out = "{\"kind\":\"step_report\",\"schema_version\":2";
     out += ",\"step\":" + json::number(step);
     out += ",\"world_size\":" + json::number(static_cast<int64_t>(world_size));
     out += ",\"wall_ns\":" + json::number(wall_ns);
@@ -110,6 +113,19 @@ StepReport::toJson() const
     out += ",\"alloc\":{\"pool_hits\":" + json::number(alloc_pool_hits) +
            ",\"pool_misses\":" + json::number(alloc_pool_misses) +
            ",\"reuse_bytes\":" + json::number(alloc_reuse_bytes) + "}";
+    out += ",\"memory\":{\"peak_bytes\":" + json::number(mem_peak_bytes) +
+           ",\"live_bytes\":" + json::number(mem_live_bytes) +
+           ",\"retained_bytes\":" + json::number(mem_retained_bytes) +
+           ",\"at_peak\":{";
+    {
+        bool first_cat = true;
+        for (const auto& [name, bytes] : mem_category_bytes) {
+            if (!first_cat) out += ",";
+            first_cat = false;
+            out += json::quoted(name) + ":" + json::number(bytes);
+        }
+    }
+    out += "}}";
     out += ",\"primitives\":" + primitivesJson();
     out += ",\"modules\":[";
     bool first = true;
@@ -230,6 +246,7 @@ struct StepReportBuilder::Impl
     int world_size;
     OpProfiler profiler;
     MetricsDelta window;
+    MemWindow mem_window; ///< inert unless memProfilingEnabled()
     std::chrono::steady_clock::time_point start;
     OpProfilerGuard guard;
     bool finished = false;
@@ -260,8 +277,21 @@ StepReportBuilder::finish(int64_t step)
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - impl_->start)
             .count();
-    return buildStepReport(impl_->profiler, impl_->window.values(), wall_ns,
-                           impl_->world_size, step);
+    StepReport report = buildStepReport(impl_->profiler,
+                                        impl_->window.values(), wall_ns,
+                                        impl_->world_size, step);
+    if (impl_->mem_window.active()) {
+        report.mem_peak_bytes = impl_->mem_window.peakBytes();
+        report.mem_live_bytes = memLiveBytes();
+        report.mem_retained_bytes = metrics().alloc_pooled_bytes.get();
+        for (int c = 0; c < kNumMemCategories; ++c) {
+            const MemCategory cat = static_cast<MemCategory>(c);
+            report.mem_category_bytes.emplace_back(
+                memCategoryName(cat),
+                impl_->mem_window.categoryPeakBytes(cat));
+        }
+    }
+    return report;
 }
 
 // --- enablement ----------------------------------------------------------

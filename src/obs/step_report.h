@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace slapo {
@@ -88,6 +89,19 @@ struct StepReport
     int64_t alloc_pool_hits = 0;
     int64_t alloc_pool_misses = 0;
     int64_t alloc_reuse_bytes = 0;
+
+    // Memory section (obs/mem_profiler.h). All zeros / empty unless
+    // memProfilingEnabled() was on for the step. `mem_category_bytes`
+    // holds (category name, bytes) at the step's live-byte peak, so a
+    // checkpointed schedule shows lower activation bytes and a sharded
+    // one lower parameter bytes in the same report that shows their
+    // time cost. `mem_retained_bytes` is the allocator's free-list
+    // level — freed-but-cached storage, deliberately separate from
+    // live bytes (docs/PERFORMANCE.md).
+    int64_t mem_peak_bytes = 0;     ///< in-step peak of tagged live bytes
+    int64_t mem_live_bytes = 0;     ///< tagged live bytes at step end
+    int64_t mem_retained_bytes = 0; ///< pool free-list bytes at step end
+    std::vector<std::pair<std::string, int64_t>> mem_category_bytes;
 
     std::vector<PrimitiveTotal> primitives; ///< sorted by total desc
     std::vector<ModuleTotal> modules;       ///< sorted by total desc

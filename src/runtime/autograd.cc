@@ -9,6 +9,7 @@
 #include "nn/functional.h"
 #include "nn/interpreter.h"
 #include "nn/tracer.h"
+#include "obs/mem_profiler.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "runtime/process_group.h"
@@ -374,6 +375,8 @@ AutogradEngine::forwardGraph(const Graph& g, Module* owner,
           case NodeKind::CallOp: {
             OpTimer timer(opKindName(node->op()), "",
                           node->provenance().primitive);
+            obs::MemNodeScope mem_scope(node->id(),
+                                        &node->provenance().primitive);
             std::vector<Value> ins;
             for (const Node* in : node->inputs()) {
                 ins.emplace_back(frame->at(in)[0]);
@@ -456,6 +459,13 @@ AutogradEngine::backwardGraph(const Graph& g, Module* owner, Frame& frame,
     std::vector<std::vector<Tensor>> gslots(g.idBound());
     std::vector<char> gdef(g.idBound(), 0);
 
+    // Memory attribution: everything the reverse walk allocates is
+    // gradient-flavoured (grad slots, backward-rule temporaries, even
+    // checkpoint rematerialization — transient recompute, not stored
+    // forward state), so activation bytes in the peak report reflect
+    // only the *retained* forward tape (obs/mem_profiler.h).
+    obs::MemCategoryScope mem_cat(obs::MemCategory::Gradient);
+
     auto accumulate = [&](const Node* node, size_t index, const Tensor& grad) {
         SLAPO_ASSERT(node->id() >= 0 &&
                          node->id() < static_cast<int64_t>(gslots.size()),
@@ -517,6 +527,12 @@ AutogradEngine::backwardGraph(const Graph& g, Module* owner, Frame& frame,
         frame.evict(node);
         frame.children.erase(node);
         gslots[node->id()].clear();
+        // Tape release points on the timeline: sample the tagged live
+        // level so the memory-over-time track shows the backward walk
+        // draining the forward tape.
+        if (obs::tracingEnabled() && obs::memProfilingEnabled()) {
+            obs::traceCounter("mem.live_bytes", obs::memLiveBytes());
+        }
     };
 
     for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
@@ -555,6 +571,8 @@ AutogradEngine::backwardGraph(const Graph& g, Module* owner, Frame& frame,
           case NodeKind::CallOp: {
             OpTimer timer(opKindName(node->op()), ".bwd",
                           node->provenance().primitive);
+            obs::MemNodeScope mem_scope(node->id(),
+                                        &node->provenance().primitive);
             std::vector<Tensor> x;
             for (const Node* in : node->inputs()) {
                 x.push_back(value(in));
@@ -651,6 +669,7 @@ AutogradEngine::accumulateParamGrad(const Tensor& param, const Tensor& grad)
     SLAPO_ASSERT(key != nullptr, "gradient for meta parameter");
     auto it = result_.param_grads.find(key);
     if (it == result_.param_grads.end()) {
+        obs::MemCategoryScope mem_cat(obs::MemCategory::Gradient);
         result_.param_grads.emplace(key, grad.clone());
     } else {
         it->second.addInPlace(grad);

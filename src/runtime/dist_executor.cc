@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <exception>
+#include <optional>
 #include <thread>
 
+#include "obs/mem_profiler.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "support/failpoint.h"
@@ -21,8 +23,17 @@ DistExecutor::DistExecutor(int world_size, ProcessGroupOptions options)
 void
 DistExecutor::shardParamsForRank(nn::Module& replica, int rank, int world_size)
 {
+    // Shard slices are this rank's parameter storage: tag them so the
+    // peak report shows .shard() shrinking per-rank parameter bytes.
+    obs::MemCategoryScope mem_cat(obs::MemCategory::Parameter);
     for (auto& [path, module] : replica.namedModules()) {
         for (const auto& [pname, spec] : module->meta().sharded_params) {
+            // Register the slice under its full dotted path so the
+            // provenance prefix lookup resolves it to .shard().
+            std::optional<obs::ModuleScope> mem_path;
+            if (obs::ModuleScope::active()) {
+                mem_path.emplace(path.empty() ? pname : path + "." + pname);
+            }
             SLAPO_CHECK(spec.world_size == world_size,
                         "shard spec world size " << spec.world_size
                                                  << " != executor world "
@@ -97,6 +108,7 @@ DistExecutor::run(const std::vector<nn::ModulePtr>& replicas, const RankFn& fn)
             // Each rank gets its own process row in the trace (pid 1+r;
             // pid 0 is the main process).
             obs::setThreadTrack(1 + r, "rank " + std::to_string(r));
+            obs::setMemThreadRank(r);
             nn::DistContext context;
             context.rank = r;
             context.world_size = world_size_;

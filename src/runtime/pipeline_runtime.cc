@@ -8,6 +8,7 @@
 #include <optional>
 #include <thread>
 
+#include "obs/mem_profiler.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/run_log.h"
@@ -150,6 +151,9 @@ PipelineRuntime::forward(const std::vector<std::vector<Tensor>>& micro_batches)
             // Pipeline stage threads share pid 0 ("slapo") and get a
             // labelled track each in the trace.
             obs::setThreadTrack(0, "stage " + std::to_string(s));
+            // Memory profiler: attribute this worker's allocations to
+            // its pipeline stage (separate "rank" track per stage).
+            obs::setMemThreadRank(static_cast<int>(s));
             int64_t micro_index = 0;
             try {
                 while (auto tuple = timedPop(*queues[s])) {

@@ -12,6 +12,7 @@
 
 #include <optional>
 
+#include "obs/mem_profiler.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/run_log.h"
@@ -85,6 +86,9 @@ std::vector<Tensor>
 bucketedGradAllReduce(ProcessGroup& group, int rank,
                       const std::vector<Tensor>& local, int world)
 {
+    // Everything allocated here is gradient storage except the flat
+    // pack/reduce buckets, which are tagged comm-buffer below.
+    obs::MemCategoryScope mem_cat(obs::MemCategory::Gradient);
     const float inv_world = 1.0f / static_cast<float>(world);
     const int64_t bucket_bytes = gradBucketBytes();
     std::vector<Tensor> grads;
@@ -110,7 +114,12 @@ bucketedGradAllReduce(ProcessGroup& group, int rank,
     int64_t pc = 0, uc = 0;
     for (int64_t off = 0; off < total; off += bucket_elems) {
         const int64_t n = std::min(bucket_elems, total - off);
-        Tensor bucket = Tensor::empty({n});
+        std::optional<Tensor> bucket_storage;
+        {
+            obs::MemCategoryScope bucket_cat(obs::MemCategory::CommBuffer);
+            bucket_storage.emplace(Tensor::empty({n}));
+        }
+        Tensor& bucket = *bucket_storage;
         float* b = bucket.data();
         for (int64_t filled = 0; filled < n;) {
             const int64_t take = std::min(local[pp].numel() - pc, n - filled);
@@ -123,7 +132,12 @@ bucketedGradAllReduce(ProcessGroup& group, int rank,
                 pc = 0;
             }
         }
-        Tensor reduced = group.allReduceBucket(rank, bucket);
+        std::optional<Tensor> reduced_storage;
+        {
+            obs::MemCategoryScope bucket_cat(obs::MemCategory::CommBuffer);
+            reduced_storage.emplace(group.allReduceBucket(rank, bucket));
+        }
+        Tensor& reduced = *reduced_storage;
         reduced.scaleInPlace(inv_world);
         const float* r = reduced.data();
         for (int64_t drained = 0; drained < n;) {
@@ -362,6 +376,12 @@ Trainer::step(const std::vector<std::vector<Tensor>>& micro_batches)
     if (obs::stepReportsEnabled()) {
         report_builder.emplace(/*world_size=*/1);
     }
+    // In-step memory window: peak + per-category bytes at the peak for
+    // the run-log step record. No-op unless memProfilingEnabled().
+    std::optional<obs::MemWindow> mem_window;
+    if (obs::memProfilingEnabled()) {
+        mem_window.emplace();
+    }
     TrainStepStats stats;
     stats.micro_batches = static_cast<int64_t>(micro_batches.size());
     stats.tokens = countTokens(micro_batches);
@@ -441,7 +461,14 @@ Trainer::step(const std::vector<std::vector<Tensor>>& micro_batches)
         record.micro_batches = stats.micro_batches;
         record.tokens = stats.tokens;
         record.step_ms = msSince(step_start);
-        record.mem_peak_bytes = obs::metrics().tensor_live_bytes.peak();
+        if (mem_window && mem_window->active()) {
+            record.mem_peak_bytes = mem_window->peakBytes();
+            record.mem_live_bytes = obs::memLiveBytes();
+            record.mem_retained_bytes = obs::metrics().alloc_pooled_bytes.get();
+            record.mem_categories_json = mem_window->categoriesJson();
+        } else {
+            record.mem_peak_bytes = obs::metrics().tensor_live_bytes.peak();
+        }
         record.world_size = 1;
         log->logStep(record);
     }
@@ -513,6 +540,10 @@ DataParallelTrainer::step(
     std::optional<obs::StepReportBuilder> report_builder;
     if (obs::stepReportsEnabled()) {
         report_builder.emplace(world);
+    }
+    std::optional<obs::MemWindow> mem_window;
+    if (obs::memProfilingEnabled()) {
+        mem_window.emplace();
     }
     SLAPO_CHECK(static_cast<int>(per_shard_inputs.size()) == base_world_,
                 "DataParallelTrainer: need one input tuple per data shard ("
@@ -606,7 +637,14 @@ DataParallelTrainer::step(
         record.micro_batches = stats.micro_batches;
         record.tokens = stats.tokens;
         record.step_ms = msSince(step_start);
-        record.mem_peak_bytes = obs::metrics().tensor_live_bytes.peak();
+        if (mem_window && mem_window->active()) {
+            record.mem_peak_bytes = mem_window->peakBytes();
+            record.mem_live_bytes = obs::memLiveBytes();
+            record.mem_retained_bytes = obs::metrics().alloc_pooled_bytes.get();
+            record.mem_categories_json = mem_window->categoriesJson();
+        } else {
+            record.mem_peak_bytes = obs::metrics().tensor_live_bytes.peak();
+        }
         record.world_size = world;
         log->logStep(record);
     }
@@ -724,6 +762,21 @@ DataParallelTrainer::remapSurvivors(const std::vector<int>& survivors)
     params_ = std::move(params);
     shard_map_ = std::move(shards);
     orig_rank_ = std::move(orig);
+
+    // Memory attribution after the shrink: a survivor's replica now
+    // runs as a *new* rank index, so re-tag its live parameter storage
+    // to the post-rebuild rank (orphaned shards inherited via shard_map_
+    // reuse the survivor's own replica — no extra tensors to move).
+    if (obs::memProfilingEnabled()) {
+        for (size_t r = 0; r < params_.size(); ++r) {
+            for (auto& [path, tensor] : params_[r]) {
+                if (tensor->materialized()) {
+                    obs::memRetagRank(tensor->storageKey(),
+                                      static_cast<int>(r));
+                }
+            }
+        }
+    }
 }
 
 void

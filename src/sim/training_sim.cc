@@ -4,6 +4,7 @@
 
 #include "core/pipeline.h"
 #include "core/schedule.h"
+#include "obs/mem_profiler.h"
 #include "runtime/dist_executor.h"
 
 namespace slapo {
@@ -207,6 +208,10 @@ TrainingSimulator::simulate(const nn::Module& model, const ShapeFn& shapes,
     const double workspace = 1.2e9;
     stats.memory = mem;
     stats.oom = mem.total() + workspace > cluster_.device.mem_capacity;
+    // Side channel for the tuner's measured-vs-predicted comparison
+    // (obs/mem_profiler.h): the model-state + activation prediction,
+    // without the fixed workspace floor.
+    obs::reportSimPeakBytes(mem.total());
 
     stats.throughput =
         stats.oom ? 0.0 : config.globalBatch() / stats.step_time;
@@ -374,6 +379,7 @@ TrainingSimulator::simulateAnnotatedPipeline(
     const double workspace = 1.2e9;
     stats.memory = worst;
     stats.oom = worst_total + workspace > cluster_.device.mem_capacity;
+    obs::reportSimPeakBytes(worst_total);
     stats.throughput =
         stats.oom ? 0.0 : config.globalBatch() / stats.step_time;
     return stats;

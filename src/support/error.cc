@@ -30,6 +30,16 @@ CheckpointError::CheckpointError(std::string path, const std::string& detail)
 {
 }
 
+MemoryBudgetExceeded::MemoryBudgetExceeded(int64_t live_bytes,
+                                           int64_t budget_bytes)
+    : SlapoError("memory budget exceeded: " + std::to_string(live_bytes) +
+                 " live tensor bytes > budget of " +
+                 std::to_string(budget_bytes) +
+                 " (see the mem.budget forensics record / SLAPO_MEM_DUMP)"),
+      live_bytes_(live_bytes), budget_bytes_(budget_bytes)
+{
+}
+
 namespace detail {
 
 void

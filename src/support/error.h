@@ -17,6 +17,10 @@
  *    generation at which the failure happened (docs/ROBUSTNESS.md).
  *  - CheckpointError: a checkpoint file is missing, malformed, or failed
  *    its CRC — the recovery loop falls back to an older checkpoint.
+ *  - MemoryBudgetExceeded: live tensor bytes crossed SLAPO_MEM_BUDGET
+ *    with SLAPO_MEM_BUDGET_ACTION=throw (obs/mem_profiler.h); raised at
+ *    the allocation that crossed the line so it behaves like a real OOM
+ *    and flows through the same retry machinery as any step failure.
  */
 #pragma once
 
@@ -88,6 +92,28 @@ class CheckpointError : public SlapoError
 
   private:
     std::string path_;
+};
+
+/**
+ * A tensor allocation pushed live bytes over the configured memory
+ * budget (obs/mem_profiler.h, SLAPO_MEM_BUDGET with action `throw`).
+ * The offending allocation is rolled back before the throw, so live
+ * bytes drop back under the budget as the failing step unwinds and a
+ * recovery retry (or a smaller configuration) can proceed.
+ */
+class MemoryBudgetExceeded : public SlapoError
+{
+  public:
+    MemoryBudgetExceeded(int64_t live_bytes, int64_t budget_bytes);
+
+    /** Live tensor bytes the failing allocation would have reached. */
+    int64_t liveBytes() const { return live_bytes_; }
+    /** The configured budget, in bytes. */
+    int64_t budgetBytes() const { return budget_bytes_; }
+
+  private:
+    int64_t live_bytes_;
+    int64_t budget_bytes_;
 };
 
 namespace detail {

@@ -29,6 +29,8 @@
 
 #include <cstdint>
 
+#include "obs/mem_profiler.h"
+
 namespace slapo {
 namespace alloc {
 
@@ -84,8 +86,25 @@ int64_t pooledBytes();
 class Scratch
 {
   public:
-    explicit Scratch(int64_t numel) { data_ = acquire(numel, &capacity_); }
-    ~Scratch() { release(data_, capacity_); }
+    explicit Scratch(int64_t numel)
+    {
+        data_ = acquire(numel, &capacity_);
+        // Scratch bypasses TensorStorage, so it carries its own memory
+        // profiler hook (category `scratch`; never throws — a budget
+        // throw out of a kernel temporary would leak the buffer).
+        if (obs::memProfilingEnabled()) {
+            obs::memRecordScratch(
+                data_, capacity_ * static_cast<int64_t>(sizeof(float)));
+        }
+    }
+
+    ~Scratch()
+    {
+        if (obs::memProfilingEnabled()) {
+            obs::memRecordFree(data_);
+        }
+        release(data_, capacity_);
+    }
     Scratch(const Scratch&) = delete;
     Scratch& operator=(const Scratch&) = delete;
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/mem_profiler.h"
+
 namespace slapo {
 
 size_t
@@ -9,6 +11,7 @@ AdamW::addParam(Tensor param)
 {
     SLAPO_CHECK(param.materialized(), "AdamW: cannot optimize meta tensors");
     params_.push_back(param);
+    obs::MemCategoryScope mem_cat(obs::MemCategory::OptimizerState);
     m_.push_back(Tensor::zeros(param.shape()));
     v_.push_back(Tensor::zeros(param.shape()));
     return params_.size() - 1;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/mem_profiler.h"
 #include "obs/metrics.h"
 #include "support/parallel.h"
 #include "tensor/alloc.h"
@@ -31,10 +32,27 @@ class TensorStorage
         const int64_t bytes = capacity_ * static_cast<int64_t>(sizeof(float));
         obs::metrics().tensor_allocated_bytes.add(bytes);
         obs::metrics().tensor_live_bytes.add(bytes);
+        // Memory profiler hook (one relaxed atomic load when disabled).
+        // `this` is the registry key — the same identity storageKey()
+        // exposes. A budget crossing under action `throw` raises here;
+        // roll the accounting back so the buffer is not leaked (the
+        // destructor of a throwing constructor never runs).
+        if (obs::memProfilingEnabled()) {
+            try {
+                obs::memRecordAlloc(this, bytes);
+            } catch (...) {
+                obs::metrics().tensor_live_bytes.add(-bytes);
+                alloc::release(data_, capacity_);
+                throw;
+            }
+        }
     }
 
     ~TensorStorage()
     {
+        if (obs::memProfilingEnabled()) {
+            obs::memRecordFree(this);
+        }
         obs::metrics().tensor_live_bytes.add(
             -capacity_ * static_cast<int64_t>(sizeof(float)));
         alloc::release(data_, capacity_);

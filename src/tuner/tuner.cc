@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "obs/json_util.h"
+#include "obs/mem_profiler.h"
 #include "obs/metrics.h"
 #include "obs/run_log.h"
 #include "obs/step_report.h"
@@ -54,12 +55,34 @@ class Evaluator
         if (obs::stepReportsEnabled()) {
             report_builder.emplace(1);
         }
+        // Measured memory per trial: an attribution window over the
+        // eval, plus the sim's predicted peak when the eval ran the
+        // performance model (obs::reportSimPeakBytes side channel).
+        std::optional<obs::MemWindow> mem_window;
+        if (obs::memProfilingEnabled()) {
+            mem_window.emplace();
+        }
+        (void)obs::takeSimPeakBytes(); // drop any stale prediction
         const auto t0 = std::chrono::steady_clock::now();
-        const double value = eval_(config);
+        double value = eval_(config);
+        const double sim_peak = obs::takeSimPeakBytes();
         std::optional<obs::StepReport> report;
         if (report_builder) {
             report = report_builder->finish(
                 static_cast<int64_t>(result.evaluated));
+        }
+        const bool mem_measured = mem_window && mem_window->active();
+        const int64_t mem_peak = mem_measured
+                                     ? mem_window->peakBytes()
+                                     : window.get("tensor.peak_bytes");
+        // Budget pruning on *measured* peak: a config that exceeds the
+        // memory budget is infeasible regardless of its throughput —
+        // same contract as an EvalFn returning a non-positive value.
+        const int64_t budget = obs::memBudgetBytes();
+        const bool over_budget =
+            mem_measured && budget >= 0 && mem_peak > budget;
+        if (over_budget && value > 0) {
+            value = 0;
         }
         cache_.emplace(config, value);
         ++result.evaluated;
@@ -82,7 +105,24 @@ class Evaluator
                 .flag("is_best", is_best)
                 .num("eval_ms", eval_ms)
                 .num("pg_wait_ns", window.get("pg.wait_ns"))
-                .num("mem_peak_bytes", window.get("tensor.peak_bytes"));
+                .num("mem_peak_bytes", mem_peak);
+            if (mem_measured) {
+                record.raw("mem_categories", mem_window->categoriesJson());
+            }
+            if (sim_peak >= 0) {
+                // Close the loop with the paper's performance model:
+                // predicted peak next to the measured one, and the
+                // relative error of the prediction.
+                record.num("mem_sim_peak_bytes", sim_peak);
+                if (sim_peak > 0) {
+                    record.num("mem_rel_error",
+                               (static_cast<double>(mem_peak) - sim_peak) /
+                                   sim_peak);
+                }
+            }
+            if (over_budget) {
+                record.flag("pruned_over_budget", true);
+            }
             if (report) {
                 record.raw("breakdown", report->primitivesJson());
             }

@@ -16,6 +16,7 @@
 
 #include "models/registry.h"
 #include "nn/context.h"
+#include "obs/mem_profiler.h"
 #include "obs/run_log.h"
 #include "runtime/checkpoint.h"
 #include "runtime/dist_executor.h"
@@ -559,6 +560,100 @@ TEST_F(ElasticTest, GiveupRecordAfterExhaustedRestoreAttempts)
     EXPECT_NE(giveup.find("\"restore_attempts\":3"), std::string::npos)
         << giveup;
     EXPECT_NE(giveup.find("\"failed_step\":1"), std::string::npos);
+}
+
+// --- memory attribution across an elastic shrink ----------------------------
+
+TEST_F(ElasticTest, MemAttributionSurvivesShrinkWithoutLeaks)
+{
+    // With the memory profiler on, the lose-rank-2 scenario must
+    // (a) re-attribute every survivor replica's parameters to its
+    // post-rebuild rank index and (b) leave no orphaned registry
+    // entries for tensors freed during the abort/drain — when the
+    // trainer is gone, the registry is back to its pre-scenario state.
+    obs::setMemProfilingEnabled(true);
+    {
+        // Warm up function-local statics (e.g. the no-bias placeholder
+        // in nn::functional) so they don't read as leaks below.
+        auto warm = buildLossModel(1);
+        DataParallelTrainer warm_trainer(*warm, 2);
+        warm_trainer.trainSteps(
+            [](int64_t step) { return shardBatches(2, step); }, 1);
+    }
+    obs::memProfilerReset();
+    const int64_t entries_before = obs::memRegistrySize();
+    const int64_t live_before = obs::memLiveBytes();
+
+    {
+        fp::configureFromString("pg.allreduce.bucket@1:die:r2");
+        AdamWConfig config;
+        config.lr = 5e-3f;
+        auto model = buildLossModel(77);
+        DataParallelTrainer trainer(
+            *model, 4, config, elasticRecovery(scratchDir("mem_ckpt")));
+
+        TrainRunStats stats = trainer.trainSteps(
+            [](int64_t step) { return shardBatches(4, step); }, 3);
+        EXPECT_EQ(stats.steps_run, 3);
+        EXPECT_EQ(stats.elastic_rebuilds, 1);
+        ASSERT_EQ(trainer.worldSize(), 3);
+
+        // Every survivor's parameters now carry the *new* rank index.
+        for (int r = 0; r < 3; ++r) {
+            for (auto& [path, tensor] : trainer.replica(r).namedParams()) {
+                ASSERT_TRUE(tensor->materialized()) << path;
+                obs::MemTensorRow row;
+                ASSERT_TRUE(obs::memLookup(tensor->storageKey(), &row))
+                    << "rank " << r << " param " << path
+                    << " missing from the registry";
+                EXPECT_EQ(row.rank, r) << "rank " << r << " param " << path;
+                EXPECT_EQ(row.category, obs::MemCategory::Parameter) << path;
+            }
+        }
+    }
+
+    // Trainer, replicas, and inputs destroyed: every entry they
+    // registered — including tensors freed mid-abort — is gone.
+    EXPECT_EQ(obs::memRegistrySize(), entries_before);
+    EXPECT_EQ(obs::memLiveBytes(), live_before);
+    obs::setMemProfilingEnabled(false);
+    obs::memProfilerReset();
+}
+
+TEST_F(ElasticTest, MemRegistryCleanAfterAbortedStepWithoutShrink)
+{
+    // A non-elastic failure path (retry at the same world size): the
+    // aborted step's partially-built tensors must unregister as they
+    // unwind — no stale entries accumulate across retries.
+    obs::setMemProfilingEnabled(true);
+    {
+        // Warm up function-local statics (see above).
+        auto warm = buildLossModel(1);
+        DataParallelTrainer warm_trainer(*warm, 2);
+        warm_trainer.trainSteps(
+            [](int64_t step) { return shardBatches(2, step); }, 1);
+    }
+    obs::memProfilerReset();
+    const int64_t entries_before = obs::memRegistrySize();
+
+    {
+        fp::configureFromString("dp_trainer.step@1:throw");
+        AdamWConfig config;
+        auto model = buildLossModel(88);
+        RecoveryOptions recovery;
+        recovery.checkpoint_every = 1;
+        recovery.checkpoint_dir = scratchDir("mem_retry_ckpt");
+        recovery.max_retries = 2;
+        DataParallelTrainer trainer(*model, 2, config, recovery);
+        TrainRunStats stats = trainer.trainSteps(
+            [](int64_t step) { return shardBatches(2, step); }, 3);
+        EXPECT_EQ(stats.steps_run, 3);
+        EXPECT_GE(stats.recoveries, 1);
+    }
+
+    EXPECT_EQ(obs::memRegistrySize(), entries_before);
+    obs::setMemProfilingEnabled(false);
+    obs::memProfilerReset();
 }
 
 } // namespace

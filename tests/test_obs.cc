@@ -553,19 +553,55 @@ TEST(RunLog, EveryRecordKindCarriesSchemaVersion)
     for (const char* kind :
          {"checkpoint.save", "checkpoint.restore", "recovery",
           "recovery.giveup", "elastic.rebuild", "pipeline.forward",
-          "tuner.trial", "dist_metrics", "step_report"}) {
+          "tuner.trial", "dist_metrics", "step_report", "mem.budget"}) {
         obs::RunLogRecord record(kind);
         record.num("x", static_cast<int64_t>(1));
         log.write(record);
     }
 
     const auto lines = readLines(path);
-    ASSERT_EQ(lines.size(), 10u);
+    ASSERT_EQ(lines.size(), 11u);
     for (const std::string& line : lines) {
         EXPECT_TRUE(JsonValidator(line).valid()) << line;
-        EXPECT_NE(line.find("\"schema_version\":1"), std::string::npos)
+        EXPECT_NE(line.find("\"schema_version\":2"), std::string::npos)
             << line;
     }
+}
+
+TEST(RunLog, StepRecordCarriesMemoryFields)
+{
+    const std::string path = runLogScratch("runlog_mem_fields.jsonl");
+    obs::RunLog log(path);
+    ASSERT_TRUE(log.good());
+
+    obs::StepRecord step;
+    step.tokens = 8;
+    step.step_ms = 1.0;
+    step.mem_peak_bytes = 4096;
+    step.mem_live_bytes = 1024;
+    step.mem_retained_bytes = 512;
+    step.mem_categories_json = "{\"parameter\":1024}";
+    log.logStep(step);
+
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(JsonValidator(lines[0]).valid()) << lines[0];
+    EXPECT_NE(lines[0].find("\"mem_peak_bytes\":4096"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"mem_live_bytes\":1024"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"mem_retained_bytes\":512"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"mem_categories\":{\"parameter\":1024}"),
+              std::string::npos);
+
+    // Profiler off: the per-category object is omitted, the scalar
+    // fields stay (zeros) so the schema is stable.
+    obs::StepRecord off;
+    off.tokens = 8;
+    off.step_ms = 1.0;
+    log.logStep(off);
+    const auto lines2 = readLines(path);
+    ASSERT_EQ(lines2.size(), 2u);
+    EXPECT_EQ(lines2[1].find("mem_categories"), std::string::npos);
+    EXPECT_NE(lines2[1].find("\"mem_live_bytes\":0"), std::string::npos);
 }
 
 } // namespace
