@@ -16,6 +16,7 @@
 #include "obs/profiler.h"
 #include "nn/tracer.h"
 #include "runtime/autograd.h"
+#include "analysis/lint.h"
 #include "core/auto_shard.h"
 #include "core/pipeline.h"
 #include "runtime/dist_executor.h"
@@ -147,6 +148,29 @@ BM_ScheduleFullBertRecipe(benchmark::State& state)
     }
 }
 BENCHMARK(BM_ScheduleFullBertRecipe)->Unit(benchmark::kMillisecond);
+
+void
+BM_LintScheduledTransformer(benchmark::State& state)
+{
+    // The static schedule lint (docs/VERIFICATION.md stage one) over an
+    // auto-sharded tiny BERT with traced FFNs — the cost every gate and
+    // every tuner trial admission pays.
+    auto model = models::buildTinyModel("bert");
+    auto sch = core::Schedule::create(model, 2);
+    core::autoShard(*sch);
+    nn::TraceOptions topts;
+    topts.flatten = true;
+    for (auto& [path, m] : model->namedModules()) {
+        if (m->typeName() == "FFN") {
+            (*sch)[path].trace({{2, 8, 16}}, topts);
+        }
+    }
+    for (auto _ : state) {
+        analysis::Diagnostics diags = analysis::lintModule(*model, 2);
+        benchmark::DoNotOptimize(diags);
+    }
+}
+BENCHMARK(BM_LintScheduledTransformer);
 
 void
 BM_CloneBert335M(benchmark::State& state)

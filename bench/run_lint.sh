@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Static-lint smoke test: run the lint walkthrough example
+# (examples/lint_schedule) with SLAPO_LINT pointed at a JSON report file
+# and validate both sides of the contract — the deliberately broken
+# schedule is rejected with the documented stable codes (SLP202 stale
+# shard spec, SLP231 missing sync, SLP301 too many pipeline stages), and
+# the fixed schedule's gate appends a schema-conformant passing report.
+# Registered as the `lint_smoke` ctest.
+#
+# Usage: bench/run_lint.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+example_bin="$build_dir/examples/lint_schedule"
+
+if [[ ! -x "$example_bin" ]]; then
+    echo "error: $example_bin not built; run:" >&2
+    echo "  cmake -B \"$build_dir\" -S \"$repo_root\" && cmake --build \"$build_dir\" -j" >&2
+    exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+report="$workdir/lint.jsonl"
+stdout="$workdir/stdout.txt"
+(cd "$workdir" && SLAPO_LINT="$report" "$example_bin" | tee "$stdout")
+
+# The walkthrough must reach both outcomes: the rejected broken schedule
+# and the accepted fixed one.
+grep -q "gate 'executor.replicate' rejected the schedule" "$stdout"
+grep -q "fixed schedule passed the gate (0 errors" "$stdout"
+
+if [[ ! -s "$report" ]]; then
+    echo "error: SLAPO_LINT report $report missing or empty" >&2
+    exit 1
+fi
+
+python3 - "$report" <<'PY'
+import json, sys
+
+reports = []
+with open(sys.argv[1]) as f:
+    for i, line in enumerate(f, 1):
+        rec = json.loads(line)  # every line must parse on its own
+        assert isinstance(rec, dict), f"line {i}: not an object"
+        assert rec.get("kind") == "lint", f"line {i}: kind != lint"
+        assert rec.get("schema_version") == 2, f"line {i}: no schema_version"
+        for field in ("errors", "warnings", "notes", "diagnostics"):
+            assert field in rec, f"line {i}: missing {field}"
+        assert rec["errors"] == sum(
+            1 for d in rec["diagnostics"] if d["severity"] == "error"
+        ), f"line {i}: errors count disagrees with diagnostics"
+        for d in rec["diagnostics"]:
+            assert d["code"].startswith("SLP") and len(d["code"]) == 6, \
+                f"line {i}: malformed code {d['code']!r}"
+            assert d["severity"] in ("error", "warning", "note")
+            assert d["message"], f"line {i}: empty message"
+        reports.append(rec)
+
+# One failing report (the broken schedule, written by the replicate gate
+# before it threw) and one passing report (the fixed schedule).
+failing = [r for r in reports if r["errors"] > 0]
+passing = [r for r in reports if r["errors"] == 0]
+assert failing, "no failing lint report was emitted"
+assert passing, "no passing lint report was emitted"
+
+codes = {d["code"] for r in failing for d in r["diagnostics"]
+         if d["severity"] == "error"}
+for want in ("SLP202", "SLP231", "SLP301"):
+    assert want in codes, f"expected {want} in failing report, got {codes}"
+
+# Stable locations: the missing sync names the row-parallel fc2 by its
+# dotted schedule path.
+paths = {d["module"] for r in failing for d in r["diagnostics"]}
+assert "encoder.layer.0.ffn.fc2" in paths, paths
+
+print(f"lint report OK: {len(reports)} reports "
+      f"({len(failing)} failing, {len(passing)} passing), "
+      f"codes {sorted(codes)}")
+PY
+
+echo "lint smoke test passed"

@@ -1,0 +1,158 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace slapo {
+namespace analysis {
+
+const char*
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Error: return "error";
+      case Severity::Warning: return "warning";
+      case Severity::Note: return "note";
+    }
+    return "unknown";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream out;
+    out << code << " " << severityName(severity) << ": " << message;
+    out << " [module=" << (module_path.empty() ? "<root>" : module_path);
+    if (!node.empty()) {
+        out << " node=" << node;
+    }
+    if (!primitive.empty()) {
+        out << " primitive=" << primitive;
+    }
+    out << "]";
+    return out.str();
+}
+
+std::string
+Diagnostic::toJson() const
+{
+    using obs::json::quoted;
+    std::string out = "{";
+    out += "\"code\":" + quoted(code);
+    out += ",\"severity\":" + quoted(severityName(severity));
+    out += ",\"message\":" + quoted(message);
+    out += ",\"module\":" + quoted(module_path);
+    if (!node.empty()) {
+        out += ",\"node\":" + quoted(node);
+        out += ",\"node_id\":" + std::to_string(node_id);
+    }
+    if (!primitive.empty()) {
+        out += ",\"primitive\":" + quoted(primitive);
+    }
+    out += "}";
+    return out;
+}
+
+Diagnostic&
+Diagnostics::add(std::string code, Severity severity, std::string message,
+                 std::string module_path)
+{
+    Diagnostic d;
+    d.code = std::move(code);
+    d.severity = severity;
+    d.message = std::move(message);
+    d.module_path = std::move(module_path);
+    diags_.push_back(std::move(d));
+    return diags_.back();
+}
+
+size_t
+Diagnostics::count(Severity severity) const
+{
+    size_t n = 0;
+    for (const Diagnostic& d : diags_) {
+        n += d.severity == severity ? 1 : 0;
+    }
+    return n;
+}
+
+bool
+Diagnostics::hasCode(const std::string& code) const
+{
+    for (const Diagnostic& d : diags_) {
+        if (d.code == code) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+Diagnostics::errorCodes() const
+{
+    std::set<std::string> codes;
+    for (const Diagnostic& d : diags_) {
+        if (d.severity == Severity::Error) {
+            codes.insert(d.code);
+        }
+    }
+    std::string out;
+    for (const std::string& c : codes) {
+        if (!out.empty()) {
+            out += ',';
+        }
+        out += c;
+    }
+    return out;
+}
+
+std::string
+Diagnostics::toString() const
+{
+    std::ostringstream out;
+    out << "schedule lint: " << errorCount() << " error(s), "
+        << count(Severity::Warning) << " warning(s)";
+    for (const Diagnostic& d : diags_) {
+        out << "\n  " << d.toString();
+    }
+    return out.str();
+}
+
+std::string
+Diagnostics::diagnosticsJson() const
+{
+    std::string out = "[";
+    for (size_t i = 0; i < diags_.size(); ++i) {
+        if (i > 0) {
+            out += ',';
+        }
+        out += diags_[i].toJson();
+    }
+    out += "]";
+    return out;
+}
+
+std::string
+Diagnostics::toJson() const
+{
+    std::string out = "{\"kind\":\"lint\",\"schema_version\":2";
+    out += ",\"errors\":" + std::to_string(errorCount());
+    out += ",\"warnings\":" + std::to_string(count(Severity::Warning));
+    out += ",\"notes\":" + std::to_string(count(Severity::Note));
+    out += ",\"diagnostics\":" + diagnosticsJson();
+    out += "}";
+    return out;
+}
+
+StaticLintError::StaticLintError(Diagnostics diagnostics, std::string site)
+    : SlapoError("static schedule lint failed at " + site + ": " +
+                 diagnostics.toString()),
+      diagnostics_(std::move(diagnostics)), site_(std::move(site))
+{
+}
+
+} // namespace analysis
+} // namespace slapo

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared diagnostics for the static schedule analyses (docs/VERIFICATION.md).
+ *
+ * Every analysis in src/analysis/ reports through one `Diagnostic` type
+ * with a stable `SLPnnn` code, a severity, and the location that makes
+ * the finding actionable: the dotted module path the schedule language
+ * addresses, plus (when the finding is about a graph node) the node
+ * name, id and its Provenance stamp — so "which primitive broke it" is
+ * part of the report, not archaeology.
+ *
+ * Code ranges:
+ *   SLP0xx  graph structure (validate() failures)
+ *   SLP1xx  shape / dtype inference
+ *   SLP2xx  sharding consistency (lattice analysis + shard/sync specs)
+ *   SLP3xx  pipeline partitioning
+ *   SLP4xx  memory-plan alias safety
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace slapo {
+namespace analysis {
+
+enum class Severity
+{
+    Error,   ///< the schedule cannot execute correctly; gates throw
+    Warning, ///< legal but suspicious (redundant sync, scaled value)
+    Note,    ///< analysis limitation (subtree not statically checkable)
+};
+
+const char* severityName(Severity severity);
+
+/** One finding. */
+struct Diagnostic
+{
+    std::string code; ///< stable "SLP230"-style identifier
+    Severity severity = Severity::Error;
+    std::string message;
+    /** Dotted schedule path of the module the finding is about ("" = root). */
+    std::string module_path;
+    /** Offending graph node, when the finding is node-level. */
+    std::string node;
+    int64_t node_id = -1;
+    /** Provenance primitive that produced the node ("" = baseline). */
+    std::string primitive;
+
+    std::string toString() const;
+    std::string toJson() const;
+};
+
+/** Ordered collection of findings produced by one lint run. */
+class Diagnostics
+{
+  public:
+    /** Append a finding; returns it for optional node/provenance fill-in. */
+    Diagnostic& add(std::string code, Severity severity, std::string message,
+                    std::string module_path = "");
+
+    const std::vector<Diagnostic>& all() const { return diags_; }
+    bool empty() const { return diags_.empty(); }
+    size_t count(Severity severity) const;
+    size_t errorCount() const { return count(Severity::Error); }
+    bool hasErrors() const { return errorCount() > 0; }
+    bool hasCode(const std::string& code) const;
+
+    /** Comma-joined sorted unique error codes ("SLP202,SLP230"). */
+    std::string errorCodes() const;
+
+    /** Human-readable multi-line report. */
+    std::string toString() const;
+
+    /** JSON array of the individual findings (run-log embedding). */
+    std::string diagnosticsJson() const;
+
+    /**
+     * Standalone JSON report object (SLAPO_LINT=<file> emission):
+     * {"kind":"lint","schema_version":2,"errors":..,"warnings":..,
+     *  "notes":..,"diagnostics":[...]}.
+     */
+    std::string toJson() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+/**
+ * Thrown by the lint gates when a schedule has error-severity findings.
+ * Subclasses SlapoError so existing catch sites and EXPECT_THROW
+ * contracts keep holding; carries the full report for callers (the
+ * tuner) that want the codes rather than the flattened message.
+ */
+class StaticLintError : public SlapoError
+{
+  public:
+    StaticLintError(Diagnostics diagnostics, std::string site);
+
+    const Diagnostics& diagnostics() const { return diagnostics_; }
+    /** Gate that rejected the schedule ("verify.end_to_end", ...). */
+    const std::string& site() const { return site_; }
+
+  private:
+    Diagnostics diagnostics_;
+    std::string site_;
+};
+
+} // namespace analysis
+} // namespace slapo

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The static schedule lint: orchestrates every analysis in
+ * src/analysis/ over a scheduled model with zero tensor execution
+ * (docs/VERIFICATION.md, stage one).
+ *
+ * `lintModule()` runs graph validation (SLP001), shape/dtype inference
+ * (SLP1xx), sharding consistency (SLP2xx), pipeline-split checks
+ * (SLP3xx), and the memory-plan alias audit (SLP4xx), returning the
+ * combined diagnostics. `enforceLint()` is the mandatory gate wired
+ * into schedule materialization (core/verify.cc, runtime replication,
+ * pipeline partitioning) and tuner trial admission: it additionally
+ * writes a `lint` run-log record, honors the `SLAPO_LINT` knob, and
+ * throws StaticLintError when any error-severity finding exists.
+ *
+ * SLAPO_LINT values:
+ *   0|off|false   disable the gates entirely (diagnostics still
+ *                 available programmatically via lintModule)
+ *   1|on|<unset>  enabled (default)
+ *   <path>        enabled, and every enforceLint() run appends its JSON
+ *                 report to <path>
+ */
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "nn/module.h"
+
+namespace slapo {
+namespace analysis {
+
+/** Gate enablement: SLAPO_LINT env (default on) unless overridden. */
+bool lintEnabled();
+
+/** Programmatic override of SLAPO_LINT on/off (tests; thread-safe). */
+void setLintEnabled(bool enabled);
+
+/** JSON report path configured via SLAPO_LINT=<path> ("" = none). */
+const std::string& lintReportPath();
+
+/**
+ * Run every static analysis over `root` and its schedule state.
+ * `world_size` is the tensor/pipeline-parallel world the schedule will
+ * execute under (1 = single process; sharding dataflow is skipped).
+ */
+Diagnostics lintModule(nn::Module& root, int world_size);
+
+/**
+ * Mandatory gate: lint and throw StaticLintError if any error-severity
+ * diagnostic is found. No-op when lint is disabled. `site` names the
+ * caller in the error, the run-log `lint` record, and the JSON report
+ * ("verify.end_to_end", "executor.replicate", "tuner.trial",
+ * "pipeline.partition").
+ *
+ * @returns the diagnostics (warnings/notes) when the schedule passes.
+ */
+Diagnostics enforceLint(nn::Module& root, int world_size,
+                        const char* site);
+
+} // namespace analysis
+} // namespace slapo

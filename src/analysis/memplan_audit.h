@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Alias-safety audit of a static memory plan (graph/memplan.h).
+ *
+ * Independently recomputes liveness over the graph and proves that the
+ * plan's two kinds of actions can never corrupt a value another node
+ * still needs:
+ *
+ *  - every `release_after` entry really is dead at that point (no later
+ *    consumer, not a graph output)                      SLP401 / SLP402
+ *  - every `inplace` mark satisfies the planner's full eligibility
+ *    contract (eligible op, input 0 dies here, single sole-occurrence
+ *    operand, matching shapes)                          SLP403
+ *  - plan entries are well-formed (ids in range, released once) SLP404
+ *
+ * Planner bugs thereby surface as lint errors instead of silent
+ * numerical corruption deep inside a training step.
+ */
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "graph/graph.h"
+#include "graph/memplan.h"
+
+namespace slapo {
+namespace analysis {
+
+/** Audit `plan` against `graph`. `module_path` is for diagnostics. */
+void auditMemPlan(const graph::Graph& graph, const graph::MemPlan& plan,
+                  const std::string& module_path, Diagnostics& diags);
+
+/**
+ * Build (or fetch the cached) plan for every traced graph under `root`
+ * using its placeholder-declared shapes, and audit each one.
+ */
+void auditMemPlans(nn::Module& root, Diagnostics& diags);
+
+} // namespace analysis
+} // namespace slapo

@@ -1,0 +1,174 @@
+#include "analysis/pipeline_check.h"
+
+#include "graph/graph.h"
+
+namespace slapo {
+namespace analysis {
+
+namespace {
+
+using graph::Node;
+using graph::NodeKind;
+
+bool
+hasAnnotatedStrictDescendant(nn::Module& module)
+{
+    for (auto& [path, m] : module.namedModules()) {
+        if (!path.empty() && m->meta().pipeline_split_after) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Chain-form check of one container's traced graph (SLP304/SLP305). */
+void
+checkChainForm(const std::string& path, const graph::Graph& graph,
+               Diagnostics& diags)
+{
+    const Node* previous = nullptr;
+    for (const Node* node : graph.nodes()) {
+        switch (node->kind()) {
+          case NodeKind::Placeholder:
+            previous = node;
+            break;
+          case NodeKind::CallModule: {
+            if (node->inputs().size() != 1 ||
+                node->inputs()[0] != previous) {
+                Diagnostic& d = diags.add(
+                    "SLP304", Severity::Error,
+                    "container is not a single-tensor linear chain at "
+                    "this node — a data edge crosses the stage cut, so "
+                    "forward activations (and their backward gradients) "
+                    "would have to flow between stages outside the "
+                    "pipeline",
+                    path);
+                d.node = node->name();
+                d.node_id = node->id();
+                d.primitive = node->provenance().primitive;
+            }
+            previous = node;
+            break;
+          }
+          case NodeKind::Output: {
+            if (node->inputs().size() != 1 ||
+                node->inputs()[0] != previous) {
+                Diagnostic& d = diags.add(
+                    "SLP304", Severity::Error,
+                    "container output is not the last child call — the "
+                    "final stage would depend on an earlier stage's "
+                    "intermediate value",
+                    path);
+                d.node = node->name();
+                d.node_id = node->id();
+                d.primitive = node->provenance().primitive;
+            }
+            break;
+          }
+          default: {
+            Diagnostic& d = diags.add(
+                "SLP305", Severity::Error,
+                "container computes outside its children on a split "
+                "path (move the computation into a submodule)",
+                path);
+            d.node = node->name();
+            d.node_id = node->id();
+            d.primitive = node->provenance().primitive;
+            break;
+          }
+        }
+    }
+}
+
+/**
+ * Follow the rightmost execution spine from `module`; a split
+ * annotation on any module whose last atom ends the whole model marks a
+ * boundary after the final atom — an empty trailing stage.
+ */
+bool
+trailingSplit(nn::Module& module)
+{
+    if (module.meta().pipeline_split_after) {
+        return true;
+    }
+    if (!hasAnnotatedStrictDescendant(module)) {
+        return false;
+    }
+    // Last executed child: from the traced chain if present, else the
+    // registration order of a Sequential; other containers are not
+    // statically resolvable — stay quiet.
+    nn::ModulePtr last;
+    if (module.meta().traced_graph) {
+        for (const Node* node : module.meta().traced_graph->nodes()) {
+            if (node->kind() == NodeKind::CallModule) {
+                nn::ModulePtr child = module.child(node->target());
+                if (child) {
+                    last = child;
+                }
+            }
+        }
+    } else if (module.typeName() == "Sequential" &&
+               !module.children().empty()) {
+        last = module.children().back().second;
+    }
+    return last != nullptr && trailingSplit(*last);
+}
+
+} // namespace
+
+void
+checkPipeline(nn::Module& root, int world_size, Diagnostics& diags)
+{
+    int annotations = 0;
+    for (auto& [path, m] : root.namedModules()) {
+        if (m->meta().pipeline_split_after) {
+            ++annotations;
+            if (path.empty()) {
+                diags.add("SLP302", Severity::Error,
+                          ".pipeline_split() on the root module — the "
+                          "boundary after the whole model leaves an "
+                          "empty final stage",
+                          path);
+            }
+        }
+    }
+    if (annotations == 0) {
+        return;
+    }
+    const int stages = annotations + 1;
+    if (stages > world_size) {
+        diags.add("SLP301", Severity::Error,
+                  std::to_string(annotations) +
+                      " .pipeline_split() annotation(s) make " +
+                      std::to_string(stages) +
+                      " stages, but the world size is only " +
+                      std::to_string(world_size),
+                  "");
+    }
+
+    for (auto& [path, m] : root.namedModules()) {
+        if (!hasAnnotatedStrictDescendant(*m)) {
+            continue;
+        }
+        if (m->meta().traced_graph) {
+            checkChainForm(path, *m->meta().traced_graph, diags);
+        } else if (m->typeName() != "Sequential") {
+            diags.add("SLP310", Severity::Note,
+                      "container on a split path is untraced and not a "
+                      "Sequential — its chain form is checked when the "
+                      "partitioner traces it",
+                      path);
+        }
+    }
+
+    if (trailingSplit(root)) {
+        diags.add("SLP303", Severity::Error,
+                  "the last executed module is a stage boundary — the "
+                  "trailing .pipeline_split() produces an empty final "
+                  "stage",
+                  "");
+    }
+}
+
+} // namespace analysis
+} // namespace slapo

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Static validation of `.pipeline_split()` annotations.
+ *
+ * Mirrors the rules core::partitionPipeline enforces while building
+ * stages — but without tracing or executing anything, so the tuner and
+ * the schedule gates can reject a bad split for free:
+ *
+ *  - SLP301  more stages than the world size can host
+ *  - SLP302  split annotation on the root module (empty final stage)
+ *  - SLP303  trailing split: the last executed atom is a boundary
+ *  - SLP304  container on an annotation path is not a single-tensor
+ *            linear chain (a cross-stage data edge — e.g. a residual
+ *            connection spanning the cut — would need activations from
+ *            another stage in both passes)
+ *  - SLP305  container computes outside its children on the split path
+ *  - SLP310  note: container not statically checkable (untraced)
+ */
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "nn/module.h"
+
+namespace slapo {
+namespace analysis {
+
+/** Validate all pipeline-split annotations under `root`. */
+void checkPipeline(nn::Module& root, int world_size, Diagnostics& diags);
+
+} // namespace analysis
+} // namespace slapo

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Static shape / dtype inference over traced graphs (zero execution).
+ *
+ * Re-derives every node's output shape from the declared placeholder and
+ * parameter shapes using the same per-op rules the interpreter's kernels
+ * enforce at runtime (nn/functional.cc), and compares against the shape
+ * the node *declares*. A schedule rewrite that left the graph
+ * inconsistent — a `.replace()` whose subgraph emits the wrong extent, a
+ * fused kernel whose inner graph no longer matches its node — surfaces
+ * as a diagnostic naming the node, its Provenance stamp, and the module
+ * path, instead of a kernel assertion deep inside a training step.
+ *
+ * Dtype inference is a two-point lattice {Any, Float}: ops that produce
+ * definitely-real values (softmax, gelu, matmul, ...) taint their
+ * output, and consumers that need integral inputs (embedding ids,
+ * cross-entropy targets) report when fed a tainted value.
+ *
+ * Codes: SLP101 node shape contradiction, SLP102 parameter shape
+ * mismatch, SLP103 impossible op inputs, SLP110 real-valued embedding
+ * ids, SLP111 real-valued cross-entropy targets.
+ */
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "graph/graph.h"
+#include "nn/module.h"
+
+namespace slapo {
+namespace analysis {
+
+/**
+ * Infer and check one traced graph. `module_path` is the dotted schedule
+ * path of the module owning the graph (diagnostic location only).
+ */
+void inferGraphShapes(const graph::Graph& graph,
+                      const std::string& module_path, Diagnostics& diags);
+
+/** Run inferGraphShapes over every traced graph in the module tree. */
+void inferShapes(nn::Module& root, Diagnostics& diags);
+
+} // namespace analysis
+} // namespace slapo

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sharding-consistency analysis over `.shard()` / `.sync()` decisions.
+ *
+ * Models each value's distribution across the tensor-parallel group as a
+ * small lattice and transfers it through the model — module by module,
+ * and op by op inside traced graphs — with zero tensor execution:
+ *
+ *     Unknown                (not statically determined)
+ *     Replicated             (identical on every rank)
+ *     ColSharded             (split along the last axis; Megatron's
+ *                             column-parallel activations)
+ *     RowSharded(axis)       (split along a leading axis)
+ *     PartialSum             (every rank holds an addend; the true value
+ *                             is the cross-rank sum — must be aggregated
+ *                             by a `.sync()` before non-linear use)
+ *
+ * States are seeded by `.shard()` specs on parameters, transferred
+ * through matmul / elementwise / reductions / reshapes, and discharged
+ * by `.sync()` points (all-reduce, all-gather, reduce-scatter). The
+ * analysis is deliberately conservative: when it cannot prove a state it
+ * degrades to Unknown rather than guessing, so every error it *does*
+ * report is a schedule that cannot be numerically correct.
+ *
+ * Codes: SLP201 bad shard axis/param, SLP202 extent not divisible by
+ * world size x interleave, SLP203 shard world-size mismatch, SLP210
+ * orphaned sync (no shard left in the subtree), SLP211 sync direction
+ * mismatch, SLP212 sync kind mismatch, SLP220 redundant sync, SLP230
+ * PartialSum consumed by a non-sync op, SLP231 PartialSum escapes
+ * without a forward sync, SLP232 sharded value consumed where a
+ * replicated one is required.
+ */
+#pragma once
+
+#include "analysis/diagnostic.h"
+#include "nn/module.h"
+
+namespace slapo {
+namespace analysis {
+
+/** Lattice state of one value's distribution across ranks. */
+struct DistState
+{
+    enum class Kind
+    {
+        Unknown,
+        Replicated,
+        RowSharded,
+        ColSharded,
+        PartialSum,
+    };
+
+    Kind kind = Kind::Unknown;
+    /** Shard axis (RowSharded: from the front; ColSharded: always last). */
+    int64_t axis = -1;
+
+    static DistState unknown() { return {}; }
+    static DistState replicated() { return {Kind::Replicated, -1}; }
+    static DistState partial() { return {Kind::PartialSum, -1}; }
+    /** Sharded along `axis` of a rank-`rank` tensor. */
+    static DistState sharded(int64_t axis, size_t rank);
+
+    bool is(Kind k) const { return kind == k; }
+    const char* name() const;
+};
+
+/**
+ * Run the full sharding analysis: per-spec structural checks plus the
+ * lattice dataflow from the model inputs (assumed replicated) to its
+ * outputs. `world_size` is the tensor-parallel group size the schedule
+ * will execute under.
+ */
+void checkSharding(nn::Module& root, int world_size, Diagnostics& diags);
+
+} // namespace analysis
+} // namespace slapo

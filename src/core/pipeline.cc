@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "analysis/lint.h"
+#include "analysis/pipeline_check.h"
+
 namespace slapo {
 namespace core {
 
@@ -123,6 +126,19 @@ partitionPipeline(Schedule& schedule, const std::vector<Shape>& input_shapes)
     }
     SLAPO_CHECK(annotations > 0,
                 "partitionPipeline: no .pipeline_split() annotations found");
+
+    // Static gate: run the pipeline-split checks (and only those — sim
+    // configs legitimately pair tensor-parallel recipes sized for one
+    // world with pipeline worlds of another size) before building stages.
+    if (analysis::lintEnabled()) {
+        analysis::Diagnostics diags;
+        analysis::checkPipeline(*schedule.module(), schedule.worldSize(),
+                                diags);
+        if (diags.hasErrors()) {
+            throw analysis::StaticLintError(std::move(diags),
+                                            "pipeline.partition");
+        }
+    }
 
     std::vector<Atom> atoms;
     expand("", schedule.module(), input_shapes, atoms);

@@ -247,10 +247,23 @@ Schedule::unshard(const std::string& param_name)
                                           << "' of '" << path_
                                           << "' is not sharded");
     shards.erase(it);
-    if (shards.empty()) {
-        // A sync without any shard would be rejected by the validator on
-        // re-application; drop the now-orphaned aggregation points too.
-        module_->meta().syncs.clear();
+    // A sync without any shard would be rejected by the validator on
+    // re-application; drop the now-orphaned aggregation points too. The
+    // canonical recipes hang syncs on *containers* (the attention block's
+    // backward all-reduce pairs with a shard on its qkv child), so the
+    // cleanup must walk the whole parent chain: every schedule whose
+    // module subtree no longer holds a sharded parameter loses its syncs.
+    for (Schedule* s = this; s != nullptr; s = s->parent_) {
+        bool any_shard = false;
+        for (auto& [path, m] : s->module_->namedModules()) {
+            if (!m->meta().sharded_params.empty()) {
+                any_shard = true;
+                break;
+            }
+        }
+        if (!any_shard) {
+            s->module_->meta().syncs.clear();
+        }
     }
 }
 

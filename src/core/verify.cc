@@ -1,5 +1,6 @@
 #include "core/verify.h"
 
+#include "analysis/lint.h"
 #include "runtime/autograd.h"
 #include "runtime/dist_executor.h"
 
@@ -129,6 +130,12 @@ verifyEndToEnd(nn::Module& reference, Schedule& schedule,
                const VerifyOptions& options)
 {
     nn::Module& scheduled = *schedule.module();
+
+    // Stage one (docs/VERIFICATION.md): the static lint must pass before
+    // any tensor is generated or executed — shape contradictions and
+    // sharding mistakes fail fast with stable SLP codes.
+    analysis::enforceLint(scheduled, schedule.worldSize(),
+                          "verify.end_to_end");
 
     // Pre-flight: every installed static graph must be well-formed
     // (rewrites like fuse/replace can only leave valid graphs behind).

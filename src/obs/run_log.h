@@ -28,7 +28,13 @@
  *   tuner.trial         one per tuner evaluation: config, value,
  *                       whether it is the best so far, measured peak
  *                       memory (+ sim-predicted peak & relative error
- *                       when available)
+ *                       when available; `pruned_static` + `lint_codes`
+ *                       when the static lint rejected the config)
+ *   lint                one per static-lint gate run (analysis/lint.h):
+ *                       gate site, world size, error/warning/note
+ *                       counts, lint wall time, pass/fail, and the full
+ *                       diagnostics array when findings exist
+ *                       (docs/VERIFICATION.md)
  *   mem.budget          one per memory-budget crossing
  *                       (obs/mem_profiler.h): live/budget bytes, the
  *                       configured action, and the full peak

@@ -5,6 +5,7 @@
 #include <optional>
 #include <thread>
 
+#include "analysis/lint.h"
 #include "obs/mem_profiler.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -80,6 +81,12 @@ DistExecutor::shardParamsForRank(nn::Module& replica, int rank, int world_size)
 std::vector<nn::ModulePtr>
 DistExecutor::replicate(const nn::Module& model) const
 {
+    // Static gate: the unsharded schedule must lint clean before any
+    // replica is cloned or a parameter slice is cut. (namedModules is
+    // non-const; the lint never mutates the model.)
+    analysis::enforceLint(const_cast<nn::Module&>(model), world_size_,
+                          "executor.replicate");
+
     std::vector<nn::ModulePtr> replicas;
     replicas.reserve(world_size_);
     for (int r = 0; r < world_size_; ++r) {

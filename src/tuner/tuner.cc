@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 
+#include "analysis/diagnostic.h"
 #include "obs/json_util.h"
 #include "obs/mem_profiler.h"
 #include "obs/metrics.h"
@@ -64,7 +65,19 @@ class Evaluator
         }
         (void)obs::takeSimPeakBytes(); // drop any stale prediction
         const auto t0 = std::chrono::steady_clock::now();
-        double value = eval_(config);
+        // Trial admission: a config whose schedule fails the static lint
+        // is pruned for free — the gate fires before any tensor math, so
+        // the trial costs microseconds and scores like any other
+        // infeasible config (non-positive value).
+        double value = 0.0;
+        bool pruned_static = false;
+        std::string lint_codes;
+        try {
+            value = eval_(config);
+        } catch (const analysis::StaticLintError& e) {
+            pruned_static = true;
+            lint_codes = e.diagnostics().errorCodes();
+        }
         const double sim_peak = obs::takeSimPeakBytes();
         std::optional<obs::StepReport> report;
         if (report_builder) {
@@ -122,6 +135,10 @@ class Evaluator
             }
             if (over_budget) {
                 record.flag("pruned_over_budget", true);
+            }
+            if (pruned_static) {
+                record.flag("pruned_static", true)
+                    .str("lint_codes", lint_codes);
             }
             if (report) {
                 record.raw("breakdown", report->primitivesJson());
